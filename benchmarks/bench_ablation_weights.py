@@ -1,0 +1,55 @@
+"""Ablation: objective-function weights (slide 14).
+
+The combined objective weighs the two criteria; this bench runs MH
+under first-criterion-only, second-criterion-only and balanced weights
+and records the resulting raw metrics.  It demonstrates the documented
+trade-off: optimizing only slack *sizes* can starve the periodic
+*distribution* criterion and vice versa.
+
+Run:  pytest benchmarks/bench_ablation_weights.py --benchmark-only
+"""
+
+import pytest
+
+from repro.core.metrics import ObjectiveWeights, evaluate_design
+from repro.core.mapping_heuristic import MappingHeuristic
+
+WEIGHTINGS = {
+    "balanced": ObjectiveWeights(),
+    "first-criterion-only": ObjectiveWeights(w2p=0.0, w2m=0.0),
+    "second-criterion-only": ObjectiveWeights(w1p=0.0, w1m=0.0),
+}
+
+
+@pytest.mark.parametrize("label", sorted(WEIGHTINGS))
+def test_mh_weighting(benchmark, scenarios, label):
+    scenario = scenarios[16]
+    weights = WEIGHTINGS[label]
+
+    result = benchmark.pedantic(
+        lambda: MappingHeuristic().design(scenario.spec(weights)),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.valid
+    # Re-price every design with the *balanced* weights so the three
+    # rows are comparable.
+    balanced = evaluate_design(result.schedule, scenario.future)
+    benchmark.extra_info["balanced_objective"] = round(balanced.objective, 2)
+    benchmark.extra_info["c1p"] = round(balanced.c1p, 1)
+    benchmark.extra_info["pen2p"] = round(balanced.penalty_2p, 1)
+
+
+def test_second_criterion_weights_drive_c2(scenarios):
+    """Turning the second criterion off must not yield a better
+    second-criterion penalty than optimizing for it directly."""
+    scenario = scenarios[16]
+    only_first = MappingHeuristic().design(
+        scenario.spec(WEIGHTINGS["first-criterion-only"])
+    )
+    only_second = MappingHeuristic().design(
+        scenario.spec(WEIGHTINGS["second-criterion-only"])
+    )
+    m_first = evaluate_design(only_first.schedule, scenario.future)
+    m_second = evaluate_design(only_second.schedule, scenario.future)
+    assert m_second.penalty_2p <= m_first.penalty_2p + 1e-9

@@ -1,0 +1,52 @@
+"""Figure (slide 17): % of future applications mappable after AH vs MH.
+
+For each current-application size the benchmark designs the scenario
+with AH and MH, then times the future-fit check over a batch of
+concrete future applications; the mapped percentages land in
+``extra_info``.  The paper's claim: MH designs accept far more future
+applications than AH designs.
+
+Run:  pytest benchmarks/bench_fig_future.py --benchmark-only
+"""
+
+import pytest
+
+from repro.core.strategy import fits_future_application, make_strategy
+from repro.gen.scenario import generate_future_application
+from repro.utils.rng import spawn_rngs
+
+from benchmarks.conftest import BENCH_SIZES
+
+N_FUTURES = 8
+
+
+@pytest.mark.parametrize("size", BENCH_SIZES)
+def test_future_mappability(benchmark, scenarios, size):
+    scenario = scenarios[size]
+    designs = {
+        name: make_strategy(name).design(scenario.spec())
+        for name in ("AH", "MH")
+    }
+    assert all(r.valid for r in designs.values())
+    futures = [
+        generate_future_application(scenario, rng=rng, name=f"future{i}")
+        for i, rng in enumerate(spawn_rngs(size * 1000 + 1, N_FUTURES))
+    ]
+
+    def check_all():
+        hits = {"AH": 0, "MH": 0}
+        for future_app in futures:
+            for name, result in designs.items():
+                if fits_future_application(
+                    result.schedule, future_app, scenario.architecture
+                ):
+                    hits[name] += 1
+        return hits
+
+    hits = benchmark.pedantic(check_all, rounds=1, iterations=1)
+    benchmark.extra_info["ah_mapped_pct"] = round(100 * hits["AH"] / N_FUTURES)
+    benchmark.extra_info["mh_mapped_pct"] = round(100 * hits["MH"] / N_FUTURES)
+
+    # The figure's qualitative claim: the future-aware design accepts
+    # at least as many future applications as the ad-hoc one.
+    assert hits["MH"] >= hits["AH"]

@@ -1,0 +1,47 @@
+"""Figure (slide 15): % deviation of AH and MH from near-optimal SA.
+
+For each current-application size the benchmark times one full
+three-strategy comparison and attaches the figure's data points --
+``ah_deviation_pct`` and ``mh_deviation_pct`` -- as ``extra_info`` in
+the pytest-benchmark report.  The paper's shape: AH deviates by a large
+margin, MH stays close to SA.
+
+Run:  pytest benchmarks/bench_fig_quality.py --benchmark-only
+"""
+
+import pytest
+
+from repro.core.strategy import make_strategy
+from repro.experiments.fig_quality import deviation
+
+from benchmarks.conftest import BENCH_SA_ITERATIONS, BENCH_SIZES
+
+
+@pytest.mark.parametrize("size", BENCH_SIZES)
+def test_quality_vs_sa(benchmark, scenarios, size):
+    """One full AH/MH/SA comparison on the size's scenario."""
+    scenario = scenarios[size]
+
+    def run_comparison():
+        spec = scenario.spec()
+        return {
+            "AH": make_strategy("AH").design(spec),
+            "MH": make_strategy("MH").design(spec),
+            "SA": make_strategy(
+                "SA", iterations=BENCH_SA_ITERATIONS, seed=1
+            ).design(spec),
+        }
+
+    results = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    assert all(r.valid for r in results.values())
+
+    sa = results["SA"].objective
+    ah_dev = deviation(results["AH"].objective, sa)
+    mh_dev = deviation(results["MH"].objective, sa)
+    benchmark.extra_info["sa_objective"] = round(sa, 2)
+    benchmark.extra_info["ah_deviation_pct"] = round(ah_dev, 1)
+    benchmark.extra_info["mh_deviation_pct"] = round(mh_dev, 1)
+
+    # The figure's qualitative claims.
+    assert mh_dev >= -1e-6  # SA (with polish) dominates MH
+    assert ah_dev >= mh_dev - 1e-6  # MH never behind AH

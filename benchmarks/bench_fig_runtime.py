@@ -1,0 +1,52 @@
+"""Figure (slide 16): average design time of AH, MH and SA.
+
+The pytest-benchmark table *is* the figure: one row per
+(strategy, current-size) cell, wall-clock per design run.  The paper's
+ordering AH << MH << SA and the growth with current-application size
+must reproduce; absolute values are hardware-dependent.
+
+Run:  pytest benchmarks/bench_fig_runtime.py --benchmark-only
+"""
+
+import pytest
+
+from repro.core.strategy import make_strategy
+
+from benchmarks.conftest import BENCH_SA_ITERATIONS, BENCH_SIZES
+
+
+@pytest.mark.parametrize("size", BENCH_SIZES)
+def test_runtime_ah(benchmark, scenarios, size):
+    """AH design time (validity-only Initial Mapping)."""
+    scenario = scenarios[size]
+    result = benchmark(lambda: make_strategy("AH").design(scenario.spec()))
+    assert result.valid
+    benchmark.extra_info["objective"] = round(result.objective, 2)
+
+
+@pytest.mark.parametrize("size", BENCH_SIZES)
+def test_runtime_mh(benchmark, scenarios, size):
+    """MH design time (IM + steepest descent)."""
+    scenario = scenarios[size]
+    result = benchmark.pedantic(
+        lambda: make_strategy("MH").design(scenario.spec()),
+        rounds=2,
+        iterations=1,
+    )
+    assert result.valid
+    benchmark.extra_info["objective"] = round(result.objective, 2)
+
+
+@pytest.mark.parametrize("size", BENCH_SIZES)
+def test_runtime_sa(benchmark, scenarios, size):
+    """SA design time (annealing + polish; the near-optimal reference)."""
+    scenario = scenarios[size]
+    result = benchmark.pedantic(
+        lambda: make_strategy(
+            "SA", iterations=BENCH_SA_ITERATIONS, seed=1
+        ).design(scenario.spec()),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.valid
+    benchmark.extra_info["objective"] = round(result.objective, 2)

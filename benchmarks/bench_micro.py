@@ -1,0 +1,82 @@
+"""Micro-benchmarks of the library's hot paths.
+
+These are the inner loops every strategy evaluation exercises:
+
+* list scheduling of the current application around frozen reservations,
+* the full four-metric objective evaluation,
+* best-fit bin packing at metric scale,
+* schedule copying (the per-candidate setup cost).
+
+Run:  pytest benchmarks/bench_micro.py --benchmark-only
+"""
+
+import pytest
+
+from repro.core.binpack import best_fit
+from repro.core.initial_mapping import InitialMapper
+from repro.core.metrics import evaluate_design
+from repro.sched.list_scheduler import ListScheduler
+from repro.sched.priorities import hcp_priorities
+
+
+@pytest.fixture(scope="module")
+def prepared(scenarios):
+    scenario = scenarios[16]
+    mapper = InitialMapper(scenario.architecture)
+    mapping, schedule = mapper.map_and_schedule(
+        scenario.current, base=scenario.base_schedule
+    )
+    priorities = hcp_priorities(scenario.current, scenario.architecture.bus)
+    return scenario, mapping, priorities, schedule
+
+
+def test_list_scheduling(benchmark, prepared):
+    """One candidate evaluation's scheduling half."""
+    scenario, mapping, priorities, _ = prepared
+    scheduler = ListScheduler(scenario.architecture)
+
+    result = benchmark(
+        lambda: scheduler.try_schedule(
+            scenario.current,
+            mapping,
+            base=scenario.base_schedule,
+            priorities=priorities,
+        )
+    )
+    assert result.success
+
+
+def test_metric_evaluation(benchmark, prepared):
+    """One candidate evaluation's metric half (C1P, C1m, C2P, C2m)."""
+    scenario, _, _, schedule = prepared
+    metrics = benchmark(lambda: evaluate_design(schedule, scenario.future))
+    assert metrics.objective >= 0
+
+
+def test_initial_mapping(benchmark, prepared):
+    """The full IM step (HCP mapping + scheduling)."""
+    scenario, _, _, _ = prepared
+    mapper = InitialMapper(scenario.architecture)
+    outcome = benchmark(
+        lambda: mapper.try_map_and_schedule(
+            scenario.current, base=scenario.base_schedule
+        )
+    )
+    assert outcome is not None
+
+
+def test_best_fit_at_metric_scale(benchmark):
+    """~2000 objects into ~1200 bins, the C1m workload shape."""
+    objects = [2 + (i * 7) % 7 for i in range(2000)]
+    bins = [16] * 1200
+
+    result = benchmark(lambda: best_fit(objects, bins))
+    assert result.placed_total > 0
+
+
+def test_schedule_copy(benchmark, prepared):
+    """Per-candidate base-schedule copy cost."""
+    scenario, _, _, _ = prepared
+    base = scenario.base_schedule
+    clone = benchmark(base.copy)
+    assert clone.horizon == base.horizon

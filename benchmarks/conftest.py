@@ -1,0 +1,54 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks double as the figure-regeneration harness: each
+``bench_fig_*`` file times the strategies on generated scenarios and
+attaches the figure's data points (deviations, mapped percentages) as
+``extra_info`` so they appear in the pytest-benchmark report.
+
+Scale: laptop defaults (a few minutes for the whole directory).  The
+paper-scale run is driven through the CLI instead
+(``python -m repro.experiments all --paper-scale``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig
+from repro.gen.scenario import Scenario, ScenarioParams, build_scenario
+
+#: Current-application sizes benchmarked per figure (paper: 40..320).
+BENCH_SIZES = (8, 16, 24)
+
+#: Existing-application size (paper: 400).
+BENCH_EXISTING = 40
+
+#: SA iteration budget for the reference strategy.
+BENCH_SA_ITERATIONS = 400
+
+
+def bench_params(size: int) -> ScenarioParams:
+    """Scenario parameters of one benchmark cell."""
+    return ScenarioParams(
+        n_nodes=6,
+        hyperperiod=4800,
+        n_existing=BENCH_EXISTING,
+        n_current=size,
+    )
+
+
+@pytest.fixture(scope="session")
+def scenarios() -> dict:
+    """One scenario per benchmarked current-application size."""
+    return {size: build_scenario(bench_params(size), seed=1) for size in BENCH_SIZES}
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        current_sizes=BENCH_SIZES,
+        n_existing=BENCH_EXISTING,
+        seeds=(1,),
+        sa_iterations=BENCH_SA_ITERATIONS,
+        future_apps_per_scenario=8,
+    )

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""The two design criteria, on the crafted layouts of slides 12-13.
+
+First criterion (slack *sizes*, metric C1): the same total slack can be
+clustered into one contiguous chunk (everything future fits, C1=0%) or
+shattered into fragments too small for any future process (C1 large).
+
+Second criterion (slack *distribution*, metric C2): the same total
+slack can be concentrated in one half of the hyperperiod (a future
+application with period T_min starves in the other half, C2 = 0) or
+spread so every T_min window keeps t_need available (C2 >= t_need).
+
+Run:  python examples/design_metrics.py
+"""
+
+from repro import (
+    Architecture,
+    FutureCharacterization,
+    Node,
+    SystemSchedule,
+    evaluate_design,
+)
+from repro.core.future import DiscreteDistribution
+from repro.core.metrics import metric_c1p, metric_c2p
+
+
+def single_node_platform() -> Architecture:
+    return Architecture([Node("N1")], slot_length=10, slot_capacity=16)
+
+
+def show_c1() -> None:
+    """Slide 12: clustering the same slack changes what fits."""
+    arch = single_node_platform()
+    # Future family: one window of 160 tu; needs 80 tu of processes
+    # shaped 40+40 (so fragments of 20 are useless).
+    future = FutureCharacterization(
+        t_min=160,
+        t_need=80,
+        b_need=1,
+        wcet_distribution=DiscreteDistribution((40,), (1.0,)),
+    )
+
+    print("First criterion (C1P): same total slack, different clustering")
+    # (a) contiguous slack of 80 tu -> everything fits.
+    contiguous = SystemSchedule(arch, 160)
+    contiguous.place_process("X", 0, "N1", 0, 80)
+    print(f"  contiguous [80..160) free : C1P = {metric_c1p(contiguous, future):.0f}%")
+
+    # (b) two gaps of 40 -> still fits (each future process needs 40).
+    two_gaps = SystemSchedule(arch, 160)
+    two_gaps.place_process("X", 0, "N1", 40, 40)
+    two_gaps.place_process("Y", 0, "N1", 120, 40)
+    print(f"  two gaps of 40 tu         : C1P = {metric_c1p(two_gaps, future):.0f}%")
+
+    # (c) four gaps of 20 -> nothing fits: C1P = 100%.
+    fragmented = SystemSchedule(arch, 160)
+    for i, start in enumerate((20, 60, 100, 140)):
+        fragmented.place_process(f"Z{i}", 0, "N1", start, 20)
+    print(f"  four gaps of 20 tu        : C1P = {metric_c1p(fragmented, future):.0f}%")
+
+
+def show_c2() -> None:
+    """Slide 13: distributing the same slack across T_min windows."""
+    arch = single_node_platform()
+    future = FutureCharacterization(
+        t_min=100,
+        t_need=40,
+        b_need=1,
+        wcet_distribution=DiscreteDistribution((20,), (1.0,)),
+    )
+
+    print("\nSecond criterion (C2P): same total slack, different distribution")
+    # (a) all 80 tu of slack inside the first window; second fully busy.
+    lopsided = SystemSchedule(arch, 200)
+    lopsided.place_process("A", 0, "N1", 80, 120)
+    c2 = metric_c2p(lopsided, future)
+    print(
+        f"  slack only in window 1    : C2P = {c2} "
+        f"({'<' if c2 < future.t_need else '>='} t_need = {future.t_need})"
+    )
+
+    # (b) 40 tu of slack in every window -> periodic demand satisfied.
+    balanced = SystemSchedule(arch, 200)
+    balanced.place_process("A", 0, "N1", 0, 60)
+    balanced.place_process("B", 0, "N1", 100, 60)
+    c2 = metric_c2p(balanced, future)
+    print(
+        f"  40 tu free per window     : C2P = {c2} "
+        f"({'<' if c2 < future.t_need else '>='} t_need = {future.t_need})"
+    )
+
+    print("\nCombined objective (slide 14) for the two layouts:")
+    for label, schedule in (("lopsided", lopsided), ("balanced", balanced)):
+        metrics = evaluate_design(schedule, future)
+        print(f"  {label}: {metrics.summary()}")
+
+
+def main() -> None:
+    show_c1()
+    show_c2()
+
+
+if __name__ == "__main__":
+    main()

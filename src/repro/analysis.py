@@ -1,0 +1,190 @@
+"""Design analysis reports.
+
+Turns a finished design into the summary a systems engineer asks for
+first: per-node utilization and slack shape, per-graph worst-case
+response times and laxity, bus load, and (when a future
+characterization is supplied) the paper's design metrics -- all in one
+structured :class:`DesignReport` with a plain-text renderer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.future import FutureCharacterization
+from repro.core.metrics import DesignMetrics, ObjectiveWeights, evaluate_design
+from repro.core.slack import slack_fragmentation
+from repro.model.application import Application
+from repro.sched.schedule import SystemSchedule
+from repro.utils.errors import SchedulingError
+
+
+@dataclass(frozen=True)
+class NodeReport:
+    """Load and slack shape of one processing node."""
+
+    node_id: str
+    utilization: float
+    total_slack: int
+    gap_count: int
+    largest_gap: int
+    fragmentation: float
+
+
+@dataclass(frozen=True)
+class GraphReport:
+    """Timing outcome of one process graph across its instances.
+
+    Attributes
+    ----------
+    worst_response:
+        Maximum over instances of (last finish - release).
+    laxity:
+        ``deadline - worst_response``; non-negative in a valid design.
+    """
+
+    application: str
+    graph: str
+    period: int
+    deadline: int
+    instances: int
+    worst_response: int
+    laxity: int
+
+
+@dataclass(frozen=True)
+class BusReport:
+    """Aggregate TDMA bus statistics over the horizon."""
+
+    round_length: int
+    rounds: int
+    total_capacity: int
+    used_bytes: int
+    messages: int
+
+    @property
+    def utilization(self) -> float:
+        if self.total_capacity == 0:
+            return 0.0
+        return self.used_bytes / self.total_capacity
+
+
+@dataclass
+class DesignReport:
+    """Complete analysis of one design."""
+
+    horizon: int
+    nodes: List[NodeReport]
+    graphs: List[GraphReport]
+    bus: BusReport
+    metrics: Optional[DesignMetrics] = None
+
+
+def analyze_design(
+    schedule: SystemSchedule,
+    applications: Iterable[Application],
+    future: Optional[FutureCharacterization] = None,
+    weights: Optional[ObjectiveWeights] = None,
+) -> DesignReport:
+    """Analyze ``schedule`` against the applications it implements.
+
+    Raises
+    ------
+    repro.utils.errors.SchedulingError
+        If a process instance expected from the applications is absent
+        (analysis only makes sense on complete designs).
+    """
+    frag = slack_fragmentation(schedule)
+    nodes = [
+        NodeReport(
+            node_id=node_id,
+            utilization=schedule.utilization(node_id),
+            total_slack=schedule.total_slack(node_id),
+            gap_count=frag[node_id].gap_count,
+            largest_gap=frag[node_id].largest_gap,
+            fragmentation=frag[node_id].fragmentation,
+        )
+        for node_id in schedule.architecture.node_ids
+    ]
+
+    graphs: List[GraphReport] = []
+    for app in applications:
+        for graph in app.graphs:
+            instances = schedule.horizon // graph.period
+            worst = 0
+            for k in range(instances):
+                release = k * graph.period
+                for proc in graph.processes:
+                    entry = schedule.entry_of(proc.id, k)
+                    if entry is None:
+                        raise SchedulingError(
+                            f"process {proc.id!r} instance {k} is not in the "
+                            f"schedule; cannot analyze an incomplete design"
+                        )
+                    worst = max(worst, entry.end - release)
+            graphs.append(
+                GraphReport(
+                    application=app.name,
+                    graph=graph.name,
+                    period=graph.period,
+                    deadline=graph.deadline,
+                    instances=instances,
+                    worst_response=worst,
+                    laxity=graph.deadline - worst,
+                )
+            )
+
+    bus = schedule.bus
+    total_capacity = bus.rounds * sum(
+        slot.capacity for slot in bus.bus.slots
+    )
+    bus_report = BusReport(
+        round_length=bus.bus.round_length,
+        rounds=bus.rounds,
+        total_capacity=total_capacity,
+        used_bytes=total_capacity - bus.total_free_bytes(),
+        messages=sum(1 for _ in bus.all_entries()),
+    )
+
+    metrics = None
+    if future is not None:
+        metrics = evaluate_design(schedule, future, weights)
+
+    return DesignReport(
+        horizon=schedule.horizon,
+        nodes=nodes,
+        graphs=graphs,
+        bus=bus_report,
+        metrics=metrics,
+    )
+
+
+def render_report(report: DesignReport) -> str:
+    """Plain-text rendering of a :class:`DesignReport`."""
+    lines: List[str] = [f"design report (horizon {report.horizon} tu)"]
+    lines.append("nodes:")
+    for node in report.nodes:
+        lines.append(
+            f"  {node.node_id}: util {node.utilization:5.1%}  "
+            f"slack {node.total_slack} tu in {node.gap_count} gaps "
+            f"(largest {node.largest_gap}, fragmentation "
+            f"{node.fragmentation:.2f})"
+        )
+    lines.append("graphs:")
+    for graph in report.graphs:
+        lines.append(
+            f"  {graph.application}/{graph.graph}: period {graph.period}, "
+            f"worst response {graph.worst_response}/{graph.deadline} "
+            f"(laxity {graph.laxity}) over {graph.instances} instance(s)"
+        )
+    bus = report.bus
+    lines.append(
+        f"bus: {bus.messages} message placements, "
+        f"{bus.used_bytes}/{bus.total_capacity} B used "
+        f"({bus.utilization:.1%}) across {bus.rounds} rounds of "
+        f"{bus.round_length} tu"
+    )
+    if report.metrics is not None:
+        lines.append(f"metrics: {report.metrics.summary()}")
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""The Ad-Hoc (AH) baseline strategy.
+
+Slide 14 describes AH as providing "little support for incremental
+design": it maps and schedules the current application for *validity
+and performance only* -- the straightforward design flow a team would
+use when ignoring future applications.  Concretely, AH is the Initial
+Mapping step alone: HCP-seeded earliest-finish mapping and list
+scheduling around the frozen existing reservations, with no
+metric-driven improvement afterwards.
+
+AH results are valid (requirement (a) holds) but typically score a poor
+objective value, which is exactly the gap the paper's first and third
+experiments measure.
+"""
+
+from __future__ import annotations
+
+from repro.core.initial_mapping import InitialMapper
+from repro.core.metrics import evaluate_design
+from repro.core.strategy import DesignResult, DesignSpec, timed
+from repro.sched.priorities import hcp_priorities
+
+
+class AdHocStrategy:
+    """Validity-only design: Initial Mapping with no optimization."""
+
+    name = "AH"
+
+    @timed
+    def design(self, spec: DesignSpec) -> DesignResult:
+        """Run IM once and report its design as-is."""
+        mapper = InitialMapper(spec.architecture)
+        outcome = mapper.try_map_and_schedule(
+            spec.current,
+            base=spec.base_schedule,
+            horizon=None if spec.base_schedule else spec.horizon,
+        )
+        if outcome is None:
+            return DesignResult(self.name, valid=False, evaluations=1)
+        mapping, schedule = outcome
+        metrics = evaluate_design(schedule, spec.future, spec.weights)
+        priorities = hcp_priorities(spec.current, spec.architecture.bus)
+        return DesignResult(
+            self.name,
+            valid=True,
+            mapping=mapping,
+            priorities=priorities,
+            schedule=schedule,
+            metrics=metrics,
+            evaluations=1,
+        )

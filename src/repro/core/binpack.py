@@ -1,0 +1,162 @@
+"""Bin packing for the first design criterion.
+
+Metric C1 asks how much of the hypothetical largest future application
+*cannot* be packed into the slack of the current design: future
+processes (objects sized by WCET) are packed into processor slack gaps
+(bins sized by gap length); future messages into TDMA slot residuals.
+
+The paper uses a **best-fit** policy (slide 12).  First-fit and
+worst-fit are provided for the ablation benchmark
+``benchmarks/bench_ablation_binpack.py``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+
+@dataclass
+class PackResult:
+    """Outcome of packing objects into bins.
+
+    Attributes
+    ----------
+    placed:
+        (object size, bin index) for every packed object.
+    unplaced:
+        Sizes of the objects that fit in no bin.
+    residuals:
+        Remaining capacity per bin after packing.
+    """
+
+    placed: List[Tuple[int, int]] = field(default_factory=list)
+    unplaced: List[int] = field(default_factory=list)
+    residuals: List[int] = field(default_factory=list)
+
+    @property
+    def placed_total(self) -> int:
+        """Total size successfully packed."""
+        return sum(size for size, _ in self.placed)
+
+    @property
+    def unplaced_total(self) -> int:
+        """Total size that could not be packed."""
+        return sum(self.unplaced)
+
+    @property
+    def unplaced_fraction(self) -> float:
+        """Unpacked share of the total demand, in [0, 1]."""
+        total = self.placed_total + self.unplaced_total
+        if total == 0:
+            return 0.0
+        return self.unplaced_total / total
+
+
+def _pack(
+    objects: Sequence[int],
+    bins: Sequence[int],
+    choose: Callable[[List[int], int], int],
+    decreasing: bool = True,
+) -> PackResult:
+    """Shared packing loop.
+
+    ``choose(residuals, size)`` returns the index of the chosen bin or
+    ``-1`` when nothing fits.  Objects are processed in decreasing size
+    order by default (the classical decreasing variants).
+    """
+    for size in objects:
+        if size <= 0:
+            raise ValueError(f"object sizes must be positive, got {size}")
+    for cap in bins:
+        if cap < 0:
+            raise ValueError(f"bin capacities must be non-negative, got {cap}")
+    order = sorted(objects, reverse=True) if decreasing else list(objects)
+    residuals = list(bins)
+    result = PackResult(residuals=residuals)
+    for size in order:
+        idx = choose(residuals, size)
+        if idx < 0:
+            result.unplaced.append(size)
+        else:
+            residuals[idx] -= size
+            result.placed.append((size, idx))
+    return result
+
+
+def best_fit(
+    objects: Sequence[int], bins: Sequence[int], decreasing: bool = True
+) -> PackResult:
+    """Best-fit (decreasing) packing: the tightest bin that still fits.
+
+    This is the policy of the paper's first criterion: it preserves
+    large gaps for large future processes by consuming the snuggest
+    gap first.  Implemented over a sorted residual list (bisect), so a
+    metric evaluation with thousands of future objects stays cheap.
+    """
+    for size in objects:
+        if size <= 0:
+            raise ValueError(f"object sizes must be positive, got {size}")
+    for cap in bins:
+        if cap < 0:
+            raise ValueError(f"bin capacities must be non-negative, got {cap}")
+    order = sorted(objects, reverse=True) if decreasing else list(objects)
+    # Sorted (residual, bin index) pairs; ties broken by bin index so the
+    # packing is deterministic.
+    pool: List[Tuple[int, int]] = sorted((cap, i) for i, cap in enumerate(bins))
+    residuals = list(bins)
+    result = PackResult(residuals=residuals)
+    for size in order:
+        pos = bisect.bisect_left(pool, (size, -1))
+        if pos == len(pool):
+            result.unplaced.append(size)
+            continue
+        res, idx = pool.pop(pos)
+        left = res - size
+        residuals[idx] = left
+        if left > 0:
+            bisect.insort(pool, (left, idx))
+        result.placed.append((size, idx))
+    return result
+
+
+def first_fit(
+    objects: Sequence[int], bins: Sequence[int], decreasing: bool = True
+) -> PackResult:
+    """First-fit (decreasing) packing: the first bin that fits."""
+
+    def choose(residuals: List[int], size: int) -> int:
+        for i, res in enumerate(residuals):
+            if res >= size:
+                return i
+        return -1
+
+    return _pack(objects, bins, choose, decreasing)
+
+
+def worst_fit(
+    objects: Sequence[int], bins: Sequence[int], decreasing: bool = True
+) -> PackResult:
+    """Worst-fit (decreasing) packing: the emptiest bin that fits.
+
+    Included as an intentionally slack-fragmenting policy for the
+    ablation study.
+    """
+
+    def choose(residuals: List[int], size: int) -> int:
+        best_idx = -1
+        best_res = -1
+        for i, res in enumerate(residuals):
+            if res >= size and res > best_res:
+                best_idx, best_res = i, res
+        return best_idx
+
+    return _pack(objects, bins, choose, decreasing)
+
+
+POLICIES: Dict[str, Callable[..., PackResult]] = {
+    "best-fit": best_fit,
+    "first-fit": first_fit,
+    "worst-fit": worst_fit,
+}

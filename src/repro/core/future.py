@@ -1,0 +1,198 @@
+"""Characterization of future applications (slide 10).
+
+The designer does not know the future applications, but can estimate,
+for the most demanding member of the expected family:
+
+* ``T_min`` -- the smallest expected period,
+* ``t_need`` -- the processor time needed inside every ``T_min``,
+* ``b_need`` -- the bus bandwidth (bytes) needed inside every ``T_min``,
+* the distribution of typical process WCETs, and
+* the distribution of typical message sizes.
+
+The two histograms of slide 10 (WCETs over {20, 50, 100, 150} time
+units; message sizes over {2, 4, 6, 8} bytes) are the library
+defaults.  The exact probabilities are not printed on the slides; the
+defaults below are a documented reconstruction (see DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.errors import InvalidModelError
+from repro.utils.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class DiscreteDistribution:
+    """A discrete probability distribution over positive integer sizes.
+
+    Used for both future-process WCETs and future-message sizes.  The
+    design metrics need *deterministic* representative bags (the
+    objective function must return the same value for the same design),
+    which :meth:`deterministic_bag` provides via weighted round-robin;
+    workload generators draw random samples via :meth:`sample`.
+    """
+
+    values: Tuple[int, ...]
+    probabilities: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise InvalidModelError("distribution needs at least one value")
+        if len(self.values) != len(self.probabilities):
+            raise InvalidModelError(
+                "values and probabilities must have equal length"
+            )
+        if any(v <= 0 for v in self.values):
+            raise InvalidModelError("distribution values must be positive")
+        if any(p < 0 for p in self.probabilities):
+            raise InvalidModelError("probabilities must be non-negative")
+        total = float(sum(self.probabilities))
+        if total <= 0:
+            raise InvalidModelError("probabilities must not all be zero")
+        object.__setattr__(
+            self,
+            "probabilities",
+            tuple(p / total for p in self.probabilities),
+        )
+        object.__setattr__(self, "values", tuple(int(v) for v in self.values))
+
+    @property
+    def mean(self) -> float:
+        """Expected value of the distribution."""
+        return float(
+            sum(v * p for v, p in zip(self.values, self.probabilities))
+        )
+
+    def sample(self, rng: SeedLike, count: int) -> List[int]:
+        """``count`` independent draws."""
+        gen = make_rng(rng)
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        idx = gen.choice(len(self.values), size=count, p=self.probabilities)
+        return [self.values[i] for i in idx]
+
+    def deterministic_bag(self, total: int) -> List[int]:
+        """A representative bag of sizes with sum >= ``total``.
+
+        Weighted round-robin: each step adds the value whose running
+        probability credit is largest, so the bag's composition tracks
+        the distribution while remaining fully deterministic.  Returns
+        an empty list when ``total <= 0``.  Results are cached (the
+        design metrics request the same bag for every candidate design
+        of a scenario).
+        """
+        return list(_cached_bag(self.values, self.probabilities, total))
+
+
+@lru_cache(maxsize=256)
+def _cached_bag(
+    values: Tuple[int, ...], probabilities: Tuple[float, ...], total: int
+) -> Tuple[int, ...]:
+    """Memoized weighted-round-robin expansion for deterministic_bag."""
+    if total <= 0:
+        return ()
+    credits = [0.0] * len(values)
+    bag: List[int] = []
+    acc = 0
+    while acc < total:
+        for i, p in enumerate(probabilities):
+            credits[i] += p
+        pick = max(range(len(credits)), key=lambda i: (credits[i], -i))
+        credits[pick] -= 1.0
+        bag.append(values[pick])
+        acc += values[pick]
+    return tuple(bag)
+
+
+#: Default future-process WCET distribution (slide 10, left histogram).
+DEFAULT_WCET_DISTRIBUTION = DiscreteDistribution(
+    values=(20, 50, 100, 150),
+    probabilities=(0.15, 0.40, 0.30, 0.15),
+)
+
+#: Default future-message size distribution (slide 10, right histogram).
+DEFAULT_MESSAGE_SIZE_DISTRIBUTION = DiscreteDistribution(
+    values=(2, 4, 6, 8),
+    probabilities=(0.20, 0.40, 0.25, 0.15),
+)
+
+
+@dataclass(frozen=True)
+class FutureCharacterization:
+    """What is known about the family of future applications.
+
+    Attributes
+    ----------
+    t_min:
+        Smallest expected period of a future application (time units).
+    t_need:
+        Processor time (time units) the most demanding future
+        application needs inside every ``t_min`` window.
+    b_need:
+        Bus bandwidth (bytes) needed inside every ``t_min`` window.
+    wcet_distribution:
+        Distribution of typical future-process WCETs.
+    message_size_distribution:
+        Distribution of typical future-message sizes.
+    """
+
+    t_min: int
+    t_need: int
+    b_need: int
+    wcet_distribution: DiscreteDistribution = DEFAULT_WCET_DISTRIBUTION
+    message_size_distribution: DiscreteDistribution = (
+        DEFAULT_MESSAGE_SIZE_DISTRIBUTION
+    )
+
+    def __post_init__(self) -> None:
+        if self.t_min <= 0:
+            raise InvalidModelError(f"t_min must be positive, got {self.t_min}")
+        if self.t_need < 0:
+            raise InvalidModelError(
+                f"t_need must be non-negative, got {self.t_need}"
+            )
+        if self.b_need < 0:
+            raise InvalidModelError(
+                f"b_need must be non-negative, got {self.b_need}"
+            )
+        # NOTE: t_need may legitimately exceed t_min -- it is the *total*
+        # processor time over all nodes inside a t_min window (metric C2P
+        # sums per-processor slack), so a parallel future application on
+        # an n-node platform can need up to n * t_min.
+
+    # ------------------------------------------------------------------
+    # the "largest future application" of the first criterion
+    # ------------------------------------------------------------------
+    def total_process_demand(self, horizon: int) -> int:
+        """Processor time the future family claims inside ``horizon``."""
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        return self.t_need * (horizon // self.t_min)
+
+    def total_message_demand(self, horizon: int) -> int:
+        """Bus bytes the future family claims inside ``horizon``."""
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        return self.b_need * (horizon // self.t_min)
+
+    def future_process_bag(self, horizon: int) -> List[int]:
+        """WCETs of the hypothetical largest future application.
+
+        Deterministic, so the design metrics are stable across repeated
+        evaluations of the same design (see metric C1P).
+        """
+        return self.wcet_distribution.deterministic_bag(
+            self.total_process_demand(horizon)
+        )
+
+    def future_message_bag(self, horizon: int) -> List[int]:
+        """Message sizes of the hypothetical largest future application."""
+        return self.message_size_distribution.deterministic_bag(
+            self.total_message_demand(horizon)
+        )

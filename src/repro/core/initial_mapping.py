@@ -1,0 +1,347 @@
+"""Initial Mapping (IM) -- slide 11.
+
+IM constructs a first valid mapping and schedule of the current
+application on top of the frozen existing reservations.  Its starting
+point is the Heterogeneous Critical Path (HCP) algorithm of Jorgensen &
+Madsen (CODES'97): list scheduling where the most critical ready
+process is selected first and is mapped to the processing node that
+lets it *finish earliest*, accounting for heterogeneous WCETs, the TDMA
+bus delay of its input messages, and the gaps left by already-placed
+reservations.
+
+A process's node is locked when its first periodic instance is placed;
+later instances reuse it (a process has exactly one mapping).  If the
+earliest-finish node turns out infeasible at commit time (message
+packing interactions), the next-best candidate is tried, so IM performs
+a small amount of backtracking per process.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.model.application import Application
+from repro.model.architecture import Architecture
+from repro.model.mapping import Mapping
+from repro.sched.priorities import PriorityMap, hcp_priorities
+from repro.sched.schedule import SystemSchedule
+from repro.utils.errors import MappingError, SchedulingError
+
+
+@dataclass
+class _PendingJob:
+    """Book-keeping for one process instance during IM."""
+
+    process_id: str
+    instance: int
+    release: int
+    abs_deadline: int
+
+
+class InitialMapper:
+    """HCP-seeded initial mapping and scheduling (the paper's IM step)."""
+
+    name = "IM"
+
+    def __init__(self, architecture: Architecture):
+        self.architecture = architecture
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def map_and_schedule(
+        self,
+        application: Application,
+        base: Optional[SystemSchedule] = None,
+        horizon: Optional[int] = None,
+        frozen: bool = False,
+        priorities: Optional[PriorityMap] = None,
+    ) -> Tuple[Mapping, SystemSchedule]:
+        """Produce a valid (mapping, schedule) pair or raise.
+
+        Raises
+        ------
+        repro.utils.errors.MappingError
+            When no valid design is found (requirement (a) cannot be
+            met by IM).
+        """
+        outcome = self.try_map_and_schedule(
+            application, base, horizon, frozen, priorities
+        )
+        if outcome is None:
+            raise MappingError(
+                f"initial mapping failed for application {application.name!r}"
+            )
+        return outcome
+
+    def try_map_and_schedule(
+        self,
+        application: Application,
+        base: Optional[SystemSchedule] = None,
+        horizon: Optional[int] = None,
+        frozen: bool = False,
+        priorities: Optional[PriorityMap] = None,
+        restarts: int = 3,
+    ) -> Optional[Tuple[Mapping, SystemSchedule]]:
+        """Like :meth:`map_and_schedule` but returns ``None`` on failure.
+
+        When the HCP-ordered greedy pass fails, up to ``restarts``
+        further passes run with deterministically jittered priorities
+        (seeded from the attempt index), exploring different ready-list
+        orders.  This recovers most fragmented-slack instances that the
+        single greedy order misses, at zero cost on the success path.
+        ``restarts`` only applies when ``priorities`` is not supplied
+        explicitly.
+        """
+        if priorities is not None:
+            return self._attempt_once(
+                application, base, horizon, frozen, priorities
+            )
+        from repro.utils.rng import make_rng
+
+        base_priorities = hcp_priorities(application, self.architecture.bus)
+        outcome = self._attempt_once(
+            application, base, horizon, frozen, base_priorities
+        )
+        attempt = 0
+        while outcome is None and attempt < restarts:
+            rng = make_rng(attempt)
+            jittered = {
+                pid: value * float(rng.uniform(0.6, 1.4))
+                for pid, value in base_priorities.items()
+            }
+            outcome = self._attempt_once(
+                application, base, horizon, frozen, jittered
+            )
+            attempt += 1
+        return outcome
+
+    def _attempt_once(
+        self,
+        application: Application,
+        base: Optional[SystemSchedule] = None,
+        horizon: Optional[int] = None,
+        frozen: bool = False,
+        priorities: Optional[PriorityMap] = None,
+    ) -> Optional[Tuple[Mapping, SystemSchedule]]:
+        """One greedy HCP mapping/scheduling pass."""
+        if base is not None:
+            schedule = base.copy()
+            if horizon is not None and horizon != base.horizon:
+                raise SchedulingError(
+                    f"requested horizon {horizon} differs from base horizon "
+                    f"{base.horizon}"
+                )
+        else:
+            schedule = SystemSchedule(
+                self.architecture,
+                horizon if horizon is not None else application.hyperperiod(),
+            )
+        for graph in application.graphs:
+            if schedule.horizon % graph.period != 0:
+                raise SchedulingError(
+                    f"graph {graph.name!r} period {graph.period} does not "
+                    f"divide the horizon {schedule.horizon}"
+                )
+        if priorities is None:
+            priorities = hcp_priorities(application, self.architecture.bus)
+
+        mapping = Mapping(application, self.architecture)
+        locked: Dict[str, str] = {}
+
+        jobs: Dict[Tuple[str, int], _PendingJob] = {}
+        preds_left: Dict[Tuple[str, int], int] = {}
+        finish: Dict[Tuple[str, int], int] = {}
+        for graph in application.graphs:
+            for k in range(schedule.horizon // graph.period):
+                release = k * graph.period
+                for proc in graph.processes:
+                    key = (proc.id, k)
+                    jobs[key] = _PendingJob(
+                        proc.id, k, release, release + graph.deadline
+                    )
+                    preds_left[key] = len(graph.predecessors(proc.id))
+
+        ready: List[Tuple[float, int, str, int]] = []
+        for key, job in jobs.items():
+            if preds_left[key] == 0:
+                heapq.heappush(
+                    ready,
+                    (
+                        # Latest-start-time urgency; see
+                        # ListScheduler._heap_key for the rationale.
+                        job.abs_deadline
+                        - priorities.get(job.process_id, 0.0),
+                        job.release,
+                        job.process_id,
+                        job.instance,
+                    ),
+                )
+
+        while ready:
+            _, _, pid, instance = heapq.heappop(ready)
+            key = (pid, instance)
+            job = jobs[key]
+            graph = application.graph_of(pid)
+            process = application.process(pid)
+
+            if pid in locked:
+                candidates = [locked[pid]]
+            else:
+                candidates = self._rank_candidates(
+                    application, schedule, job, process, graph, finish
+                )
+
+            committed = False
+            for node_id in candidates:
+                end = self._commit(
+                    application, schedule, job, node_id, graph, finish
+                )
+                if end is not None:
+                    if pid not in locked:
+                        locked[pid] = node_id
+                        mapping.assign(pid, node_id)
+                    finish[key] = end
+                    committed = True
+                    break
+            if not committed:
+                return None
+
+            for succ in graph.successors(pid):
+                succ_key = (succ, instance)
+                preds_left[succ_key] -= 1
+                if preds_left[succ_key] == 0:
+                    succ_job = jobs[succ_key]
+                    heapq.heappush(
+                        ready,
+                        (
+                            succ_job.abs_deadline
+                            - priorities.get(succ, 0.0),
+                            succ_job.release,
+                            succ,
+                            succ_job.instance,
+                        ),
+                    )
+
+        mapping.validate_complete()
+        if frozen:
+            # Entries are placed unfrozen so candidate rollback can
+            # remove them; freeze the finished schedule in one sweep.
+            schedule.freeze_all()
+        return mapping, schedule
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _rank_candidates(
+        self,
+        application: Application,
+        schedule: SystemSchedule,
+        job: _PendingJob,
+        process,
+        graph,
+        finish: Dict[Tuple[str, int], int],
+    ) -> List[str]:
+        """Allowed nodes ordered by estimated finish time (HCP rule).
+
+        The estimate queries the bus for each input message without
+        placing anything; commit-time interactions may shift the real
+        finish slightly, which the caller's backtracking absorbs.
+        """
+        scored: List[Tuple[int, int, str]] = []
+        for node_id in process.allowed_nodes:
+            wcet = process.wcet_on(node_id)
+            est = job.release
+            feasible = True
+            for msg in graph.in_messages(job.process_id):
+                pred_key = (msg.src, job.instance)
+                pred_entry = schedule.entry_of(msg.src, job.instance)
+                assert pred_entry is not None  # preds are scheduled first
+                if pred_entry.node_id == node_id:
+                    arrival = finish[pred_key]
+                else:
+                    round_index = schedule.bus.earliest_round_with_room(
+                        pred_entry.node_id, msg.size, finish[pred_key]
+                    )
+                    if round_index is None:
+                        feasible = False
+                        break
+                    arrival = schedule.bus.bus.occurrence_window(
+                        pred_entry.node_id, round_index
+                    ).end
+                est = max(est, arrival)
+            if not feasible:
+                continue
+            start = schedule.earliest_fit(node_id, wcet, est)
+            end = start + wcet
+            if end > schedule.horizon or end > job.abs_deadline:
+                continue
+            scored.append((end, wcet, node_id))
+        scored.sort()
+        return [node_id for _, _, node_id in scored]
+
+    def _commit(
+        self,
+        application: Application,
+        schedule: SystemSchedule,
+        job: _PendingJob,
+        node_id: str,
+        graph,
+        finish: Dict[Tuple[str, int], int],
+    ) -> Optional[int]:
+        """Place the job and its input messages on ``node_id``, for real.
+
+        Returns the finish time, or ``None`` after rolling back every
+        partial placement when the node turns out infeasible.  Entries
+        are always placed unfrozen; the caller freezes the completed
+        schedule when building an existing-application base.
+        """
+        process = application.process(job.process_id)
+        wcet = process.wcet_on(node_id)
+        placed_messages: List[Tuple[str, int]] = []
+        est = job.release
+        ok = True
+        for msg in graph.in_messages(job.process_id):
+            pred_entry = schedule.entry_of(msg.src, job.instance)
+            assert pred_entry is not None
+            pred_finish = finish[(msg.src, job.instance)]
+            if pred_entry.node_id == node_id:
+                arrival = pred_finish
+            else:
+                round_index = schedule.bus.earliest_round_with_room(
+                    pred_entry.node_id, msg.size, pred_finish
+                )
+                if round_index is None:
+                    ok = False
+                    break
+                schedule.bus.place(
+                    msg.id,
+                    job.instance,
+                    pred_entry.node_id,
+                    round_index,
+                    msg.size,
+                )
+                placed_messages.append((msg.id, job.instance))
+                arrival = schedule.bus.bus.occurrence_window(
+                    pred_entry.node_id, round_index
+                ).end
+            est = max(est, arrival)
+
+        if ok:
+            start = schedule.earliest_fit(node_id, wcet, est)
+            end = start + wcet
+            if end > schedule.horizon or end > job.abs_deadline:
+                ok = False
+            else:
+                schedule.place_process(
+                    job.process_id, job.instance, node_id, start, wcet
+                )
+                return end
+
+        # Roll back message placements made for this candidate, in
+        # reverse placement order.
+        for msg_id, instance in reversed(placed_messages):
+            schedule.bus.remove(msg_id, instance)
+        return None

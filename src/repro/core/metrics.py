@@ -1,0 +1,198 @@
+"""The paper's design metrics and objective function (slides 12-14).
+
+**First criterion -- slack sizes.**  How much of the hypothetical
+largest future application cannot be mapped on the current design?
+Future processes (WCET bag) are best-fit packed into processor slack
+gaps, future messages (size bag) into TDMA slot residuals:
+
+* ``C1P`` = percentage of future process demand left unpacked,
+* ``C1m`` = percentage of future message demand left unpacked.
+
+Both are 0 when the whole bag fits (slide 12's C1=0% cases) and grow
+toward 100 as slack becomes scarce or fragmented.
+
+**Second criterion -- slack distribution.**  The future application
+returns every ``T_min``; the design must keep ``t_need`` processor time
+and ``b_need`` bus bandwidth available in *every* ``T_min`` window:
+
+* ``C2P`` = sum over processors of the minimum per-window slack,
+* ``C2m`` = minimum per-window residual bus capacity.
+
+**Objective function (slide 14, verbatim structure).**
+
+``C = w1P*C1P + w1m*C1m + w2P*max(0, t_need - C2P) + w2m*max(0, b_need - C2m)``
+
+With ``ObjectiveWeights.normalize_second`` (the default) the two
+second-criterion penalty terms are expressed as percentages of
+``t_need`` / ``b_need`` so all four terms share the 0-100 scale; the
+slides do not specify the scaling, see DESIGN.md §3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.binpack import POLICIES, PackResult, best_fit
+from repro.core.future import FutureCharacterization
+from repro.core.slack import bus_slack_containers, processor_slack_containers
+from repro.sched.schedule import SystemSchedule
+from repro.utils.timemath import periodic_windows
+
+
+# ----------------------------------------------------------------------
+# first criterion
+# ----------------------------------------------------------------------
+def metric_c1p(
+    schedule: SystemSchedule,
+    future: FutureCharacterization,
+    policy: str = "best-fit",
+) -> float:
+    """C1P: % of future *process* demand that does not fit in the slack.
+
+    Parameters
+    ----------
+    schedule:
+        The candidate design (current + existing applications).
+    future:
+        The future-application characterization.
+    policy:
+        Bin-packing policy name (``best-fit`` is the paper's choice).
+    """
+    bag = future.future_process_bag(schedule.horizon)
+    if not bag:
+        return 0.0
+    containers = processor_slack_containers(schedule)
+    result = POLICIES[policy](bag, containers)
+    return 100.0 * result.unplaced_fraction
+
+
+def metric_c1m(
+    schedule: SystemSchedule,
+    future: FutureCharacterization,
+    policy: str = "best-fit",
+) -> float:
+    """C1m: % of future *message* demand that does not fit on the bus."""
+    bag = future.future_message_bag(schedule.horizon)
+    if not bag:
+        return 0.0
+    containers = bus_slack_containers(schedule)
+    result = POLICIES[policy](bag, containers)
+    return 100.0 * result.unplaced_fraction
+
+
+# ----------------------------------------------------------------------
+# second criterion
+# ----------------------------------------------------------------------
+def metric_c2p(schedule: SystemSchedule, future: FutureCharacterization) -> int:
+    """C2P: sum over processors of the minimum per-T_min-window slack.
+
+    Slide 13: the guaranteed processor time a future application of
+    period ``T_min`` can count on in *every* one of its periods.
+    """
+    windows = periodic_windows(schedule.horizon, future.t_min)
+    total = 0
+    for node_id in schedule.architecture.node_ids:
+        total += min(schedule.slack_within(node_id, w) for w in windows)
+    return total
+
+
+def metric_c2m(schedule: SystemSchedule, future: FutureCharacterization) -> int:
+    """C2m: minimum per-T_min-window residual bus capacity (bytes)."""
+    windows = periodic_windows(schedule.horizon, future.t_min)
+    return min(schedule.bus.free_bytes_within(w) for w in windows)
+
+
+# ----------------------------------------------------------------------
+# objective
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ObjectiveWeights:
+    """Weights of the slide-14 objective function.
+
+    Attributes
+    ----------
+    w1p, w1m:
+        Weights of the first-criterion metrics (percentages).
+    w2p, w2m:
+        Weights of the second-criterion penalty terms.
+    normalize_second:
+        When True (default) the penalties ``max(0, t_need - C2P)`` and
+        ``max(0, b_need - C2m)`` are scaled to percentages of
+        ``t_need`` / ``b_need`` so all terms are commensurate.
+    binpack_policy:
+        Bin-packing policy used by the first criterion.
+    """
+
+    w1p: float = 1.0
+    w1m: float = 1.0
+    w2p: float = 1.0
+    w2m: float = 1.0
+    normalize_second: bool = True
+    binpack_policy: str = "best-fit"
+
+    def __post_init__(self) -> None:
+        for name in ("w1p", "w1m", "w2p", "w2m"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"weight {name} must be non-negative")
+        if self.binpack_policy not in POLICIES:
+            raise ValueError(
+                f"unknown bin-packing policy {self.binpack_policy!r}; "
+                f"choose from {sorted(POLICIES)}"
+            )
+
+
+@dataclass(frozen=True)
+class DesignMetrics:
+    """The four metric values plus the combined objective for a design."""
+
+    c1p: float
+    c1m: float
+    c2p: int
+    c2m: int
+    penalty_2p: float
+    penalty_2m: float
+    objective: float
+
+    def summary(self) -> str:
+        """One-line human-readable rendering."""
+        return (
+            f"C1P={self.c1p:.1f}% C1m={self.c1m:.1f}% "
+            f"C2P={self.c2p} C2m={self.c2m} "
+            f"pen2P={self.penalty_2p:.1f} pen2m={self.penalty_2m:.1f} "
+            f"C={self.objective:.2f}"
+        )
+
+
+def evaluate_design(
+    schedule: SystemSchedule,
+    future: FutureCharacterization,
+    weights: Optional[ObjectiveWeights] = None,
+) -> DesignMetrics:
+    """Compute all four metrics and the combined objective ``C``.
+
+    Smaller is better; 0 means the design leaves ideal room for the
+    characterized future family.
+    """
+    if weights is None:
+        weights = ObjectiveWeights()
+    c1p = metric_c1p(schedule, future, weights.binpack_policy)
+    c1m = metric_c1m(schedule, future, weights.binpack_policy)
+    c2p = metric_c2p(schedule, future)
+    c2m = metric_c2m(schedule, future)
+
+    pen2p = max(0.0, float(future.t_need - c2p))
+    pen2m = max(0.0, float(future.b_need - c2m))
+    if weights.normalize_second:
+        if future.t_need > 0:
+            pen2p = 100.0 * pen2p / future.t_need
+        if future.b_need > 0:
+            pen2m = 100.0 * pen2m / future.b_need
+
+    objective = (
+        weights.w1p * c1p
+        + weights.w1m * c1m
+        + weights.w2p * pen2p
+        + weights.w2m * pen2m
+    )
+    return DesignMetrics(c1p, c1m, c2p, c2m, pen2p, pen2m, objective)

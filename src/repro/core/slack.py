@@ -1,0 +1,107 @@
+"""Slack extraction and fragmentation statistics.
+
+The design criteria consume a schedule through its *slack*: the free
+gaps on each processor and the residual bytes of each TDMA slot
+occurrence.  This module turns a :class:`repro.sched.SystemSchedule`
+into the container lists the bin-packing metric needs, and computes the
+fragmentation statistics the Mapping Heuristic uses to pick
+high-potential transformation candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.sched.schedule import SystemSchedule
+from repro.utils.intervals import Interval
+
+
+def processor_slack_containers(
+    schedule: SystemSchedule, min_size: int = 1
+) -> List[int]:
+    """Lengths of all free gaps across all processors.
+
+    Parameters
+    ----------
+    schedule:
+        The schedule whose slack is extracted.
+    min_size:
+        Gaps shorter than this are dropped (they cannot host any future
+        process; the metric's bin packing would ignore them anyway, so
+        dropping them is purely an optimization).
+    """
+    containers: List[int] = []
+    for node_id in schedule.architecture.node_ids:
+        for gap in schedule.slack_gaps(node_id):
+            if gap.length >= min_size:
+                containers.append(gap.length)
+    return containers
+
+
+def bus_slack_containers(schedule: SystemSchedule, min_size: int = 1) -> List[int]:
+    """Residual byte capacities of all TDMA slot occurrences."""
+    return [
+        free
+        for _, free in schedule.bus.residuals()
+        if free >= min_size
+    ]
+
+
+@dataclass(frozen=True)
+class FragmentationStats:
+    """Per-node slack shape statistics used by MH candidate selection.
+
+    Attributes
+    ----------
+    total_slack:
+        Free time units on the node over the horizon.
+    gap_count:
+        Number of distinct free gaps.
+    largest_gap:
+        Length of the largest gap (0 when fully busy).
+    fragmentation:
+        ``1 - largest_gap / total_slack`` in [0, 1]; 0 means all slack
+        is one contiguous chunk (the paper's ideal, slide 12), values
+        near 1 mean the slack is shattered into many small gaps.
+    """
+
+    total_slack: int
+    gap_count: int
+    largest_gap: int
+
+    @property
+    def fragmentation(self) -> float:
+        if self.total_slack == 0:
+            return 0.0
+        return 1.0 - self.largest_gap / self.total_slack
+
+
+def slack_fragmentation(schedule: SystemSchedule) -> Dict[str, FragmentationStats]:
+    """Fragmentation statistics for every node of the schedule."""
+    out: Dict[str, FragmentationStats] = {}
+    for node_id in schedule.architecture.node_ids:
+        gaps = schedule.slack_gaps(node_id)
+        total = sum(g.length for g in gaps)
+        largest = max((g.length for g in gaps), default=0)
+        out[node_id] = FragmentationStats(total, len(gaps), largest)
+    return out
+
+
+def window_slack_profile(
+    schedule: SystemSchedule, window_length: int
+) -> Dict[str, List[int]]:
+    """Per-node slack inside each consecutive window of the horizon.
+
+    The second criterion's raw data: ``profile[node][w]`` is the free
+    time of ``node`` inside window ``w``.  MH uses the argmin windows
+    to find processes whose displacement would relieve the worst
+    window.
+    """
+    from repro.utils.timemath import periodic_windows
+
+    windows = periodic_windows(schedule.horizon, window_length)
+    return {
+        node_id: [schedule.slack_within(node_id, w) for w in windows]
+        for node_id in schedule.architecture.node_ids
+    }

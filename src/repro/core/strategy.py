@@ -1,0 +1,213 @@
+"""End-to-end design flow: specs, evaluation, results, strategy registry.
+
+The mapping strategies (AH, MH, SA) share one contract:
+
+1. a :class:`DesignSpec` describes the problem -- platform, frozen
+   existing schedule, current application, future characterization and
+   objective weights;
+2. ``strategy.design(spec)`` returns a :class:`DesignResult` with the
+   mapping, priorities, schedule, metrics and accounting data.
+
+:class:`DesignEvaluator` is the shared inner loop: schedule a candidate
+``(mapping, priorities)`` around the frozen reservations and price the
+result with the slide-14 objective.  Invalid candidates (deadline miss,
+unpackable message) evaluate to ``None`` and are rejected by every
+strategy, which enforces the paper's requirement (a) throughout the
+search.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.future import FutureCharacterization
+from repro.core.metrics import DesignMetrics, ObjectiveWeights, evaluate_design
+from repro.model.application import Application
+from repro.model.architecture import Architecture
+from repro.model.mapping import Mapping
+from repro.sched.list_scheduler import ListScheduler
+from repro.core.transformations import CandidateDesign
+from repro.sched.priorities import PriorityMap
+from repro.sched.schedule import SystemSchedule
+
+
+@dataclass
+class DesignSpec:
+    """One incremental design problem instance.
+
+    Attributes
+    ----------
+    architecture:
+        The platform (nodes + TDMA bus).
+    base_schedule:
+        Schedule of the existing applications with frozen entries; the
+        current application is placed around them.  ``None`` means a
+        green-field design (no existing applications).
+    current:
+        The application to map and schedule now.
+    future:
+        Characterization of the expected future applications.
+    weights:
+        Objective-function weights.
+    horizon:
+        Schedule horizon; defaults to the base schedule's horizon or to
+        the current application's hyperperiod.
+    """
+
+    architecture: Architecture
+    current: Application
+    future: FutureCharacterization
+    base_schedule: Optional[SystemSchedule] = None
+    weights: ObjectiveWeights = field(default_factory=ObjectiveWeights)
+    horizon: Optional[int] = None
+
+    def effective_horizon(self) -> int:
+        """The horizon the design will be scheduled over."""
+        if self.base_schedule is not None:
+            return self.base_schedule.horizon
+        if self.horizon is not None:
+            return self.horizon
+        return self.current.hyperperiod()
+
+
+@dataclass
+class EvaluatedDesign:
+    """A valid candidate design with its schedule and metric values."""
+
+    design: "CandidateDesign"
+    schedule: SystemSchedule
+    metrics: DesignMetrics
+
+    @property
+    def objective(self) -> float:
+        return self.metrics.objective
+
+    @property
+    def mapping(self) -> Mapping:
+        return self.design.mapping
+
+    @property
+    def priorities(self) -> PriorityMap:
+        return self.design.priorities
+
+
+@dataclass
+class DesignResult:
+    """Outcome of running one strategy on one spec.
+
+    ``valid`` is False when the strategy could not find any design
+    meeting requirement (a); the remaining fields are then ``None``.
+    """
+
+    strategy: str
+    valid: bool
+    mapping: Optional[Mapping] = None
+    priorities: Optional[PriorityMap] = None
+    message_delays: Optional[Dict[str, int]] = None
+    schedule: Optional[SystemSchedule] = None
+    metrics: Optional[DesignMetrics] = None
+    runtime_seconds: float = 0.0
+    evaluations: int = 0
+
+    @property
+    def objective(self) -> float:
+        """The achieved objective; +inf for invalid results."""
+        if not self.valid or self.metrics is None:
+            return float("inf")
+        return self.metrics.objective
+
+
+class DesignEvaluator:
+    """Schedules and prices :class:`CandidateDesign` points."""
+
+    def __init__(self, spec: DesignSpec):
+        self.spec = spec
+        self.scheduler = ListScheduler(spec.architecture)
+        self.evaluations = 0
+
+    def evaluate(self, design: "CandidateDesign") -> Optional[EvaluatedDesign]:
+        """Schedule the candidate; return ``None`` when it is invalid."""
+        self.evaluations += 1
+        result = self.scheduler.try_schedule(
+            self.spec.current,
+            design.mapping,
+            base=self.spec.base_schedule,
+            priorities=design.priorities,
+            horizon=None if self.spec.base_schedule else self.spec.horizon,
+            message_delays=design.message_delays,
+        )
+        if not result.success:
+            return None
+        metrics = evaluate_design(
+            result.schedule, self.spec.future, self.spec.weights
+        )
+        return EvaluatedDesign(design, result.schedule, metrics)
+
+
+def make_strategy(name: str, **kwargs):
+    """Instantiate a strategy by its paper acronym: ``AH``, ``MH``, ``SA``.
+
+    Extra keyword arguments are forwarded to the strategy constructor.
+    """
+    from repro.core.adhoc import AdHocStrategy
+    from repro.core.mapping_heuristic import MappingHeuristic
+    from repro.core.simulated_annealing import SimulatedAnnealing
+
+    registry = {
+        "AH": AdHocStrategy,
+        "MH": MappingHeuristic,
+        "SA": SimulatedAnnealing,
+    }
+    key = name.upper()
+    if key not in registry:
+        raise ValueError(
+            f"unknown strategy {name!r}; choose from {sorted(registry)}"
+        )
+    return registry[key](**kwargs)
+
+
+def design_application(spec: DesignSpec, strategy: str = "MH", **kwargs) -> DesignResult:
+    """Convenience wrapper: build the named strategy and run it on ``spec``."""
+    return make_strategy(strategy, **kwargs).design(spec)
+
+
+def fits_future_application(
+    designed_schedule: SystemSchedule,
+    future_application: Application,
+    architecture: Architecture,
+) -> bool:
+    """Whether ``future_application`` can be mapped on the designed system.
+
+    This is the acceptance test of the paper's third experiment
+    (slide 17): after the current application has been designed, a
+    concrete future application arrives; it fits when the Initial
+    Mapper finds a valid mapping and schedule in the remaining slack
+    without touching anything already placed.
+    """
+    from repro.core.initial_mapping import InitialMapper
+
+    mapper = InitialMapper(architecture)
+    outcome = mapper.try_map_and_schedule(
+        future_application, base=designed_schedule
+    )
+    return outcome is not None
+
+
+def timed(func):
+    """Decorator measuring a strategy's ``design`` wall-clock runtime.
+
+    The wrapped method must return a :class:`DesignResult`; its
+    ``runtime_seconds`` field is filled in.
+    """
+
+    def wrapper(self, spec: DesignSpec) -> DesignResult:
+        start = time.perf_counter()
+        result = func(self, spec)
+        result.runtime_seconds = time.perf_counter() - start
+        return result
+
+    wrapper.__doc__ = func.__doc__
+    wrapper.__name__ = func.__name__
+    return wrapper

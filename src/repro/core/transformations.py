@@ -1,0 +1,145 @@
+"""Design transformations (slide 14).
+
+The paper's optimization strategies improve a design by applying two
+kinds of moves to the current application:
+
+* *moving a process to a different slack on the same or a different
+  processor*, and
+* *moving a message to a different slack on the bus*.
+
+A candidate design here is the triple
+``(mapping, priorities, message_delays)`` wrapped in
+:class:`CandidateDesign`; the static cyclic schedule is a deterministic
+function of that triple (the list scheduler).  The paper's moves map to
+three concrete transformations:
+
+* :class:`RemapProcess` -- change the node a process is mapped to
+  (moves the process, and implicitly its messages, to the slack of a
+  different processor / bus slot);
+* :class:`SwapPriorities` -- exchange the list-scheduling priorities of
+  two processes, reordering the ready list so the process lands in a
+  different slack of the *same* processor;
+* :class:`DelayMessage` -- make a message skip feasible TDMA slot
+  occurrences, moving it to a later slack on the bus.
+
+Every transformation is pure: ``apply`` returns fresh copies and leaves
+the input design untouched, so strategies can fan out many moves from
+one base design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Union
+
+from repro.model.mapping import Mapping
+from repro.sched.priorities import PriorityMap
+
+
+@dataclass
+class CandidateDesign:
+    """A point in the search space of the optimization strategies.
+
+    Attributes
+    ----------
+    mapping:
+        Process-to-node assignment of the current application.
+    priorities:
+        List-scheduling priorities (higher runs first among ready).
+    message_delays:
+        Per-message feasible-slot skips (absent means 0).
+    """
+
+    mapping: Mapping
+    priorities: PriorityMap
+    message_delays: Dict[str, int] = field(default_factory=dict)
+
+    def copy(self) -> "CandidateDesign":
+        """An independent copy of the design point."""
+        return CandidateDesign(
+            self.mapping.copy(),
+            dict(self.priorities),
+            dict(self.message_delays),
+        )
+
+
+@dataclass(frozen=True)
+class RemapProcess:
+    """Move ``process_id`` onto ``node_id`` (a different-processor slack)."""
+
+    process_id: str
+    node_id: str
+
+    def apply(self, design: CandidateDesign) -> CandidateDesign:
+        """Return a new design with the process remapped."""
+        out = design.copy()
+        out.mapping.assign(self.process_id, self.node_id)
+        return out
+
+    def describe(self) -> str:
+        return f"remap {self.process_id} -> {self.node_id}"
+
+
+@dataclass(frozen=True)
+class SwapPriorities:
+    """Exchange scheduling priorities of two processes (same-resource shuffle)."""
+
+    first: str
+    second: str
+
+    def apply(self, design: CandidateDesign) -> CandidateDesign:
+        """Return a new design with the two priorities swapped."""
+        out = design.copy()
+        a = out.priorities.get(self.first, 0.0)
+        b = out.priorities.get(self.second, 0.0)
+        out.priorities[self.first] = b
+        out.priorities[self.second] = a
+        return out
+
+    def describe(self) -> str:
+        return f"swap priority {self.first} <-> {self.second}"
+
+
+@dataclass(frozen=True)
+class DelayMessage:
+    """Shift ``message_id`` by ``delta`` feasible slot occurrences.
+
+    The resulting delay is clamped at zero; a move that would leave the
+    delay unchanged still produces a (trivially equal) new design and
+    is filtered out by the strategies' improvement test.
+    """
+
+    message_id: str
+    delta: int
+
+    def apply(self, design: CandidateDesign) -> CandidateDesign:
+        """Return a new design with the message delay adjusted."""
+        out = design.copy()
+        current = out.message_delays.get(self.message_id, 0)
+        new = max(0, current + self.delta)
+        if new == 0:
+            out.message_delays.pop(self.message_id, None)
+        else:
+            out.message_delays[self.message_id] = new
+        return out
+
+    def describe(self) -> str:
+        sign = "+" if self.delta >= 0 else ""
+        return f"delay message {self.message_id} {sign}{self.delta} slots"
+
+
+Transformation = Union[RemapProcess, SwapPriorities, DelayMessage]
+
+
+def remap_moves(
+    mapping: Mapping, process_ids: Iterable[str]
+) -> List[RemapProcess]:
+    """All single-process remap moves for the given processes."""
+    moves: List[RemapProcess] = []
+    for pid in process_ids:
+        current = mapping.node_of(pid)
+        process = mapping.application.process(pid)
+        for node_id in process.allowed_nodes:
+            if node_id != current:
+                moves.append(RemapProcess(pid, node_id))
+    return moves

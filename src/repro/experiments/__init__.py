@@ -1,0 +1,42 @@
+"""Experiment harnesses regenerating the paper's figures.
+
+Three experiments (slides 15-17):
+
+* :mod:`~repro.experiments.fig_quality` -- average percentage deviation
+  of AH's and MH's objective from the near-optimal SA reference, as a
+  function of current-application size.
+* :mod:`~repro.experiments.fig_runtime` -- average design runtime of
+  AH, MH and SA over the same scenarios.
+* :mod:`~repro.experiments.fig_future` -- percentage of concrete future
+  applications that can still be mapped after the current application
+  was designed with AH versus MH.
+
+Each harness is exposed both as a library function returning structured
+rows and through the CLI (``python -m repro.experiments <figure>`` or
+the ``repro-experiments`` console script).  Defaults are laptop-scale;
+``--paper-scale`` restores the paper's sizes (existing 400 processes,
+current 40-320, future 80).
+"""
+
+from repro.experiments.runner import (
+    ComparisonRecord,
+    ExperimentConfig,
+    run_comparison,
+)
+from repro.experiments.fig_quality import QualityRow, fig_quality
+from repro.experiments.fig_runtime import RuntimeRow, fig_runtime
+from repro.experiments.fig_future import FutureRow, fig_future
+from repro.experiments.reporting import format_table
+
+__all__ = [
+    "ExperimentConfig",
+    "ComparisonRecord",
+    "run_comparison",
+    "QualityRow",
+    "fig_quality",
+    "RuntimeRow",
+    "fig_runtime",
+    "FutureRow",
+    "fig_future",
+    "format_table",
+]

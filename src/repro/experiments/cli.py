@@ -1,0 +1,95 @@
+"""Command-line entry point for the experiment harnesses.
+
+Usage::
+
+    python -m repro.experiments fig-quality
+    python -m repro.experiments fig-runtime --sizes 10 20 --seeds 2
+    python -m repro.experiments fig-future --paper-scale
+    python -m repro.experiments all
+
+``fig-quality`` and ``fig-runtime`` share their strategy runs when
+invoked through ``all``, so the comparison is executed once.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from typing import List, Optional
+
+from repro.experiments.fig_future import fig_future, render as render_future
+from repro.experiments.fig_quality import fig_quality, render as render_quality
+from repro.experiments.fig_runtime import fig_runtime, render as render_runtime
+from repro.experiments.runner import ExperimentConfig, run_comparison
+
+
+def _build_config(args: argparse.Namespace) -> ExperimentConfig:
+    config = (
+        ExperimentConfig.paper() if args.paper_scale else ExperimentConfig()
+    )
+    overrides = {}
+    if args.sizes:
+        overrides["current_sizes"] = tuple(args.sizes)
+    if args.seeds:
+        overrides["seeds"] = tuple(range(1, args.seeds + 1))
+    if args.existing:
+        overrides["n_existing"] = args.existing
+    if args.sa_iterations:
+        overrides["sa_iterations"] = args.sa_iterations
+    if overrides:
+        config = replace(config, **overrides)
+    return config
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Parse arguments, run the requested experiment(s), print tables."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the evaluation figures of Pop et al., DAC 2001."
+        ),
+    )
+    parser.add_argument(
+        "figure",
+        choices=["fig-quality", "fig-runtime", "fig-future", "all"],
+        help="which figure to regenerate",
+    )
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="use the paper's workload sizes (slow: hours of SA)",
+    )
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", help="current-application sizes"
+    )
+    parser.add_argument(
+        "--seeds", type=int, help="number of random seeds per size"
+    )
+    parser.add_argument(
+        "--existing", type=int, help="existing-application size"
+    )
+    parser.add_argument(
+        "--sa-iterations", type=int, help="simulated-annealing iterations"
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true", help="per-scenario progress"
+    )
+    args = parser.parse_args(argv)
+    config = _build_config(args)
+
+    if args.figure in ("fig-quality", "fig-runtime", "all"):
+        records = run_comparison(config, verbose=args.verbose)
+        if args.figure in ("fig-quality", "all"):
+            print(render_quality(fig_quality(config, records)))
+            print()
+        if args.figure in ("fig-runtime", "all"):
+            print(render_runtime(fig_runtime(config, records)))
+            print()
+    if args.figure in ("fig-future", "all"):
+        print(render_future(fig_future(config, verbose=args.verbose)))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

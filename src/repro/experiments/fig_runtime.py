@@ -1,0 +1,82 @@
+"""Experiment 2 (slide 16): design runtime of AH, MH and SA.
+
+Same scenarios as experiment 1; the harness reports each strategy's
+average wall-clock design time per current-application size.  The paper
+(on 2001 hardware) reports minutes for SA, well under a minute for MH
+and near-zero for AH; absolute values will differ here, but the
+ordering AH << MH << SA and the growth with application size must
+reproduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import (
+    ComparisonRecord,
+    ExperimentConfig,
+    mean,
+    run_comparison,
+)
+
+
+@dataclass(frozen=True)
+class RuntimeRow:
+    """One point of the slide-16 figure (seconds, averaged over seeds)."""
+
+    size: int
+    scenarios: int
+    avg_runtime_ah: float
+    avg_runtime_mh: float
+    avg_runtime_sa: float
+
+
+def fig_runtime(
+    config: Optional[ExperimentConfig] = None,
+    records: Optional[List[ComparisonRecord]] = None,
+    verbose: bool = False,
+) -> List[RuntimeRow]:
+    """Compute the slide-16 rows (running the comparison if needed)."""
+    if config is None:
+        config = ExperimentConfig()
+    if records is None:
+        records = run_comparison(config, verbose=verbose)
+
+    rows: List[RuntimeRow] = []
+    for size in config.current_sizes:
+        cell = [r for r in records if r.size == size]
+        if not cell:
+            continue
+        rows.append(
+            RuntimeRow(
+                size=size,
+                scenarios=len(cell),
+                avg_runtime_ah=mean(r.runtime("AH") for r in cell),
+                avg_runtime_mh=mean(r.runtime("MH") for r in cell),
+                avg_runtime_sa=mean(r.runtime("SA") for r in cell),
+            )
+        )
+    return rows
+
+
+def render(rows: Sequence[RuntimeRow]) -> str:
+    """The figure as an ASCII table."""
+    return format_table(
+        ["current size", "scenarios", "AH [s]", "MH [s]", "SA [s]"],
+        [
+            (
+                r.size,
+                r.scenarios,
+                round(r.avg_runtime_ah, 3),
+                round(r.avg_runtime_mh, 2),
+                round(r.avg_runtime_sa, 2),
+            )
+            for r in rows
+        ],
+        title=(
+            "Fig (slide 16): average design time vs "
+            "current-application size"
+        ),
+    )

@@ -1,0 +1,43 @@
+"""Plain-text table rendering for the experiment harnesses."""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str = "",
+) -> str:
+    """Render a fixed-width ASCII table.
+
+    Floats are shown with one decimal; everything else via ``str``.
+    """
+    def fmt(cell: Any) -> str:
+        if isinstance(cell, float):
+            # Small magnitudes keep three decimals (sub-second runtimes),
+            # larger ones one decimal (percentages, objective values).
+            return f"{cell:.3f}" if abs(cell) < 10 else f"{cell:.1f}"
+        return str(cell)
+
+    rendered: List[List[str]] = [[fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in rendered))
+        if rendered
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(
+        str(h).ljust(widths[i]) for i, h in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(
+            " | ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""Shared experiment machinery.
+
+:func:`run_comparison` executes the three strategies (AH, MH, SA) on
+the same generated scenarios -- one scenario per (current-size, seed)
+pair -- and returns per-run records that the figure harnesses aggregate
+in their own ways (quality deviations, runtimes, future mappability).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.metrics import ObjectiveWeights
+from repro.core.strategy import DesignResult, make_strategy
+from repro.gen.scenario import Scenario, ScenarioParams, build_scenario
+from repro.utils.errors import MappingError
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Scale knobs shared by all experiment harnesses.
+
+    The defaults run the full suite in minutes on a laptop; the
+    ``paper_scale`` preset (see :meth:`paper`) restores the paper's
+    workload sizes at the cost of hours of SA runtime.
+    """
+
+    current_sizes: Tuple[int, ...] = (10, 20, 30)
+    n_existing: int = 60
+    seeds: Tuple[int, ...] = (1, 2, 3)
+    sa_iterations: int = 1200
+    scenario_params: ScenarioParams = field(default_factory=ScenarioParams)
+    weights: ObjectiveWeights = field(default_factory=ObjectiveWeights)
+    # fig-future only.  ``n_future_processes=None`` sizes each future
+    # application from the scenario's characterized t_need (a typical
+    # family member claiming ``future_demand_fraction * t_need``); the
+    # paper preset pins it to 80 processes instead.
+    n_future_processes: Optional[int] = None
+    future_apps_per_scenario: int = 10
+    future_demand_fraction: float = 0.4
+
+    @classmethod
+    def paper(cls) -> "ExperimentConfig":
+        """The paper's scale: existing 400, current 40-320, future 80."""
+        return cls(
+            current_sizes=(40, 80, 160, 240, 320),
+            n_existing=400,
+            seeds=tuple(range(1, 11)),
+            sa_iterations=6000,
+            scenario_params=ScenarioParams(n_nodes=10, hyperperiod=4800,
+                                           slot_length=4, slot_capacity=16),
+            n_future_processes=80,
+            future_apps_per_scenario=20,
+        )
+
+    def scenario_for(self, size: int, seed: int) -> Scenario:
+        """Build the scenario of one (current-size, seed) cell."""
+        params = replace(
+            self.scenario_params,
+            n_existing=self.n_existing,
+            n_current=size,
+        )
+        return build_scenario(params, seed=seed)
+
+
+@dataclass
+class ComparisonRecord:
+    """All three strategies' results on one scenario."""
+
+    size: int
+    seed: int
+    scenario: Scenario
+    results: Dict[str, DesignResult]
+
+    def objective(self, strategy: str) -> float:
+        return self.results[strategy].objective
+
+    def runtime(self, strategy: str) -> float:
+        return self.results[strategy].runtime_seconds
+
+    def all_valid(self) -> bool:
+        return all(r.valid for r in self.results.values())
+
+
+def run_comparison(
+    config: ExperimentConfig,
+    strategies: Sequence[str] = ("AH", "MH", "SA"),
+    verbose: bool = False,
+) -> List[ComparisonRecord]:
+    """Run every strategy on every (size, seed) scenario.
+
+    Scenarios whose existing application cannot be scheduled are
+    skipped (the generator retries internally first); scenarios where a
+    strategy finds no valid design are kept -- their records report
+    ``objective == inf`` and the aggregators decide how to treat them.
+    """
+    records: List[ComparisonRecord] = []
+    for size in config.current_sizes:
+        for seed in config.seeds:
+            try:
+                scenario = config.scenario_for(size, seed)
+            except MappingError:
+                if verbose:
+                    print(f"size={size} seed={seed}: unschedulable, skipped")
+                continue
+            results: Dict[str, DesignResult] = {}
+            for name in strategies:
+                strategy = _build(name, config, seed)
+                results[name] = strategy.design(scenario.spec(config.weights))
+            records.append(ComparisonRecord(size, seed, scenario, results))
+            if verbose:
+                line = " ".join(
+                    f"{n}={results[n].objective:.1f}" for n in strategies
+                )
+                print(f"size={size} seed={seed}: {line}")
+    return records
+
+
+def _build(name: str, config: ExperimentConfig, seed: int):
+    """Instantiate a strategy with experiment-appropriate parameters."""
+    if name.upper() == "SA":
+        return make_strategy(
+            "SA", iterations=config.sa_iterations, seed=seed * 7919 + 13
+        )
+    return make_strategy(name)
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    vals = list(values)
+    if not vals:
+        return 0.0
+    return sum(vals) / len(vals)

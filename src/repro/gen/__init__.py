@@ -1,0 +1,40 @@
+"""Synthetic workload generation.
+
+The paper evaluates on randomly generated process graphs mapped to
+architectures of ~10 nodes (existing applications of 400 processes,
+current applications of 40-320 processes, future applications of 80
+processes).  This subpackage provides the equivalent generators:
+
+* :mod:`~repro.gen.taskgraph` -- layered random DAGs with
+  heterogeneous per-node WCET tables and sized messages;
+* :mod:`~repro.gen.architecture_gen` -- platforms with a uniform TDMA
+  round;
+* :mod:`~repro.gen.scenario` -- full experiment scenarios: an existing
+  application frozen into a base schedule, a current application to
+  design, a future-family characterization consistent with the
+  scenario's scale, and concrete future applications for the third
+  experiment.
+
+All generators are deterministic functions of their seed.
+"""
+
+from repro.gen.taskgraph import GraphParams, random_process_graph
+from repro.gen.architecture_gen import random_architecture
+from repro.gen.scenario import (
+    Scenario,
+    ScenarioParams,
+    build_scenario,
+    generate_application,
+    generate_future_application,
+)
+
+__all__ = [
+    "GraphParams",
+    "random_process_graph",
+    "random_architecture",
+    "Scenario",
+    "ScenarioParams",
+    "build_scenario",
+    "generate_application",
+    "generate_future_application",
+]

@@ -1,0 +1,37 @@
+"""Random architecture generation.
+
+Heterogeneity lives in the process WCET tables (per-graph node speed
+factors, see :mod:`repro.gen.taskgraph`), so the platform generator
+only has to produce the node roster and the TDMA round layout.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.model.architecture import Architecture, Node
+from repro.tdma.bus import Slot, TdmaBus
+
+
+def random_architecture(
+    n_nodes: int,
+    slot_length: int = 4,
+    slot_capacity: int = 16,
+) -> Architecture:
+    """A platform of ``n_nodes`` nodes with a uniform TDMA round.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of processing nodes (the paper uses ~10).
+    slot_length:
+        TDMA slot duration per node, in time units; the round length is
+        ``n_nodes * slot_length``.
+    slot_capacity:
+        Payload bytes per slot occurrence.
+    """
+    if n_nodes <= 0:
+        raise ValueError("n_nodes must be positive")
+    nodes = [Node(f"N{i}") for i in range(n_nodes)]
+    bus = TdmaBus([Slot(node.id, slot_length, slot_capacity) for node in nodes])
+    return Architecture(nodes, bus)

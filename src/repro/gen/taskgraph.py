@@ -1,0 +1,204 @@
+"""Random process-graph generation (TGFF-style layered DAGs).
+
+Graphs are built in layers: processes are dealt into ``depth`` layers,
+and every process in layer ``i > 0`` receives at least one edge from an
+earlier layer, which guarantees a connected-ish DAG with controllable
+depth -- the structure TGFF (Task Graphs For Free) produces and the
+co-synthesis literature, including the paper, evaluates on.
+
+WCET heterogeneity follows the paper's platform model: each process
+gets a base execution time, and each allowed node executes it at a
+node-specific speed factor; a random subset of nodes is allowed per
+process (always at least one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.model.architecture import Architecture
+from repro.model.process_graph import Message, Process, ProcessGraph
+from repro.utils.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class GraphParams:
+    """Knobs of the random graph generator.
+
+    Attributes
+    ----------
+    wcet_range:
+        Inclusive range of base (pre-heterogeneity) execution times.
+    msg_size_range:
+        Inclusive range of message sizes in bytes.
+    extra_edge_prob:
+        Probability of each optional extra forward edge beyond the
+        spanning ones.
+    allowed_node_prob:
+        Probability that a node (beyond the guaranteed first) is in a
+        process's allowed set.
+    het_range:
+        Node speed-factor range: a node with factor ``f`` runs a
+        process of base time ``w`` in ``round(w * f)`` time units.
+    max_depth:
+        Upper bound on the number of layers (the generator also keeps
+        depth <= process count).
+    """
+
+    wcet_range: Tuple[int, int] = (10, 40)
+    msg_size_range: Tuple[int, int] = (2, 8)
+    extra_edge_prob: float = 0.25
+    allowed_node_prob: float = 0.75
+    het_range: Tuple[float, float] = (0.5, 1.5)
+    max_depth: int = 5
+
+
+def _node_speed_factors(
+    architecture: Architecture, params: GraphParams, rng: np.random.Generator
+) -> Dict[str, float]:
+    """Per-node speed factors drawn once per graph."""
+    lo, hi = params.het_range
+    return {
+        node_id: float(rng.uniform(lo, hi))
+        for node_id in architecture.node_ids
+    }
+
+
+def random_process_graph(
+    name: str,
+    n_processes: int,
+    period: int,
+    architecture: Architecture,
+    rng: SeedLike = None,
+    params: Optional[GraphParams] = None,
+    deadline: Optional[int] = None,
+    id_prefix: Optional[str] = None,
+    wcet_sampler: Optional[Callable[[np.random.Generator], int]] = None,
+    msg_size_sampler: Optional[Callable[[np.random.Generator], int]] = None,
+) -> ProcessGraph:
+    """Generate one random process graph.
+
+    Parameters
+    ----------
+    name:
+        Graph name (also the default id prefix for its processes).
+    n_processes:
+        Number of processes; must be positive.
+    period:
+        The graph's release period (deadline defaults to it).
+    architecture:
+        Supplies the node set for WCET tables.
+    rng:
+        Seed or generator.
+    params:
+        Structural knobs; defaults are scenario-friendly.
+    deadline:
+        Relative deadline; defaults to ``period``.
+    id_prefix:
+        Prefix of process/message ids, defaults to ``name``.
+    wcet_sampler:
+        Optional override drawing base execution times (used to build
+        concrete future applications from the characterized WCET
+        distribution); defaults to uniform over ``params.wcet_range``.
+    msg_size_sampler:
+        Optional override drawing message sizes; defaults to uniform
+        over ``params.msg_size_range``.
+    """
+    if n_processes <= 0:
+        raise ValueError("n_processes must be positive")
+    gen = make_rng(rng)
+    if params is None:
+        params = GraphParams()
+    prefix = id_prefix if id_prefix is not None else name
+
+    graph = ProcessGraph(name, period, deadline)
+    speed = _node_speed_factors(architecture, params, gen)
+    node_ids = architecture.node_ids
+
+    # --- processes with heterogeneous WCET tables -----------------------
+    lo_w, hi_w = params.wcet_range
+    if wcet_sampler is None:
+        wcet_sampler = lambda g: int(g.integers(lo_w, hi_w + 1))
+    for i in range(n_processes):
+        base = int(wcet_sampler(gen))
+        if base <= 0:
+            raise ValueError("wcet_sampler must return positive values")
+        # Guarantee at least one allowed node, then add others randomly.
+        first = node_ids[int(gen.integers(len(node_ids)))]
+        allowed = {first}
+        for node_id in node_ids:
+            if node_id != first and gen.random() < params.allowed_node_prob:
+                allowed.add(node_id)
+        wcet = {
+            node_id: max(1, round(base * speed[node_id]))
+            for node_id in sorted(allowed)
+        }
+        graph.add_process(Process(f"{prefix}.P{i}", wcet))
+
+    # --- layered DAG edges ----------------------------------------------
+    depth = int(min(params.max_depth, max(1, round(np.sqrt(n_processes)))))
+    layer_of = [int(gen.integers(depth)) for _ in range(n_processes)]
+    # Layer 0 must be populated so sources exist.
+    layer_of[0] = 0
+    order = sorted(range(n_processes), key=lambda i: (layer_of[i], i))
+
+    lo_m, hi_m = params.msg_size_range
+    if msg_size_sampler is None:
+        msg_size_sampler = lambda g: int(g.integers(lo_m, hi_m + 1))
+    msg_count = 0
+
+    def add_edge(src_idx: int, dst_idx: int) -> None:
+        nonlocal msg_count
+        size = int(msg_size_sampler(gen))
+        if size <= 0:
+            raise ValueError("msg_size_sampler must return positive values")
+        graph.add_message(
+            Message(
+                f"{prefix}.m{msg_count}",
+                f"{prefix}.P{src_idx}",
+                f"{prefix}.P{dst_idx}",
+                size,
+            )
+        )
+        msg_count += 1
+
+    for pos, idx in enumerate(order):
+        if layer_of[idx] == 0 or pos == 0:
+            continue
+        earlier = [j for j in order[:pos] if layer_of[j] < layer_of[idx]]
+        if not earlier:
+            continue
+        # Spanning edge: every non-root process has a parent.
+        parent = earlier[int(gen.integers(len(earlier)))]
+        add_edge(parent, idx)
+        # Optional extra fan-in.
+        for j in earlier:
+            if j != parent and gen.random() < params.extra_edge_prob:
+                add_edge(j, idx)
+
+    graph.validate()
+    return graph
+
+
+def scale_graph_wcets(graph: ProcessGraph, factor: float) -> ProcessGraph:
+    """A copy of ``graph`` with every WCET multiplied by ``factor``.
+
+    Used by the scenario builder to hit a target utilization after the
+    structure has been generated.  WCETs are clamped to at least 1.
+    """
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    out = ProcessGraph(graph.name, graph.period, graph.deadline)
+    for proc in graph.processes:
+        scaled = {
+            node_id: max(1, round(w * factor))
+            for node_id, w in proc.wcet.items()
+        }
+        out.add_process(Process(proc.id, scaled, proc.name))
+    for msg in graph.messages:
+        out.add_message(msg)
+    out.validate()
+    return out

@@ -1,0 +1,37 @@
+"""Application and architecture models.
+
+This subpackage defines the paper's input model:
+
+* :class:`~repro.model.process_graph.Process` -- a node of a process
+  graph with a per-processor worst-case execution time (WCET) table;
+  the table's keys double as the set of processors the process may be
+  mapped to.
+* :class:`~repro.model.process_graph.Message` -- a directed data
+  dependency between two processes carrying ``size`` bytes over the
+  TDMA bus when the endpoints are mapped to different nodes.
+* :class:`~repro.model.process_graph.ProcessGraph` -- an acyclic
+  directed graph of processes with its own period and deadline.
+* :class:`~repro.model.application.Application` -- a named set of
+  process graphs (the paper's existing / current / future
+  applications are all ``Application`` instances).
+* :class:`~repro.model.architecture.Node` and
+  :class:`~repro.model.architecture.Architecture` -- heterogeneous
+  processing nodes connected by a TDMA bus.
+* :class:`~repro.model.mapping.Mapping` -- an assignment of processes
+  to nodes, validated against each process's allowed-node set.
+"""
+
+from repro.model.process_graph import Message, Process, ProcessGraph
+from repro.model.application import Application
+from repro.model.architecture import Architecture, Node
+from repro.model.mapping import Mapping
+
+__all__ = [
+    "Process",
+    "Message",
+    "ProcessGraph",
+    "Application",
+    "Node",
+    "Architecture",
+    "Mapping",
+]

@@ -1,0 +1,121 @@
+"""Heterogeneous distributed architecture: nodes plus a TDMA bus.
+
+The paper's platform (slide 4) is a set of heterogeneous processing
+nodes -- each with CPU, memory, possibly an ASIC, and a communication
+controller -- connected by a TTP-style TDMA bus.  Heterogeneity is
+expressed through per-process WCET tables (see
+:class:`repro.model.process_graph.Process`), so a
+:class:`Node` itself only carries identity and descriptive metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.tdma.bus import Slot, TdmaBus
+from repro.utils.errors import InvalidModelError
+
+
+@dataclass(frozen=True)
+class Node:
+    """One processing node of the distributed architecture.
+
+    Attributes
+    ----------
+    id:
+        Unique node identifier (e.g. ``"N1"``).
+    name:
+        Human-readable label; defaults to ``id``.
+    kind:
+        Free-form descriptor of the node class (``"cpu"``, ``"asic"``,
+        ...); informational only -- mapping restrictions come from
+        process WCET tables.
+    """
+
+    id: str
+    name: str = ""
+    kind: str = "cpu"
+
+    def __post_init__(self) -> None:
+        if not self.id:
+            raise InvalidModelError("node id must be non-empty")
+        if not self.name:
+            object.__setattr__(self, "name", self.id)
+
+
+class Architecture:
+    """Processing nodes connected by a TDMA bus.
+
+    Parameters
+    ----------
+    nodes:
+        The processing nodes, in TDMA slot order unless ``bus`` is
+        given explicitly.
+    bus:
+        The TDMA round layout.  When omitted, a uniform bus is built
+        with ``slot_length`` and ``slot_capacity`` per node in the
+        order of ``nodes``.
+    slot_length, slot_capacity:
+        Parameters of the generated uniform bus (ignored when ``bus``
+        is provided).
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[Node],
+        bus: Optional[TdmaBus] = None,
+        slot_length: int = 4,
+        slot_capacity: int = 32,
+    ):
+        if not nodes:
+            raise InvalidModelError("architecture needs at least one node")
+        self._nodes: Dict[str, Node] = {}
+        for node in nodes:
+            if node.id in self._nodes:
+                raise InvalidModelError(f"duplicate node id {node.id!r}")
+            self._nodes[node.id] = node
+        if bus is None:
+            bus = TdmaBus(
+                [Slot(node.id, slot_length, slot_capacity) for node in nodes]
+            )
+        bus_nodes = set(bus.node_ids())
+        arch_nodes = set(self._nodes)
+        if bus_nodes != arch_nodes:
+            raise InvalidModelError(
+                "TDMA bus slots must cover exactly the architecture nodes; "
+                f"bus has {sorted(bus_nodes)}, architecture has "
+                f"{sorted(arch_nodes)}"
+            )
+        self.bus = bus
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> List[Node]:
+        """All nodes, in insertion order."""
+        return list(self._nodes.values())
+
+    @property
+    def node_ids(self) -> List[str]:
+        return list(self._nodes)
+
+    def node(self, node_id: str) -> Node:
+        """Look up a node by id."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise InvalidModelError(f"unknown node {node_id!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes.values())
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Architecture(nodes={self.node_ids}, bus={self.bus!r})"

@@ -1,0 +1,349 @@
+"""Processes, messages and process graphs.
+
+The paper models an application as a set of *process graphs*: directed
+acyclic graphs whose nodes are processes and whose edges are messages.
+Each process graph has its own period and deadline; each process has a
+worst-case execution time (WCET) for every processing node it may be
+mapped to; each message has a size in bytes and is transmitted over the
+TDMA bus when its endpoints live on different nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping as TMapping, Optional, Tuple
+
+import networkx as nx
+
+from repro.utils.errors import InvalidModelError
+
+
+@dataclass(frozen=True)
+class Process:
+    """A schedulable unit of computation.
+
+    Attributes
+    ----------
+    id:
+        Globally unique identifier (unique across *all* applications in
+        a scenario, e.g. ``"existing.g2.P7"``).
+    wcet:
+        Worst-case execution time (time units) per processing node id.
+        The key set is simultaneously the set of nodes the process is
+        *allowed* to be mapped to -- heterogeneity and mapping
+        restrictions are both expressed by this table.
+    name:
+        Optional human-readable label; defaults to ``id``.
+    """
+
+    id: str
+    wcet: TMapping[str, int]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.id:
+            raise InvalidModelError("process id must be non-empty")
+        if not self.wcet:
+            raise InvalidModelError(
+                f"process {self.id!r} has no allowed nodes (empty WCET table)"
+            )
+        for node_id, value in self.wcet.items():
+            if value <= 0:
+                raise InvalidModelError(
+                    f"process {self.id!r} has non-positive WCET {value} on "
+                    f"node {node_id!r}"
+                )
+        if not self.name:
+            object.__setattr__(self, "name", self.id)
+        # Freeze the table so a Process is safely shareable.
+        object.__setattr__(self, "wcet", dict(self.wcet))
+
+    @property
+    def allowed_nodes(self) -> Tuple[str, ...]:
+        """Node ids the process may be mapped to, in sorted order."""
+        return tuple(sorted(self.wcet))
+
+    def wcet_on(self, node_id: str) -> int:
+        """WCET on ``node_id``.
+
+        Raises
+        ------
+        repro.utils.errors.InvalidModelError
+            If the process is not allowed on that node.
+        """
+        try:
+            return self.wcet[node_id]
+        except KeyError:
+            raise InvalidModelError(
+                f"process {self.id!r} cannot run on node {node_id!r}"
+            ) from None
+
+    @property
+    def average_wcet(self) -> float:
+        """Mean WCET over all allowed nodes (used by HCP priorities)."""
+        return sum(self.wcet.values()) / len(self.wcet)
+
+    @property
+    def min_wcet(self) -> int:
+        """Smallest WCET over all allowed nodes."""
+        return min(self.wcet.values())
+
+
+@dataclass(frozen=True)
+class Message:
+    """A directed data dependency carrying ``size`` bytes.
+
+    A message constrains the destination process to start only after
+    the message has arrived.  When source and destination are mapped to
+    the same node the message is an intra-node communication with zero
+    cost; otherwise it must be scheduled into a TDMA slot of the
+    sender's node.
+    """
+
+    id: str
+    src: str
+    dst: str
+    size: int
+
+    def __post_init__(self) -> None:
+        if not self.id:
+            raise InvalidModelError("message id must be non-empty")
+        if self.src == self.dst:
+            raise InvalidModelError(
+                f"message {self.id!r} is a self-loop on process {self.src!r}"
+            )
+        if self.size <= 0:
+            raise InvalidModelError(
+                f"message {self.id!r} has non-positive size {self.size}"
+            )
+
+
+class ProcessGraph:
+    """A directed acyclic graph of processes with a period and deadline.
+
+    Parameters
+    ----------
+    name:
+        Identifier of the graph, unique within its application.
+    period:
+        Release period in time units; the graph is re-executed every
+        ``period`` time units within the system hyperperiod.
+    deadline:
+        Relative deadline in time units (``0 < deadline <= period``);
+        every process of instance ``k`` must finish by
+        ``k * period + deadline``.
+    """
+
+    def __init__(self, name: str, period: int, deadline: Optional[int] = None):
+        if not name:
+            raise InvalidModelError("process graph name must be non-empty")
+        if period <= 0:
+            raise InvalidModelError(
+                f"process graph {name!r} has non-positive period {period}"
+            )
+        if deadline is None:
+            deadline = period
+        if not 0 < deadline <= period:
+            raise InvalidModelError(
+                f"process graph {name!r} deadline {deadline} must satisfy "
+                f"0 < deadline <= period ({period})"
+            )
+        self.name = name
+        self.period = period
+        self.deadline = deadline
+        self._graph = nx.DiGraph()
+        self._processes: Dict[str, Process] = {}
+        self._messages: Dict[str, Message] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_process(self, process: Process) -> Process:
+        """Add ``process`` to the graph.
+
+        Raises
+        ------
+        repro.utils.errors.InvalidModelError
+            If a process with the same id already exists.
+        """
+        if process.id in self._processes:
+            raise InvalidModelError(
+                f"duplicate process id {process.id!r} in graph {self.name!r}"
+            )
+        self._processes[process.id] = process
+        self._graph.add_node(process.id)
+        return process
+
+    def add_message(self, message: Message) -> Message:
+        """Add ``message``; both endpoints must already be in the graph.
+
+        Raises
+        ------
+        repro.utils.errors.InvalidModelError
+            If an endpoint is missing, the message id is a duplicate, or
+            the edge would create a cycle or a parallel edge.
+        """
+        if message.id in self._messages:
+            raise InvalidModelError(
+                f"duplicate message id {message.id!r} in graph {self.name!r}"
+            )
+        for endpoint in (message.src, message.dst):
+            if endpoint not in self._processes:
+                raise InvalidModelError(
+                    f"message {message.id!r} references unknown process "
+                    f"{endpoint!r} in graph {self.name!r}"
+                )
+        if self._graph.has_edge(message.src, message.dst):
+            raise InvalidModelError(
+                f"parallel message between {message.src!r} and "
+                f"{message.dst!r} in graph {self.name!r}"
+            )
+        self._graph.add_edge(message.src, message.dst, message=message)
+        if not nx.is_directed_acyclic_graph(self._graph):
+            self._graph.remove_edge(message.src, message.dst)
+            raise InvalidModelError(
+                f"message {message.id!r} would create a cycle in graph "
+                f"{self.name!r}"
+            )
+        self._messages[message.id] = message
+        return message
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def processes(self) -> List[Process]:
+        """All processes, in insertion order."""
+        return list(self._processes.values())
+
+    @property
+    def messages(self) -> List[Message]:
+        """All messages, in insertion order."""
+        return list(self._messages.values())
+
+    @property
+    def process_ids(self) -> List[str]:
+        return list(self._processes)
+
+    def process(self, process_id: str) -> Process:
+        """Look up a process by id."""
+        try:
+            return self._processes[process_id]
+        except KeyError:
+            raise InvalidModelError(
+                f"unknown process {process_id!r} in graph {self.name!r}"
+            ) from None
+
+    def message(self, message_id: str) -> Message:
+        """Look up a message by id."""
+        try:
+            return self._messages[message_id]
+        except KeyError:
+            raise InvalidModelError(
+                f"unknown message {message_id!r} in graph {self.name!r}"
+            ) from None
+
+    def __contains__(self, process_id: str) -> bool:
+        return process_id in self._processes
+
+    def __len__(self) -> int:
+        return len(self._processes)
+
+    def predecessors(self, process_id: str) -> List[str]:
+        """Ids of direct predecessors of ``process_id``."""
+        return list(self._graph.predecessors(process_id))
+
+    def successors(self, process_id: str) -> List[str]:
+        """Ids of direct successors of ``process_id``."""
+        return list(self._graph.successors(process_id))
+
+    def in_messages(self, process_id: str) -> List[Message]:
+        """Messages arriving at ``process_id``."""
+        return [
+            self._graph.edges[pred, process_id]["message"]
+            for pred in self._graph.predecessors(process_id)
+        ]
+
+    def out_messages(self, process_id: str) -> List[Message]:
+        """Messages leaving ``process_id``."""
+        return [
+            self._graph.edges[process_id, succ]["message"]
+            for succ in self._graph.successors(process_id)
+        ]
+
+    def sources(self) -> List[str]:
+        """Processes with no predecessors."""
+        return [p for p in self._graph.nodes if self._graph.in_degree(p) == 0]
+
+    def sinks(self) -> List[str]:
+        """Processes with no successors."""
+        return [p for p in self._graph.nodes if self._graph.out_degree(p) == 0]
+
+    def topological_order(self) -> List[str]:
+        """A deterministic topological ordering of the process ids."""
+        return list(nx.lexicographical_topological_sort(self._graph))
+
+    def as_networkx(self) -> nx.DiGraph:
+        """A copy of the underlying networkx graph (edges carry ``message``)."""
+        return self._graph.copy()
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    def total_min_wcet(self) -> int:
+        """Sum of minimum WCETs -- a lower bound on the graph's demand."""
+        return sum(p.min_wcet for p in self._processes.values())
+
+    def critical_path_length(self) -> float:
+        """Length of the longest path using average WCETs (no comm cost).
+
+        Used as a quick structural statistic and by tests; the HCP
+        priority function in :mod:`repro.sched.hcp` computes the full
+        communication-aware variant.
+        """
+        order = self.topological_order()
+        dist: Dict[str, float] = {}
+        for pid in reversed(order):
+            proc = self._processes[pid]
+            succ_best = max(
+                (dist[s] for s in self._graph.successors(pid)), default=0.0
+            )
+            dist[pid] = proc.average_wcet + succ_best
+        return max(dist.values(), default=0.0)
+
+    def validate(self) -> None:
+        """Check structural invariants; raise on violation.
+
+        Verifies acyclicity (re-checked defensively) and that the graph
+        is non-empty.
+        """
+        if not self._processes:
+            raise InvalidModelError(f"process graph {self.name!r} is empty")
+        if not nx.is_directed_acyclic_graph(self._graph):
+            raise InvalidModelError(
+                f"process graph {self.name!r} contains a cycle"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ProcessGraph({self.name!r}, period={self.period}, "
+            f"deadline={self.deadline}, processes={len(self._processes)}, "
+            f"messages={len(self._messages)})"
+        )
+
+
+def build_graph(
+    name: str,
+    period: int,
+    deadline: Optional[int],
+    processes: Iterable[Process],
+    messages: Iterable[Message] = (),
+) -> ProcessGraph:
+    """Convenience constructor assembling a validated ProcessGraph."""
+    graph = ProcessGraph(name, period, deadline)
+    for proc in processes:
+        graph.add_process(proc)
+    for msg in messages:
+        graph.add_message(msg)
+    graph.validate()
+    return graph

@@ -1,0 +1,141 @@
+"""ASAP / ALAP time bounds for process-graph instances.
+
+Contention-free bounds used for analysis and slack reasoning:
+
+* **ASAP** (as soon as possible): the earliest a process could start if
+  its node were free, respecting precedence and (an estimate of) bus
+  latency for inter-node messages.
+* **ALAP** (as late as possible): the latest a process may start while
+  the graph can still meet its deadline.
+
+The difference ``alap - asap`` is the process's *mobility*: processes
+with zero mobility are on the (mapped) critical path.  The bounds are
+per-graph and per-instance-relative (add ``k * period`` for instance
+``k``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.model.mapping import Mapping
+from repro.model.process_graph import ProcessGraph
+from repro.tdma.bus import TdmaBus
+from repro.utils.errors import SchedulingError
+
+
+@dataclass(frozen=True)
+class TimeBounds:
+    """Contention-free start-time bounds of one process (instance 0).
+
+    Attributes
+    ----------
+    asap:
+        Earliest possible start relative to the graph's release.
+    alap:
+        Latest start that still allows the deadline to be met.
+    """
+
+    asap: int
+    alap: int
+
+    @property
+    def mobility(self) -> int:
+        """Scheduling freedom; 0 marks the mapped critical path."""
+        return self.alap - self.asap
+
+
+def _message_latency(size: int, src_node: str, dst_node: str, bus: TdmaBus) -> int:
+    """Contention-free bus latency estimate for one message.
+
+    Intra-node messages are free.  An inter-node message waits for the
+    sender's next slot occurrence (at worst one full round away) and is
+    delivered at the slot end; the contention-free *optimistic* bound
+    used here is one slot length (frame ready exactly at slot start),
+    which keeps ASAP a true lower bound.
+    """
+    if src_node == dst_node:
+        return 0
+    return bus.slot_of(src_node).length
+
+
+def asap_schedule(
+    graph: ProcessGraph, mapping: Mapping, bus: TdmaBus
+) -> Dict[str, int]:
+    """Earliest contention-free start time per process (relative)."""
+    asap: Dict[str, int] = {}
+    for pid in graph.topological_order():
+        start = 0
+        node = mapping.node_of(pid)
+        for msg in graph.in_messages(pid):
+            pred_node = mapping.node_of(msg.src)
+            pred_end = asap[msg.src] + graph.process(msg.src).wcet_on(pred_node)
+            start = max(
+                start,
+                pred_end + _message_latency(msg.size, pred_node, node, bus),
+            )
+        asap[pid] = start
+    return asap
+
+
+def alap_schedule(
+    graph: ProcessGraph,
+    mapping: Mapping,
+    bus: TdmaBus,
+    deadline: Optional[int] = None,
+) -> Dict[str, int]:
+    """Latest deadline-feasible start time per process (relative).
+
+    Raises
+    ------
+    repro.utils.errors.SchedulingError
+        If even the contention-free critical path exceeds the deadline
+        (some ALAP would be negative: the graph is unschedulable under
+        this mapping regardless of the platform's load).
+    """
+    if deadline is None:
+        deadline = graph.deadline
+    alap: Dict[str, int] = {}
+    for pid in reversed(graph.topological_order()):
+        node = mapping.node_of(pid)
+        wcet = graph.process(pid).wcet_on(node)
+        latest = deadline - wcet
+        for msg in graph.out_messages(pid):
+            succ_node = mapping.node_of(msg.dst)
+            latency = _message_latency(msg.size, node, succ_node, bus)
+            latest = min(latest, alap[msg.dst] - latency - wcet)
+        if latest < 0:
+            raise SchedulingError(
+                f"process {pid!r} cannot meet deadline {deadline} under "
+                f"this mapping (contention-free critical path too long)"
+            )
+        alap[pid] = latest
+    return alap
+
+
+def time_bounds(
+    graph: ProcessGraph,
+    mapping: Mapping,
+    bus: TdmaBus,
+    deadline: Optional[int] = None,
+) -> Dict[str, TimeBounds]:
+    """ASAP/ALAP bounds (and mobility) for every process of ``graph``."""
+    asap = asap_schedule(graph, mapping, bus)
+    alap = alap_schedule(graph, mapping, bus, deadline)
+    return {
+        pid: TimeBounds(asap[pid], alap[pid]) for pid in graph.process_ids
+    }
+
+
+def critical_processes(
+    graph: ProcessGraph,
+    mapping: Mapping,
+    bus: TdmaBus,
+    slack_threshold: int = 0,
+) -> Dict[str, TimeBounds]:
+    """Processes whose mobility is at most ``slack_threshold``."""
+    bounds = time_bounds(graph, mapping, bus)
+    return {
+        pid: b for pid, b in bounds.items() if b.mobility <= slack_threshold
+    }

@@ -1,0 +1,113 @@
+"""ASCII rendering of system schedules.
+
+Produces Gantt-style charts like slide 5 of the paper: one row per
+processing node, one row for the bus (slot occurrences with their
+payloads), with slack shown as dots.  Meant for examples, debugging and
+documentation; no terminal tricks, plain text only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.sched.schedule import SystemSchedule
+
+
+def _scaled(t: int, scale: int) -> int:
+    return t // scale
+
+
+def render_gantt(
+    schedule: SystemSchedule,
+    scale: int = 1,
+    width_limit: int = 200,
+    labels: Optional[Dict[str, str]] = None,
+) -> str:
+    """Render ``schedule`` as a multi-line ASCII Gantt chart.
+
+    Parameters
+    ----------
+    schedule:
+        The schedule to draw.
+    scale:
+        Time units per character column.  The function raises the scale
+        automatically when the chart would exceed ``width_limit``.
+    width_limit:
+        Maximum number of chart columns.
+    labels:
+        Optional mapping from process id to a short display label; by
+        default the last ``.``-separated component of the id is used.
+
+    Returns
+    -------
+    str
+        The chart, one row per node plus a bus row and a time ruler.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    while schedule.horizon // scale > width_limit:
+        scale *= 2
+    columns = max(1, -(-schedule.horizon // scale))
+
+    def label_of(item_id: str) -> str:
+        if labels and item_id in labels:
+            return labels[item_id]
+        return item_id.rsplit(".", 1)[-1]
+
+    lines: List[str] = []
+    name_width = max(
+        [len(node_id) for node_id in schedule.architecture.node_ids] + [3]
+    )
+
+    for node_id in schedule.architecture.node_ids:
+        row = ["."] * columns
+        for entry in schedule.entries_on(node_id):
+            text = label_of(entry.process_id)
+            lo = _scaled(entry.start, scale)
+            hi = max(lo + 1, _scaled(entry.end + scale - 1, scale))
+            hi = min(hi, columns)
+            span = hi - lo
+            fill = (text[:span]).ljust(span, "#" if entry.frozen else "=")
+            for i, ch in enumerate(fill):
+                row[lo + i] = ch
+        lines.append(f"{node_id:<{name_width}} |{''.join(row)}|")
+
+    bus_row = ["."] * columns
+    for occ in schedule.bus.all_entries():
+        window = schedule.bus.bus.occurrence_window(occ.node_id, occ.round_index)
+        text = label_of(occ.message_id)
+        lo = _scaled(window.start, scale)
+        hi = max(lo + 1, _scaled(window.end + scale - 1, scale))
+        hi = min(hi, columns)
+        span = hi - lo
+        fill = (text[:span]).ljust(span, "#" if occ.frozen else "~")
+        for i, ch in enumerate(fill):
+            if bus_row[lo + i] == ".":
+                bus_row[lo + i] = ch
+    lines.append(f"{'bus':<{name_width}} |{''.join(bus_row)}|")
+
+    ruler = [" "] * columns
+    step = max(1, columns // 8)
+    for col in range(0, columns, step):
+        mark = str(col * scale)
+        for i, ch in enumerate(mark):
+            if col + i < columns:
+                ruler[col + i] = ch
+    lines.append(f"{'':<{name_width}}  {''.join(ruler)}")
+    lines.append(
+        f"{'':<{name_width}}  (1 column = {scale} tu; '#' frozen, "
+        f"'=' current, '~' message, '.' slack)"
+    )
+    return "\n".join(lines)
+
+
+def render_slack_summary(schedule: SystemSchedule) -> str:
+    """A compact per-node slack listing (gap start/end/length)."""
+    lines: List[str] = []
+    for node_id in schedule.architecture.node_ids:
+        gaps = schedule.slack_gaps(node_id)
+        total = sum(g.length for g in gaps)
+        parts = ", ".join(f"[{g.start},{g.end})" for g in gaps) or "none"
+        lines.append(f"{node_id}: total slack {total} tu in gaps {parts}")
+    lines.append(f"bus: total free {schedule.bus.total_free_bytes()} B")
+    return "\n".join(lines)

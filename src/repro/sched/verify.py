@@ -1,0 +1,185 @@
+"""Independent design verifier.
+
+Re-checks a finished :class:`~repro.sched.schedule.SystemSchedule`
+against the applications it claims to implement, using none of the
+scheduler's own bookkeeping -- a second, slower opinion that every
+constraint of the model holds:
+
+* every process instance of every application is placed exactly once,
+  on an allowed node, inside its release/deadline window;
+* reservations on each node never overlap;
+* every inter-node message instance rides exactly one occurrence of
+  its sender's TDMA slot, after the sender finishes, and its receiver
+  starts only after the slot ends;
+* intra-node receivers start after their senders finish;
+* no slot occurrence's byte capacity is exceeded.
+
+Strategies never call this (they maintain the invariants
+structurally); tests and downstream users do, via
+:func:`verify_design`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.model.application import Application
+from repro.model.mapping import Mapping
+from repro.sched.schedule import SystemSchedule
+from repro.utils.errors import SchedulingError
+
+
+def verify_design(
+    schedule: SystemSchedule,
+    applications: Iterable[Application],
+    mappings: Optional[Dict[str, Mapping]] = None,
+) -> None:
+    """Raise :class:`SchedulingError` on the first violated constraint.
+
+    Parameters
+    ----------
+    schedule:
+        The finished schedule table.
+    applications:
+        Every application the schedule is supposed to implement.
+    mappings:
+        Optional per-application mappings (keyed by application name);
+        when given, each entry's node is additionally checked against
+        the mapping, not just the process's allowed set.
+    """
+    apps = list(applications)
+    _verify_processor_exclusivity(schedule)
+    for app in apps:
+        mapping = (mappings or {}).get(app.name)
+        _verify_application(schedule, app, mapping)
+    _verify_bus_capacity(schedule)
+
+
+def _verify_processor_exclusivity(schedule: SystemSchedule) -> None:
+    """No two reservations overlap on any node."""
+    for node_id in schedule.architecture.node_ids:
+        ordered = schedule.entries_on(node_id)
+        for prev, cur in zip(ordered, ordered[1:]):
+            if prev.end > cur.start:
+                raise SchedulingError(
+                    f"overlap on node {node_id!r}: {prev} and {cur}"
+                )
+
+
+def _verify_application(
+    schedule: SystemSchedule,
+    app: Application,
+    mapping: Optional[Mapping],
+) -> None:
+    horizon = schedule.horizon
+    for graph in app.graphs:
+        if horizon % graph.period != 0:
+            raise SchedulingError(
+                f"graph {graph.name!r} period {graph.period} does not divide "
+                f"the horizon {horizon}"
+            )
+        instances = horizon // graph.period
+        for k in range(instances):
+            release = k * graph.period
+            abs_deadline = release + graph.deadline
+            placed_node: Dict[str, str] = {}
+            for proc in graph.processes:
+                entry = schedule.entry_of(proc.id, k)
+                if entry is None:
+                    raise SchedulingError(
+                        f"process {proc.id!r} instance {k} is missing"
+                    )
+                if entry.node_id not in proc.wcet:
+                    raise SchedulingError(
+                        f"process {proc.id!r} placed on disallowed node "
+                        f"{entry.node_id!r}"
+                    )
+                if mapping is not None and mapping.get(proc.id) not in (
+                    None,
+                    entry.node_id,
+                ):
+                    raise SchedulingError(
+                        f"process {proc.id!r} placed on {entry.node_id!r} "
+                        f"but mapped to {mapping.get(proc.id)!r}"
+                    )
+                if entry.duration != proc.wcet_on(entry.node_id):
+                    raise SchedulingError(
+                        f"process {proc.id!r} instance {k} reserved "
+                        f"{entry.duration} tu, WCET is "
+                        f"{proc.wcet_on(entry.node_id)}"
+                    )
+                if entry.start < release:
+                    raise SchedulingError(
+                        f"process {proc.id!r} instance {k} starts at "
+                        f"{entry.start}, before its release {release}"
+                    )
+                if entry.end > abs_deadline:
+                    raise SchedulingError(
+                        f"process {proc.id!r} instance {k} ends at "
+                        f"{entry.end}, after its deadline {abs_deadline}"
+                    )
+                placed_node[proc.id] = entry.node_id
+            _verify_messages(schedule, graph, k, placed_node)
+
+
+def _verify_messages(
+    schedule: SystemSchedule,
+    graph,
+    instance: int,
+    placed_node: Dict[str, str],
+) -> None:
+    for msg in graph.messages:
+        src = schedule.entry_of(msg.src, instance)
+        dst = schedule.entry_of(msg.dst, instance)
+        src_node = placed_node[msg.src]
+        dst_node = placed_node[msg.dst]
+        if src_node == dst_node:
+            if dst.start < src.end:
+                raise SchedulingError(
+                    f"intra-node message {msg.id!r} instance {instance}: "
+                    f"receiver starts at {dst.start} before sender ends at "
+                    f"{src.end}"
+                )
+            continue
+        occ = schedule.bus.occupancy_of(msg.id, instance)
+        if occ is None:
+            raise SchedulingError(
+                f"inter-node message {msg.id!r} instance {instance} is not "
+                f"on the bus"
+            )
+        if occ.node_id != src_node:
+            raise SchedulingError(
+                f"message {msg.id!r} instance {instance} travels in "
+                f"{occ.node_id!r}'s slot but its sender runs on "
+                f"{src_node!r}"
+            )
+        if occ.size != msg.size:
+            raise SchedulingError(
+                f"message {msg.id!r} instance {instance} reserved "
+                f"{occ.size} bytes, size is {msg.size}"
+            )
+        window = schedule.bus.bus.occurrence_window(occ.node_id, occ.round_index)
+        if window.start < src.end:
+            raise SchedulingError(
+                f"message {msg.id!r} instance {instance} departs at "
+                f"{window.start} before its sender ends at {src.end}"
+            )
+        if dst.start < window.end:
+            raise SchedulingError(
+                f"message {msg.id!r} instance {instance}: receiver starts "
+                f"at {dst.start} before delivery at {window.end}"
+            )
+
+
+def _verify_bus_capacity(schedule: SystemSchedule) -> None:
+    used: Dict[Tuple[str, int], int] = {}
+    for occ in schedule.bus.all_entries():
+        key = (occ.node_id, occ.round_index)
+        used[key] = used.get(key, 0) + occ.size
+    for (node_id, round_index), total in used.items():
+        capacity = schedule.bus.bus.slot_of(node_id).capacity
+        if total > capacity:
+            raise SchedulingError(
+                f"slot occurrence ({node_id!r}, round {round_index}) carries "
+                f"{total} bytes, capacity is {capacity}"
+            )

@@ -1,0 +1,97 @@
+"""Serialization of complete scenarios.
+
+A :class:`~repro.gen.scenario.Scenario` bundles everything one
+experiment run needs; persisting it lets experiment campaigns cache
+generated workloads and lets bug reports carry an exact reproducer.
+The payload embeds every component (architecture, applications, frozen
+base schedule, future characterization) plus the generating
+``(params, seed)`` pair for provenance.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.gen.scenario import Scenario, ScenarioParams
+from repro.gen.taskgraph import GraphParams
+from repro.serialize.codec import (
+    application_from_dict,
+    application_to_dict,
+    architecture_from_dict,
+    architecture_to_dict,
+    future_from_dict,
+    future_to_dict,
+    schedule_from_dict,
+    schedule_to_dict,
+    _expect_kind,
+)
+from repro.utils.errors import InvalidModelError
+
+
+def scenario_params_to_dict(params: ScenarioParams) -> Dict[str, Any]:
+    """Serialize scenario parameters (including nested graph params)."""
+    payload = asdict(params)
+    payload["kind"] = "scenario-params"
+    return payload
+
+
+def scenario_params_from_dict(payload: Dict[str, Any]) -> ScenarioParams:
+    """Rebuild scenario parameters; re-runs all consistency checks."""
+    _expect_kind(payload, "scenario-params")
+    data = dict(payload)
+    data.pop("kind")
+    graph_params = data.pop("graph_params")
+    # JSON turns tuples into lists; restore the tuple-typed fields.
+    for key in ("period_divisors", "graph_size_range"):
+        data[key] = tuple(data[key])
+    for key in ("wcet_range", "msg_size_range", "het_range"):
+        graph_params[key] = tuple(graph_params[key])
+    return ScenarioParams(graph_params=GraphParams(**graph_params), **data)
+
+
+def scenario_to_dict(scenario: Scenario) -> Dict[str, Any]:
+    """Serialize a complete scenario with provenance."""
+    return {
+        "kind": "scenario",
+        "seed": scenario.seed,
+        "params": scenario_params_to_dict(scenario.params),
+        "architecture": architecture_to_dict(scenario.architecture),
+        "existing": application_to_dict(scenario.existing),
+        "base_schedule": schedule_to_dict(scenario.base_schedule),
+        "current": application_to_dict(scenario.current),
+        "future": future_to_dict(scenario.future),
+    }
+
+
+def scenario_from_dict(payload: Dict[str, Any]) -> Scenario:
+    """Rebuild a scenario; every component is re-validated on load."""
+    _expect_kind(payload, "scenario")
+    return Scenario(
+        params=scenario_params_from_dict(payload["params"]),
+        seed=payload["seed"],
+        architecture=architecture_from_dict(payload["architecture"]),
+        existing=application_from_dict(payload["existing"]),
+        base_schedule=schedule_from_dict(payload["base_schedule"]),
+        current=application_from_dict(payload["current"]),
+        future=future_from_dict(payload["future"]),
+    )
+
+
+def save_scenario(scenario: Scenario, path: Union[str, Path]) -> None:
+    """Write a scenario to a JSON file."""
+    Path(path).write_text(
+        json.dumps(scenario_to_dict(scenario), indent=2, sort_keys=True)
+    )
+
+
+def load_scenario(path: Union[str, Path]) -> Scenario:
+    """Load a scenario from a JSON file."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("kind") != "scenario":
+        raise InvalidModelError(
+            f"{path} does not contain a serialized scenario"
+        )
+    return scenario_from_dict(payload)

@@ -1,0 +1,22 @@
+"""TTP-like TDMA bus substrate.
+
+The paper's communication infrastructure is the Time-Triggered Protocol
+(Kopetz & Grünsteidl, IEEE Computer 1994): nodes share a broadcast bus
+via static time-division multiple access.  Each node owns exactly one
+*slot* per *round*; rounds repeat back-to-back over the schedule
+horizon.  A message sent by a node must be packed into an occurrence of
+that node's slot; several messages fit in one slot occurrence up to the
+slot's byte capacity.
+
+* :class:`~repro.tdma.bus.Slot` -- one node's transmission window.
+* :class:`~repro.tdma.bus.TdmaBus` -- the round layout plus timing
+  arithmetic (slot occurrence times, earliest occurrence after a given
+  instant).
+* :class:`~repro.tdma.schedule.BusSchedule` -- mutable per-occurrence
+  byte bookkeeping used by the scheduler and the design metrics.
+"""
+
+from repro.tdma.bus import Slot, TdmaBus
+from repro.tdma.schedule import BusSchedule, SlotOccupancy
+
+__all__ = ["Slot", "TdmaBus", "BusSchedule", "SlotOccupancy"]

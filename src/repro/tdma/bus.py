@@ -1,0 +1,198 @@
+"""Static TDMA round layout and timing arithmetic.
+
+A :class:`TdmaBus` is an ordered sequence of :class:`Slot` objects, one
+per processing node.  The round repeats back-to-back from time 0; the
+``k``-th occurrence of slot ``i`` starts at ``k * round_length +
+slot_offset(i)``.
+
+The bus performs no I/O and holds no mutable state -- occupancy lives
+in :class:`repro.tdma.schedule.BusSchedule` so many candidate designs
+can share one bus description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.utils.errors import InvalidModelError
+from repro.utils.intervals import Interval
+
+
+@dataclass(frozen=True)
+class Slot:
+    """One node's transmission window within the TDMA round.
+
+    Attributes
+    ----------
+    node_id:
+        The id of the node that owns (transmits in) this slot.
+    length:
+        Slot duration in time units.
+    capacity:
+        Payload bytes one occurrence of this slot can carry.  TTP slot
+        capacity is proportional to length; the model keeps them
+        independent so tests can exercise odd configurations.
+    """
+
+    node_id: str
+    length: int
+    capacity: int
+
+    def __post_init__(self) -> None:
+        if not self.node_id:
+            raise InvalidModelError("slot node_id must be non-empty")
+        if self.length <= 0:
+            raise InvalidModelError(
+                f"slot for node {self.node_id!r} has non-positive length "
+                f"{self.length}"
+            )
+        if self.capacity <= 0:
+            raise InvalidModelError(
+                f"slot for node {self.node_id!r} has non-positive capacity "
+                f"{self.capacity}"
+            )
+
+
+class TdmaBus:
+    """The static TDMA round: ordered slots, one per node.
+
+    Parameters
+    ----------
+    slots:
+        The round layout in transmission order.  Every node of the
+        architecture must own exactly one slot.
+    """
+
+    def __init__(self, slots: Sequence[Slot]):
+        if not slots:
+            raise InvalidModelError("TDMA round must contain at least one slot")
+        seen: Dict[str, int] = {}
+        for idx, slot in enumerate(slots):
+            if slot.node_id in seen:
+                raise InvalidModelError(
+                    f"node {slot.node_id!r} owns more than one TDMA slot"
+                )
+            seen[slot.node_id] = idx
+        self._slots: Tuple[Slot, ...] = tuple(slots)
+        self._index_of_node: Dict[str, int] = seen
+        offsets: List[int] = []
+        cursor = 0
+        for slot in self._slots:
+            offsets.append(cursor)
+            cursor += slot.length
+        self._offsets: Tuple[int, ...] = tuple(offsets)
+        self._round_length: int = cursor
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def slots(self) -> Tuple[Slot, ...]:
+        """Slots in transmission order."""
+        return self._slots
+
+    @property
+    def round_length(self) -> int:
+        """Duration of one TDMA round in time units."""
+        return self._round_length
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __iter__(self) -> Iterator[Slot]:
+        return iter(self._slots)
+
+    def slot_of(self, node_id: str) -> Slot:
+        """The slot owned by ``node_id``."""
+        try:
+            return self._slots[self._index_of_node[node_id]]
+        except KeyError:
+            raise InvalidModelError(
+                f"node {node_id!r} owns no TDMA slot"
+            ) from None
+
+    def slot_index(self, node_id: str) -> int:
+        """Position of ``node_id``'s slot within the round."""
+        try:
+            return self._index_of_node[node_id]
+        except KeyError:
+            raise InvalidModelError(
+                f"node {node_id!r} owns no TDMA slot"
+            ) from None
+
+    def node_ids(self) -> List[str]:
+        """Slot owners in transmission order."""
+        return [slot.node_id for slot in self._slots]
+
+    # ------------------------------------------------------------------
+    # timing arithmetic
+    # ------------------------------------------------------------------
+    def slot_offset(self, node_id: str) -> int:
+        """Start of ``node_id``'s slot relative to the round start."""
+        return self._offsets[self.slot_index(node_id)]
+
+    def occurrence_window(self, node_id: str, round_index: int) -> Interval:
+        """The ``round_index``-th occurrence of ``node_id``'s slot.
+
+        Raises
+        ------
+        ValueError
+            If ``round_index`` is negative.
+        """
+        if round_index < 0:
+            raise ValueError("round_index must be non-negative")
+        idx = self.slot_index(node_id)
+        start = round_index * self._round_length + self._offsets[idx]
+        return Interval(start, start + self._slots[idx].length)
+
+    def first_occurrence_not_before(self, node_id: str, instant: int) -> int:
+        """Index of the earliest occurrence whose *start* is >= ``instant``.
+
+        TTP semantics: a frame must be assembled before its slot opens,
+        so a message ready at time ``t`` can ride the first slot
+        occurrence starting at or after ``t``.
+        """
+        offset = self.slot_offset(node_id)
+        if instant <= offset:
+            return 0
+        # Smallest k with k * round_length + offset >= instant.
+        return -(-(instant - offset) // self._round_length)
+
+    def rounds_within(self, horizon: int) -> int:
+        """Number of complete rounds inside ``[0, horizon)``.
+
+        The static cyclic schedule only uses slot occurrences that end
+        at or before the horizon; generators pick horizons that are
+        multiples of the round length so no capacity is wasted.
+        """
+        if horizon < 0:
+            raise ValueError("horizon must be non-negative")
+        return horizon // self._round_length
+
+    def occurrences_within(self, node_id: str, horizon: int) -> List[Interval]:
+        """All occurrences of ``node_id``'s slot fully inside the horizon."""
+        out: List[Interval] = []
+        for r in range(self.rounds_within(horizon)):
+            window = self.occurrence_window(node_id, r)
+            if window.end <= horizon:
+                out.append(window)
+        return out
+
+    def total_capacity_within(self, horizon: int) -> int:
+        """Total payload bytes the bus can carry inside ``[0, horizon)``."""
+        rounds = self.rounds_within(horizon)
+        return rounds * sum(slot.capacity for slot in self._slots)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        body = ", ".join(
+            f"{s.node_id}:{s.length}tu/{s.capacity}B" for s in self._slots
+        )
+        return f"TdmaBus([{body}], round={self._round_length})"
+
+
+def uniform_bus(node_ids: Sequence[str], slot_length: int, slot_capacity: int) -> TdmaBus:
+    """A bus where every node gets an identical slot, in the given order."""
+    return TdmaBus(
+        [Slot(node_id, slot_length, slot_capacity) for node_id in node_ids]
+    )

@@ -1,0 +1,36 @@
+"""Shared utilities for the :mod:`repro` package.
+
+This subpackage hosts small, dependency-free building blocks used by
+every other layer of the library:
+
+* :mod:`repro.utils.intervals` -- half-open integer intervals and
+  interval-set arithmetic (the representation of both busy time on
+  processors and slack gaps between reservations).
+* :mod:`repro.utils.timemath` -- hyperperiod (lcm) computation and the
+  partitioning of a schedule horizon into periodic windows.
+* :mod:`repro.utils.rng` -- deterministic random-number helpers so
+  every experiment is reproducible from an integer seed.
+"""
+
+from repro.utils.errors import (
+    ReproError,
+    InvalidModelError,
+    MappingError,
+    SchedulingError,
+)
+from repro.utils.intervals import Interval, IntervalSet
+from repro.utils.timemath import hyperperiod, periodic_windows
+from repro.utils.rng import make_rng, spawn_rngs
+
+__all__ = [
+    "ReproError",
+    "InvalidModelError",
+    "MappingError",
+    "SchedulingError",
+    "Interval",
+    "IntervalSet",
+    "hyperperiod",
+    "periodic_windows",
+    "make_rng",
+    "spawn_rngs",
+]

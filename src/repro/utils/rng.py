@@ -1,0 +1,43 @@
+"""Deterministic random-number helpers.
+
+Every stochastic component of the library (workload generation,
+simulated annealing, future-application sampling) takes either an
+integer seed or a ``numpy.random.Generator``.  These helpers normalize
+between the two and derive independent child streams so that, e.g.,
+changing the number of SA iterations does not perturb the workload
+generator.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` for ``seed``.
+
+    ``None`` yields an OS-seeded generator, an ``int`` a deterministic
+    one, and an existing generator is passed through unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
+    """Derive ``count`` statistically independent child generators.
+
+    Uses numpy's ``SeedSequence.spawn`` so child streams are stable
+    regardless of how many draws the parent later performs.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if isinstance(seed, np.random.Generator):
+        seq = seed.bit_generator.seed_seq  # type: ignore[attr-defined]
+    else:
+        seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(count)]

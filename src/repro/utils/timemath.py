@@ -1,0 +1,61 @@
+"""Hyperperiod and periodic-window arithmetic.
+
+The static cyclic schedule of the paper spans one *hyperperiod* -- the
+least common multiple of all application periods.  The second design
+criterion partitions that hyperperiod into windows of length ``T_min``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List
+
+from repro.utils.intervals import Interval
+
+
+def hyperperiod(periods: Iterable[int]) -> int:
+    """Least common multiple of a non-empty collection of periods.
+
+    Parameters
+    ----------
+    periods:
+        Positive integer periods (time units).
+
+    Raises
+    ------
+    ValueError
+        If the collection is empty or contains a non-positive period.
+    """
+    values = list(periods)
+    if not values:
+        raise ValueError("hyperperiod of an empty period set is undefined")
+    result = 1
+    for p in values:
+        if p <= 0:
+            raise ValueError(f"periods must be positive, got {p}")
+        result = math.lcm(result, p)
+    return result
+
+
+def periodic_windows(horizon: int, window: int) -> List[Interval]:
+    """Partition ``[0, horizon)`` into consecutive windows of length ``window``.
+
+    The last window is truncated if ``window`` does not divide
+    ``horizon`` (the paper's generators always pick ``T_min`` dividing
+    the hyperperiod, but the metrics stay well defined either way).
+
+    Raises
+    ------
+    ValueError
+        If ``horizon`` or ``window`` is non-positive.
+    """
+    if horizon <= 0:
+        raise ValueError(f"horizon must be positive, got {horizon}")
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    out: List[Interval] = []
+    start = 0
+    while start < horizon:
+        out.append(Interval(start, min(start + window, horizon)))
+        start += window
+    return out

@@ -1,0 +1,88 @@
+"""Shared fixtures: tiny platforms and applications used across tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.application import Application
+from repro.model.architecture import Architecture, Node
+from repro.model.mapping import Mapping
+from repro.model.process_graph import Message, Process, ProcessGraph
+from repro.tdma.bus import Slot, TdmaBus
+
+
+@pytest.fixture
+def arch2() -> Architecture:
+    """Two nodes, slots of 4 tu / 8 bytes (round length 8)."""
+    return Architecture(
+        [Node("N1"), Node("N2")],
+        TdmaBus([Slot("N1", 4, 8), Slot("N2", 4, 8)]),
+    )
+
+
+@pytest.fixture
+def arch3() -> Architecture:
+    """Three nodes with unequal slots (round length 12)."""
+    return Architecture(
+        [Node("N1"), Node("N2"), Node("N3")],
+        TdmaBus([Slot("N1", 2, 4), Slot("N2", 4, 8), Slot("N3", 6, 12)]),
+    )
+
+
+def make_chain_graph(
+    name: str = "g0",
+    period: int = 80,
+    deadline=None,
+    wcets=(8, 9, 6),
+    msg_size: int = 4,
+    nodes=("N1", "N2"),
+    prefix: str = "",
+) -> ProcessGraph:
+    """A linear chain P0 -> P1 -> ... with uniform WCETs per node."""
+    graph = ProcessGraph(name, period, deadline)
+    ids = []
+    for i, w in enumerate(wcets):
+        pid = f"{prefix}P{i}"
+        graph.add_process(Process(pid, {n: w for n in nodes}))
+        ids.append(pid)
+    for i in range(len(ids) - 1):
+        graph.add_message(Message(f"{prefix}m{i}", ids[i], ids[i + 1], msg_size))
+    return graph
+
+
+def make_fork_join_graph(
+    name: str = "g0",
+    period: int = 80,
+    deadline=None,
+    nodes=("N1", "N2"),
+    prefix: str = "",
+) -> ProcessGraph:
+    """The slide-5 shape: P0 -> {P1, P2} -> P3."""
+    graph = ProcessGraph(name, period, deadline)
+    for i, w in enumerate((8, 9, 10, 6)):
+        graph.add_process(Process(f"{prefix}P{i}", {n: w for n in nodes}))
+    graph.add_message(Message(f"{prefix}m0", f"{prefix}P0", f"{prefix}P1", 4))
+    graph.add_message(Message(f"{prefix}m1", f"{prefix}P0", f"{prefix}P2", 4))
+    graph.add_message(Message(f"{prefix}m2", f"{prefix}P1", f"{prefix}P3", 4))
+    graph.add_message(Message(f"{prefix}m3", f"{prefix}P2", f"{prefix}P3", 4))
+    return graph
+
+
+@pytest.fixture
+def chain_app() -> Application:
+    """Single chain graph on nodes N1/N2, period 80."""
+    return Application("app", [make_chain_graph()])
+
+
+@pytest.fixture
+def fork_join_app() -> Application:
+    """Single fork-join graph on nodes N1/N2, period 80."""
+    return Application("app", [make_fork_join_graph()])
+
+
+@pytest.fixture
+def chain_mapping(chain_app, arch2) -> Mapping:
+    """All chain processes on N1."""
+    return Mapping(
+        chain_app, arch2, {p.id: "N1" for p in chain_app.processes}
+    )

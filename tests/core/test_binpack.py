@@ -1,0 +1,148 @@
+"""Tests for the bin-packing policies of the first design criterion."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.binpack import POLICIES, best_fit, first_fit, worst_fit
+
+
+class TestBestFit:
+    def test_everything_fits_one_bin(self):
+        result = best_fit([3, 4], [10])
+        assert result.unplaced == []
+        assert result.placed_total == 7
+        assert result.residuals == [3]
+
+    def test_nothing_fits(self):
+        result = best_fit([5, 6], [4, 4])
+        assert sorted(result.unplaced) == [5, 6]
+        assert result.unplaced_fraction == 1.0
+
+    def test_picks_tightest_bin(self):
+        result = best_fit([4], [10, 5, 6])
+        # The size-5 bin is the snuggest.
+        assert result.residuals == [10, 1, 6]
+
+    def test_decreasing_order_helps(self):
+        # Objects 6, 4 into bins 6, 4: decreasing packs both.
+        result = best_fit([4, 6], [6, 4])
+        assert result.unplaced == []
+
+    def test_partial_packing_fraction(self):
+        result = best_fit([4, 4, 4], [4, 4])
+        assert result.unplaced == [4]
+        assert result.unplaced_fraction == pytest.approx(1 / 3)
+
+    def test_empty_objects(self):
+        result = best_fit([], [5])
+        assert result.placed == []
+        assert result.unplaced_fraction == 0.0
+
+    def test_empty_bins(self):
+        result = best_fit([3], [])
+        assert result.unplaced == [3]
+
+    def test_zero_capacity_bin_unusable(self):
+        result = best_fit([1], [0])
+        assert result.unplaced == [1]
+
+    def test_invalid_object_rejected(self):
+        with pytest.raises(ValueError):
+            best_fit([0], [5])
+
+    def test_invalid_bin_rejected(self):
+        with pytest.raises(ValueError):
+            best_fit([1], [-1])
+
+    def test_bin_indices_reported(self):
+        result = best_fit([4, 3], [3, 4])
+        assert sorted(result.placed) == [(3, 0), (4, 1)]
+
+    def test_exact_fill_removes_bin_from_pool(self):
+        result = best_fit([4, 1], [4])
+        assert result.placed == [(4, 0)]
+        assert result.unplaced == [1]
+
+
+class TestOtherPolicies:
+    def test_first_fit_takes_first(self):
+        result = first_fit([4], [10, 5])
+        assert result.residuals == [6, 5]
+
+    def test_worst_fit_takes_emptiest(self):
+        result = worst_fit([4], [10, 5])
+        assert result.residuals == [6, 5]
+        result = worst_fit([4], [5, 10])
+        assert result.residuals == [5, 6]
+
+    def test_worst_fit_fragments_more_than_best_fit(self):
+        """The ablation's premise: with mixed sizes, worst-fit wastes
+        the big bins on small objects and fails the big objects."""
+        objects = [8, 2, 2, 2, 2]
+        bins = [8, 4, 4]
+        assert best_fit(objects, bins).unplaced_total <= worst_fit(
+            objects, bins
+        ).unplaced_total
+
+    def test_policies_registry(self):
+        assert set(POLICIES) == {"best-fit", "first-fit", "worst-fit"}
+
+
+@st.composite
+def packing_instance(draw):
+    objects = draw(st.lists(st.integers(1, 30), max_size=30))
+    bins = draw(st.lists(st.integers(0, 50), max_size=15))
+    return objects, bins
+
+
+class TestPackingProperties:
+    @given(packing_instance())
+    def test_conservation(self, instance):
+        objects, bins = instance
+        for policy in POLICIES.values():
+            result = policy(objects, bins)
+            assert result.placed_total + result.unplaced_total == sum(objects)
+
+    @given(packing_instance())
+    def test_no_bin_overflows(self, instance):
+        objects, bins = instance
+        for policy in POLICIES.values():
+            result = policy(objects, bins)
+            used = [0] * len(bins)
+            for size, idx in result.placed:
+                used[idx] += size
+            for idx, cap in enumerate(bins):
+                assert used[idx] <= cap
+                assert result.residuals[idx] == cap - used[idx]
+
+    @given(packing_instance())
+    def test_unplaced_objects_truly_do_not_fit(self, instance):
+        """Best-fit never leaves an object unplaced while a bin with
+        room exists at the moment of placement -- check the weaker
+        final-state invariant: every unplaced object is larger than
+        every final residual."""
+        objects, bins = instance
+        result = best_fit(objects, bins)
+        if result.unplaced:
+            smallest_unplaced = min(result.unplaced)
+            assert all(res < smallest_unplaced for res in result.residuals)
+
+    @given(packing_instance())
+    def test_best_fit_matches_reference_greedy(self, instance):
+        """The bisect-based best-fit equals a brute-force best-fit."""
+        objects, bins = instance
+        fast = best_fit(objects, bins)
+
+        residuals = list(bins)
+        unplaced = []
+        for size in sorted(objects, reverse=True):
+            best_idx, best_res = -1, None
+            for i, res in enumerate(residuals):
+                if res >= size and (best_res is None or res < best_res):
+                    best_idx, best_res = i, res
+            if best_idx < 0:
+                unplaced.append(size)
+            else:
+                residuals[best_idx] -= size
+        assert sorted(fast.unplaced) == sorted(unplaced)
+        assert sorted(fast.residuals) == sorted(residuals)

@@ -1,0 +1,142 @@
+"""Tests for future-application characterization and distributions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.future import (
+    DEFAULT_MESSAGE_SIZE_DISTRIBUTION,
+    DEFAULT_WCET_DISTRIBUTION,
+    DiscreteDistribution,
+    FutureCharacterization,
+)
+from repro.utils.errors import InvalidModelError
+from repro.utils.rng import make_rng
+
+
+class TestDiscreteDistribution:
+    def test_probabilities_normalized(self):
+        d = DiscreteDistribution((1, 2), (2.0, 2.0))
+        assert d.probabilities == (0.5, 0.5)
+
+    def test_mean(self):
+        d = DiscreteDistribution((10, 20), (0.5, 0.5))
+        assert d.mean == 15.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidModelError):
+            DiscreteDistribution((), ())
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(InvalidModelError):
+            DiscreteDistribution((1, 2), (1.0,))
+
+    def test_non_positive_value_rejected(self):
+        with pytest.raises(InvalidModelError):
+            DiscreteDistribution((0,), (1.0,))
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(InvalidModelError):
+            DiscreteDistribution((1,), (-1.0,))
+
+    def test_all_zero_probabilities_rejected(self):
+        with pytest.raises(InvalidModelError):
+            DiscreteDistribution((1, 2), (0.0, 0.0))
+
+    def test_sample_deterministic_by_seed(self):
+        d = DEFAULT_WCET_DISTRIBUTION
+        assert d.sample(5, 10) == d.sample(5, 10)
+
+    def test_sample_values_in_support(self):
+        d = DEFAULT_WCET_DISTRIBUTION
+        assert set(d.sample(0, 200)) <= set(d.values)
+
+    def test_sample_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_WCET_DISTRIBUTION.sample(0, -1)
+
+    def test_zero_probability_value_never_sampled(self):
+        d = DiscreteDistribution((1, 99), (1.0, 0.0))
+        assert set(d.sample(0, 100)) == {1}
+
+
+class TestDeterministicBag:
+    def test_empty_for_zero_total(self):
+        assert DEFAULT_WCET_DISTRIBUTION.deterministic_bag(0) == []
+
+    def test_reaches_total(self):
+        bag = DEFAULT_WCET_DISTRIBUTION.deterministic_bag(1000)
+        assert sum(bag) >= 1000
+        # Overshoot bounded by one largest object.
+        assert sum(bag) < 1000 + max(DEFAULT_WCET_DISTRIBUTION.values)
+
+    def test_deterministic(self):
+        d = DEFAULT_WCET_DISTRIBUTION
+        assert d.deterministic_bag(500) == d.deterministic_bag(500)
+
+    def test_single_value(self):
+        d = DiscreteDistribution((7,), (1.0,))
+        assert d.deterministic_bag(21) == [7, 7, 7]
+        assert d.deterministic_bag(20) == [7, 7, 7]
+
+    def test_composition_tracks_probabilities(self):
+        d = DiscreteDistribution((10, 20), (0.75, 0.25))
+        bag = d.deterministic_bag(10_000)
+        share_10 = bag.count(10) / len(bag)
+        assert 0.70 <= share_10 <= 0.80
+
+    @given(total=st.integers(1, 5000))
+    def test_bag_sums_past_total(self, total):
+        bag = DEFAULT_MESSAGE_SIZE_DISTRIBUTION.deterministic_bag(total)
+        assert sum(bag) >= total
+        assert all(v in DEFAULT_MESSAGE_SIZE_DISTRIBUTION.values for v in bag)
+
+
+class TestFutureCharacterization:
+    def test_validation(self):
+        with pytest.raises(InvalidModelError):
+            FutureCharacterization(t_min=0, t_need=1, b_need=1)
+        with pytest.raises(InvalidModelError):
+            FutureCharacterization(t_min=10, t_need=-1, b_need=1)
+        with pytest.raises(InvalidModelError):
+            FutureCharacterization(t_min=10, t_need=1, b_need=-1)
+
+    def test_t_need_may_exceed_t_min(self):
+        # Total across processors: legal on a parallel platform.
+        fc = FutureCharacterization(t_min=10, t_need=40, b_need=1)
+        assert fc.t_need == 40
+
+    def test_demands_scale_with_windows(self):
+        fc = FutureCharacterization(t_min=100, t_need=40, b_need=8)
+        assert fc.total_process_demand(400) == 160
+        assert fc.total_message_demand(400) == 32
+
+    def test_demand_truncates_partial_window(self):
+        fc = FutureCharacterization(t_min=100, t_need=40, b_need=8)
+        assert fc.total_process_demand(350) == 120
+
+    def test_demand_invalid_horizon(self):
+        fc = FutureCharacterization(t_min=100, t_need=40, b_need=8)
+        with pytest.raises(ValueError):
+            fc.total_process_demand(0)
+
+    def test_bags_respect_distributions(self):
+        fc = FutureCharacterization(
+            t_min=100,
+            t_need=40,
+            b_need=8,
+            wcet_distribution=DiscreteDistribution((5,), (1.0,)),
+            message_size_distribution=DiscreteDistribution((2,), (1.0,)),
+        )
+        assert fc.future_process_bag(400) == [5] * 32
+        assert fc.future_message_bag(400) == [2] * 16
+
+    def test_zero_need_gives_empty_bags(self):
+        fc = FutureCharacterization(t_min=100, t_need=0, b_need=0)
+        assert fc.future_process_bag(400) == []
+        assert fc.future_message_bag(400) == []
+
+    def test_hashable_for_caching(self):
+        fc = FutureCharacterization(t_min=100, t_need=40, b_need=8)
+        assert hash(fc) == hash(
+            FutureCharacterization(t_min=100, t_need=40, b_need=8)
+        )

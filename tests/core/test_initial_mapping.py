@@ -1,0 +1,166 @@
+"""Tests for the HCP-seeded Initial Mapping (IM)."""
+
+import pytest
+
+from repro.core.initial_mapping import InitialMapper
+from repro.model.application import Application
+from repro.model.mapping import Mapping
+from repro.model.process_graph import Message, Process, ProcessGraph
+from repro.sched.schedule import SystemSchedule
+from repro.utils.errors import MappingError, SchedulingError
+
+from tests.conftest import make_chain_graph
+
+
+class TestBasicMapping:
+    def test_produces_valid_complete_design(self, arch2, fork_join_app):
+        mapping, schedule = InitialMapper(arch2).map_and_schedule(fork_join_app)
+        assert mapping.is_complete()
+        schedule.validate()
+        for p in fork_join_app.processes:
+            assert schedule.entry_of(p.id, 0) is not None
+
+    def test_respects_allowed_nodes(self, arch2):
+        g = ProcessGraph("g", 80)
+        g.add_process(Process("only2", {"N2": 10}))
+        app = Application("a", [g])
+        mapping, _ = InitialMapper(arch2).map_and_schedule(app)
+        assert mapping.node_of("only2") == "N2"
+
+    def test_picks_faster_node(self, arch2):
+        g = ProcessGraph("g", 80)
+        g.add_process(Process("A", {"N1": 30, "N2": 5}))
+        app = Application("a", [g])
+        mapping, schedule = InitialMapper(arch2).map_and_schedule(app)
+        assert mapping.node_of("A") == "N2"
+        assert schedule.entry_of("A", 0).end == 5
+
+    def test_parallel_branches_spread_when_beneficial(self, arch2):
+        """Two heavy independent processes: earliest-finish puts them on
+        different nodes."""
+        g = ProcessGraph("g", 200)
+        g.add_process(Process("A", {"N1": 50, "N2": 50}))
+        g.add_process(Process("B", {"N1": 50, "N2": 50}))
+        app = Application("a", [g])
+        mapping, _ = InitialMapper(arch2).map_and_schedule(app)
+        assert mapping.node_of("A") != mapping.node_of("B")
+
+    def test_mapping_consistent_across_instances(self, arch2):
+        app = Application("a", [make_chain_graph(period=40)])
+        mapping, schedule = InitialMapper(arch2).map_and_schedule(
+            app, horizon=80
+        )
+        for p in app.processes:
+            node = mapping.node_of(p.id)
+            for k in (0, 1):
+                assert schedule.entry_of(p.id, k).node_id == node
+
+    def test_deadlines_respected(self, arch2):
+        app = Application("a", [make_chain_graph(deadline=30)])
+        mapping, schedule = InitialMapper(arch2).map_and_schedule(app)
+        for p in app.processes:
+            assert schedule.entry_of(p.id, 0).end <= 30
+
+
+class TestAroundBase:
+    def test_avoids_frozen_reservations(self, arch2, chain_app):
+        base = SystemSchedule(arch2, 80)
+        base.place_process("old", 0, "N1", 0, 40, frozen=True)
+        base.place_process("old2", 0, "N2", 0, 25, frozen=True)
+        mapping, schedule = InitialMapper(arch2).map_and_schedule(
+            chain_app, base=base
+        )
+        for p in chain_app.processes:
+            entry = schedule.entry_of(p.id, 0)
+            if entry.node_id == "N1":
+                assert entry.start >= 40
+            else:
+                assert entry.start >= 25
+
+    def test_base_untouched(self, arch2, chain_app):
+        base = SystemSchedule(arch2, 80)
+        base.place_process("old", 0, "N1", 0, 40, frozen=True)
+        InitialMapper(arch2).map_and_schedule(chain_app, base=base)
+        assert len(list(base.all_entries())) == 1
+
+    def test_failure_returns_none(self, arch2, chain_app):
+        base = SystemSchedule(arch2, 80)
+        base.place_process("old1", 0, "N1", 0, 75, frozen=True)
+        base.place_process("old2", 0, "N2", 0, 75, frozen=True)
+        outcome = InitialMapper(arch2).try_map_and_schedule(chain_app, base=base)
+        assert outcome is None
+
+    def test_failure_raises_mapping_error(self, arch2, chain_app):
+        base = SystemSchedule(arch2, 80)
+        base.place_process("old1", 0, "N1", 0, 75, frozen=True)
+        base.place_process("old2", 0, "N2", 0, 75, frozen=True)
+        with pytest.raises(MappingError):
+            InitialMapper(arch2).map_and_schedule(chain_app, base=base)
+
+    def test_horizon_mismatch_rejected(self, arch2, chain_app):
+        base = SystemSchedule(arch2, 80)
+        with pytest.raises(SchedulingError):
+            InitialMapper(arch2).try_map_and_schedule(
+                chain_app, base=base, horizon=160
+            )
+
+    def test_period_must_divide_horizon(self, arch2, chain_app):
+        with pytest.raises(SchedulingError):
+            InitialMapper(arch2).try_map_and_schedule(chain_app, horizon=100)
+
+
+class TestFrozenOutput:
+    def test_frozen_flag_freezes_everything(self, arch2):
+        g = make_chain_graph()
+        app = Application("a", [g])
+        _, schedule = InitialMapper(arch2).map_and_schedule(app, frozen=True)
+        assert all(e.frozen for e in schedule.all_entries())
+
+    def test_frozen_includes_messages(self, arch2):
+        g = ProcessGraph("g", 80)
+        g.add_process(Process("A", {"N1": 5}))
+        g.add_process(Process("B", {"N2": 5}))
+        g.add_message(Message("m", "A", "B", 4))
+        app = Application("a", [g])
+        _, schedule = InitialMapper(arch2).map_and_schedule(app, frozen=True)
+        occs = list(schedule.bus.all_entries())
+        assert occs and all(o.frozen for o in occs)
+
+
+class TestMessageHandling:
+    def test_cross_node_messages_on_bus(self, arch2):
+        g = ProcessGraph("g", 80)
+        g.add_process(Process("A", {"N1": 5}))
+        g.add_process(Process("B", {"N2": 5}))
+        g.add_message(Message("m", "A", "B", 4))
+        app = Application("a", [g])
+        mapping, schedule = InitialMapper(arch2).map_and_schedule(app)
+        occ = schedule.bus.occupancy_of("m", 0)
+        assert occ is not None
+        assert occ.node_id == "N1"
+        arrival = schedule.bus.arrival_time(occ)
+        assert schedule.entry_of("B", 0).start >= arrival
+
+    def test_prefers_local_successor_when_comm_expensive(self, arch2):
+        """B can run on either node; staying on A's node avoids a full
+        TDMA round of latency and finishes earlier."""
+        g = ProcessGraph("g", 200)
+        g.add_process(Process("A", {"N1": 5}))
+        g.add_process(Process("B", {"N1": 10, "N2": 9}))
+        g.add_message(Message("m", "A", "B", 4))
+        app = Application("a", [g])
+        mapping, _ = InitialMapper(arch2).map_and_schedule(app)
+        assert mapping.node_of("B") == "N1"
+
+    def test_rollback_leaves_clean_bus(self, arch2):
+        """When the best candidate fails at commit, its partially placed
+        messages are rolled back; the final bus contains only the
+        messages of the committed design."""
+        g = ProcessGraph("g", 80)
+        g.add_process(Process("A", {"N1": 5}))
+        g.add_process(Process("B", {"N1": 4, "N2": 4}))
+        g.add_message(Message("m", "A", "B", 4))
+        app = Application("a", [g])
+        mapping, schedule = InitialMapper(arch2).map_and_schedule(app)
+        expected = 0 if mapping.node_of("B") == "N1" else 1
+        assert len(list(schedule.bus.all_entries())) == expected

@@ -1,0 +1,64 @@
+"""Tests for the experiments CLI."""
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+class TestCli:
+    def test_fig_quality_runs(self, capsys):
+        code = main(
+            [
+                "fig-quality",
+                "--sizes", "5",
+                "--seeds", "1",
+                "--existing", "10",
+                "--sa-iterations", "20",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "slide 15" in out
+
+    def test_fig_future_runs(self, capsys):
+        code = main(
+            [
+                "fig-future",
+                "--sizes", "5",
+                "--seeds", "1",
+                "--existing", "10",
+            ]
+        )
+        assert code == 0
+        assert "slide 17" in capsys.readouterr().out
+
+    def test_all_runs_everything(self, capsys):
+        code = main(
+            [
+                "all",
+                "--sizes", "5",
+                "--seeds", "1",
+                "--existing", "10",
+                "--sa-iterations", "20",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "slide 15" in out and "slide 16" in out and "slide 17" in out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig-everything"])
+
+    def test_verbose_progress(self, capsys):
+        main(
+            [
+                "fig-runtime",
+                "--sizes", "5",
+                "--seeds", "1",
+                "--existing", "10",
+                "--sa-iterations", "20",
+                "-v",
+            ]
+        )
+        assert "size=5" in capsys.readouterr().out

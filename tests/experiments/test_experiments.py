@@ -1,0 +1,135 @@
+"""Tests for the experiment harnesses (tiny configurations)."""
+
+import pytest
+
+from repro.experiments.fig_future import FutureRow, fig_future
+from repro.experiments.fig_future import render as render_future
+from repro.experiments.fig_quality import (
+    QualityRow,
+    deviation,
+    fig_quality,
+)
+from repro.experiments.fig_quality import render as render_quality
+from repro.experiments.fig_runtime import RuntimeRow, fig_runtime
+from repro.experiments.fig_runtime import render as render_runtime
+from repro.experiments.runner import (
+    ExperimentConfig,
+    mean,
+    run_comparison,
+)
+from repro.gen.scenario import ScenarioParams
+
+
+@pytest.fixture(scope="module")
+def config() -> ExperimentConfig:
+    return ExperimentConfig(
+        current_sizes=(6, 10),
+        n_existing=12,
+        seeds=(1,),
+        sa_iterations=40,
+        scenario_params=ScenarioParams(n_nodes=3, hyperperiod=2400),
+        future_apps_per_scenario=3,
+    )
+
+
+@pytest.fixture(scope="module")
+def records(config):
+    return run_comparison(config)
+
+
+class TestRunner:
+    def test_one_record_per_cell(self, config, records):
+        assert len(records) == len(config.current_sizes) * len(config.seeds)
+
+    def test_all_strategies_present(self, records):
+        for record in records:
+            assert set(record.results) == {"AH", "MH", "SA"}
+
+    def test_objectives_finite_for_valid(self, records):
+        for record in records:
+            for result in record.results.values():
+                if result.valid:
+                    assert result.objective < float("inf")
+
+    def test_scenario_matches_cell(self, records, config):
+        for record in records:
+            assert record.scenario.current.process_count == record.size
+            assert (
+                record.scenario.existing.process_count == config.n_existing
+            )
+
+    def test_mean_helper(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert mean([]) == 0.0
+
+
+class TestDeviation:
+    def test_basic(self):
+        assert deviation(20.0, 10.0) == 100.0
+
+    def test_floor_denominator(self):
+        assert deviation(5.0, 0.0) == 500.0
+
+    def test_negative_possible(self):
+        assert deviation(5.0, 10.0) == -50.0
+
+
+class TestFigQuality:
+    def test_rows(self, config, records):
+        rows = fig_quality(config, records)
+        assert [r.size for r in rows] == list(config.current_sizes)
+        for row in rows:
+            assert isinstance(row, QualityRow)
+            assert row.scenarios >= 1
+            # MH never worse than SA+descent by more than noise; AH at
+            # least as bad as MH on average.
+            assert row.avg_deviation_mh >= -1e-6
+            assert row.avg_deviation_ah >= row.avg_deviation_mh - 1e-6
+
+    def test_render(self, config, records):
+        out = render_quality(fig_quality(config, records))
+        assert "AH dev %" in out
+        assert "slide 15" in out
+
+
+class TestFigRuntime:
+    def test_rows(self, config, records):
+        rows = fig_runtime(config, records)
+        for row in rows:
+            assert isinstance(row, RuntimeRow)
+            assert 0 <= row.avg_runtime_ah <= row.avg_runtime_mh
+            assert row.avg_runtime_mh <= row.avg_runtime_sa
+
+    def test_render(self, config, records):
+        out = render_runtime(fig_runtime(config, records))
+        assert "SA [s]" in out
+
+
+class TestFigFuture:
+    def test_rows(self, config):
+        rows = fig_future(config)
+        assert rows
+        for row in rows:
+            assert isinstance(row, FutureRow)
+            assert 0.0 <= row.pct_mapped_ah <= 100.0
+            assert 0.0 <= row.pct_mapped_mh <= 100.0
+            assert row.future_apps == (
+                row.scenarios * config.future_apps_per_scenario
+            )
+
+    def test_render(self, config):
+        out = render_future(fig_future(config))
+        assert "MH mapped %" in out
+
+    def test_reuses_records(self, config, records):
+        rows = fig_future(config, records)
+        assert rows
+
+
+class TestPaperPreset:
+    def test_paper_scale_values(self):
+        paper = ExperimentConfig.paper()
+        assert paper.current_sizes == (40, 80, 160, 240, 320)
+        assert paper.n_existing == 400
+        assert paper.n_future_processes == 80
+        assert paper.scenario_params.n_nodes == 10

@@ -1,0 +1,172 @@
+"""Tests for scenario generation."""
+
+import pytest
+
+from repro.gen.architecture_gen import random_architecture
+from repro.gen.scenario import (
+    ScenarioParams,
+    build_scenario,
+    generate_application,
+    generate_future_application,
+)
+
+
+class TestArchitectureGen:
+    def test_counts(self):
+        arch = random_architecture(5, slot_length=3, slot_capacity=9)
+        assert len(arch) == 5
+        assert arch.bus.round_length == 15
+        assert arch.bus.slot_of("N3").capacity == 9
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            random_architecture(0)
+
+
+class TestScenarioParams:
+    def test_defaults_consistent(self):
+        p = ScenarioParams()
+        assert p.hyperperiod % (p.n_nodes * p.slot_length) == 0
+        assert p.t_min == p.hyperperiod // p.t_min_divisor
+
+    def test_round_must_divide_hyperperiod(self):
+        with pytest.raises(ValueError):
+            ScenarioParams(n_nodes=7, hyperperiod=4800, slot_length=7)
+
+    def test_period_divisor_check(self):
+        with pytest.raises(ValueError):
+            ScenarioParams(hyperperiod=4800, period_divisors=(1, 7))
+
+    def test_utilization_bounds(self):
+        with pytest.raises(ValueError):
+            ScenarioParams(existing_utilization=0.0)
+        with pytest.raises(ValueError):
+            ScenarioParams(current_utilization=1.0)
+
+
+class TestGenerateApplication:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        params = ScenarioParams(n_nodes=4, hyperperiod=2400)
+        arch = random_architecture(4, params.slot_length, params.slot_capacity)
+        return params, arch
+
+    def test_process_count(self, setup):
+        params, arch = setup
+        app = generate_application("a", 25, 0.3, arch, params, rng=0)
+        assert app.process_count == 25
+
+    def test_periods_divide_hyperperiod(self, setup):
+        params, arch = setup
+        app = generate_application("a", 25, 0.3, arch, params, rng=0)
+        for g in app.graphs:
+            assert params.hyperperiod % g.period == 0
+
+    def test_utilization_near_target(self, setup):
+        """Average demand lands within a factor ~2 of the target (the
+        critical-path cap and rounding bend it downward)."""
+        params, arch = setup
+        app = generate_application("a", 40, 0.4, arch, params, rng=1)
+        demand = 0.0
+        for g in app.graphs:
+            inst = params.hyperperiod // g.period
+            demand += inst * sum(p.average_wcet for p in g.processes)
+        utilization = demand / (len(arch) * params.hyperperiod)
+        assert 0.1 < utilization <= 0.5
+
+    def test_deterministic(self, setup):
+        params, arch = setup
+        a = generate_application("a", 20, 0.3, arch, params, rng=5)
+        b = generate_application("a", 20, 0.3, arch, params, rng=5)
+        assert [p.wcet for p in a.processes] == [p.wcet for p in b.processes]
+
+    def test_unique_ids(self, setup):
+        params, arch = setup
+        app = generate_application("a", 30, 0.3, arch, params, rng=2)
+        ids = [p.id for p in app.processes]
+        assert len(set(ids)) == len(ids)
+
+
+class TestBuildScenario:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        params = ScenarioParams(n_nodes=3, hyperperiod=2400,
+                                n_existing=15, n_current=8)
+        return build_scenario(params, seed=1)
+
+    def test_counts(self, scenario):
+        assert scenario.existing.process_count == 15
+        assert scenario.current.process_count == 8
+
+    def test_base_schedule_frozen(self, scenario):
+        entries = list(scenario.base_schedule.all_entries())
+        assert entries
+        assert all(e.frozen for e in entries)
+
+    def test_base_schedule_horizon(self, scenario):
+        assert scenario.base_schedule.horizon == scenario.params.hyperperiod
+
+    def test_base_covers_existing(self, scenario):
+        for graph in scenario.existing.graphs:
+            inst = scenario.params.hyperperiod // graph.period
+            for proc in graph.processes:
+                for k in range(inst):
+                    assert scenario.base_schedule.entry_of(proc.id, k)
+
+    def test_future_consistent(self, scenario):
+        f = scenario.future
+        assert f.t_min == scenario.params.t_min
+        assert f.t_need > 0 and f.b_need > 0
+        assert len(f.wcet_distribution.values) == 4
+
+    def test_deterministic(self, scenario):
+        params = ScenarioParams(n_nodes=3, hyperperiod=2400,
+                                n_existing=15, n_current=8)
+        again = build_scenario(params, seed=1)
+        assert again.future == scenario.future
+        assert [p.wcet for p in again.current.processes] == [
+            p.wcet for p in scenario.current.processes
+        ]
+
+    def test_spec_wiring(self, scenario):
+        spec = scenario.spec()
+        assert spec.base_schedule is scenario.base_schedule
+        assert spec.current is scenario.current
+        assert spec.effective_horizon() == scenario.params.hyperperiod
+
+
+class TestFutureApplication:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        params = ScenarioParams(n_nodes=3, hyperperiod=2400,
+                                n_existing=12, n_current=6)
+        return build_scenario(params, seed=4)
+
+    def test_period_is_t_min(self, scenario):
+        fut = generate_future_application(scenario, rng=0)
+        for g in fut.graphs:
+            assert g.period == scenario.future.t_min
+
+    def test_explicit_size(self, scenario):
+        fut = generate_future_application(scenario, n_processes=9, rng=0)
+        assert fut.process_count == 9
+
+    def test_derived_size_tracks_demand_fraction(self, scenario):
+        small = generate_future_application(
+            scenario, rng=0, demand_fraction=0.2
+        )
+        large = generate_future_application(
+            scenario, rng=0, demand_fraction=0.8
+        )
+        assert small.process_count < large.process_count
+
+    def test_wcets_from_characterized_distribution(self, scenario):
+        fut = generate_future_application(scenario, rng=1)
+        values = set(scenario.future.wcet_distribution.values)
+        # Base WCETs come from the distribution, then node speed factors
+        # scale them; verify magnitudes are in a sane envelope.
+        lo = min(values) * 0.4
+        hi = max(values) * 1.6
+        for p in fut.processes:
+            for w in p.wcet.values():
+                assert lo <= w <= hi + 1

@@ -1,0 +1,132 @@
+"""Tests for the random task-graph generator."""
+
+import networkx as nx
+import pytest
+
+from repro.gen.architecture_gen import random_architecture
+from repro.gen.taskgraph import GraphParams, random_process_graph, scale_graph_wcets
+
+
+@pytest.fixture(scope="module")
+def arch():
+    return random_architecture(4)
+
+
+class TestStructure:
+    def test_process_count(self, arch):
+        g = random_process_graph("g", 12, 100, arch, rng=0)
+        assert len(g) == 12
+
+    def test_acyclic(self, arch):
+        for seed in range(5):
+            g = random_process_graph("g", 15, 100, arch, rng=seed)
+            assert nx.is_directed_acyclic_graph(g.as_networkx())
+
+    def test_deterministic_by_seed(self, arch):
+        a = random_process_graph("g", 10, 100, arch, rng=7)
+        b = random_process_graph("g", 10, 100, arch, rng=7)
+        assert [p.id for p in a.processes] == [p.id for p in b.processes]
+        assert [(m.src, m.dst, m.size) for m in a.messages] == [
+            (m.src, m.dst, m.size) for m in b.messages
+        ]
+        assert [p.wcet for p in a.processes] == [p.wcet for p in b.processes]
+
+    def test_seeds_differ(self, arch):
+        a = random_process_graph("g", 10, 100, arch, rng=1)
+        b = random_process_graph("g", 10, 100, arch, rng=2)
+        assert [p.wcet for p in a.processes] != [p.wcet for p in b.processes]
+
+    def test_single_process(self, arch):
+        g = random_process_graph("g", 1, 100, arch, rng=0)
+        assert len(g) == 1
+        assert g.messages == []
+
+    def test_non_positive_count_rejected(self, arch):
+        with pytest.raises(ValueError):
+            random_process_graph("g", 0, 100, arch, rng=0)
+
+    def test_id_prefix(self, arch):
+        g = random_process_graph("g", 5, 100, arch, rng=0, id_prefix="app.g3")
+        assert all(p.id.startswith("app.g3.P") for p in g.processes)
+
+    def test_period_deadline(self, arch):
+        g = random_process_graph("g", 5, 200, arch, rng=0, deadline=150)
+        assert g.period == 200
+        assert g.deadline == 150
+
+    def test_every_nonsource_has_parent(self, arch):
+        """Spanning edges connect every non-layer-0 process."""
+        g = random_process_graph("g", 20, 100, arch, rng=3)
+        nxg = g.as_networkx()
+        roots = [n for n in nxg if nxg.in_degree(n) == 0]
+        # All roots must reach layer-0 status: weak check -- at least
+        # one root, and the graph is not fully disconnected.
+        assert roots
+        assert len(g.messages) >= len(g) - len(roots)
+
+
+class TestWcets:
+    def test_wcets_positive_and_bounded(self, arch):
+        params = GraphParams(wcet_range=(10, 40), het_range=(0.5, 1.5))
+        g = random_process_graph("g", 20, 100, arch, rng=0, params=params)
+        for p in g.processes:
+            for w in p.wcet.values():
+                assert 1 <= w <= 40 * 1.5 + 1
+
+    def test_allowed_nodes_nonempty(self, arch):
+        params = GraphParams(allowed_node_prob=0.0)
+        g = random_process_graph("g", 20, 100, arch, rng=0, params=params)
+        for p in g.processes:
+            assert len(p.allowed_nodes) == 1
+
+    def test_allowed_node_prob_one_gives_all(self, arch):
+        params = GraphParams(allowed_node_prob=1.0)
+        g = random_process_graph("g", 10, 100, arch, rng=0, params=params)
+        for p in g.processes:
+            assert len(p.allowed_nodes) == len(arch)
+
+    def test_custom_wcet_sampler(self, arch):
+        g = random_process_graph(
+            "g", 10, 100, arch, rng=0,
+            params=GraphParams(het_range=(1.0, 1.0)),
+            wcet_sampler=lambda r: 17,
+        )
+        for p in g.processes:
+            assert set(p.wcet.values()) == {17}
+
+    def test_invalid_sampler_rejected(self, arch):
+        with pytest.raises(ValueError):
+            random_process_graph(
+                "g", 5, 100, arch, rng=0, wcet_sampler=lambda r: 0
+            )
+
+    def test_custom_msg_sampler(self, arch):
+        g = random_process_graph(
+            "g", 10, 100, arch, rng=0, msg_size_sampler=lambda r: 3
+        )
+        assert all(m.size == 3 for m in g.messages)
+
+
+class TestScaling:
+    def test_scale_doubles(self, arch):
+        g = random_process_graph("g", 8, 100, arch, rng=0)
+        scaled = scale_graph_wcets(g, 2.0)
+        for p, q in zip(g.processes, scaled.processes):
+            for node in p.wcet:
+                assert q.wcet[node] == max(1, round(p.wcet[node] * 2.0))
+
+    def test_scale_clamps_at_one(self, arch):
+        g = random_process_graph("g", 8, 100, arch, rng=0)
+        scaled = scale_graph_wcets(g, 0.0001)
+        assert all(min(p.wcet.values()) == 1 for p in scaled.processes)
+
+    def test_scale_preserves_structure(self, arch):
+        g = random_process_graph("g", 8, 100, arch, rng=0)
+        scaled = scale_graph_wcets(g, 3.0)
+        assert [m.id for m in scaled.messages] == [m.id for m in g.messages]
+        assert scaled.period == g.period
+
+    def test_invalid_factor_rejected(self, arch):
+        g = random_process_graph("g", 4, 100, arch, rng=0)
+        with pytest.raises(ValueError):
+            scale_graph_wcets(g, 0)

@@ -1,0 +1,133 @@
+"""Tests for applications (collections of process graphs)."""
+
+import pytest
+
+from repro.model.application import Application, merge_applications
+from repro.model.process_graph import Message, Process, ProcessGraph
+from repro.utils.errors import InvalidModelError
+
+
+def graph_with(prefix: str, period: int = 100, n: int = 2) -> ProcessGraph:
+    g = ProcessGraph(f"{prefix}", period)
+    for i in range(n):
+        g.add_process(Process(f"{prefix}.P{i}", {"N1": 5}))
+    if n >= 2:
+        g.add_message(Message(f"{prefix}.m0", f"{prefix}.P0", f"{prefix}.P1", 2))
+    return g
+
+
+class TestApplicationConstruction:
+    def test_empty_name_rejected(self):
+        with pytest.raises(InvalidModelError):
+            Application("")
+
+    def test_duplicate_graph_rejected(self):
+        app = Application("a", [graph_with("g0")])
+        with pytest.raises(InvalidModelError):
+            app.add_graph(graph_with("g0"))
+
+    def test_duplicate_process_across_graphs_rejected(self):
+        g1 = ProcessGraph("g1", 100)
+        g1.add_process(Process("shared", {"N1": 5}))
+        g2 = ProcessGraph("g2", 100)
+        g2.add_process(Process("shared", {"N1": 5}))
+        app = Application("a", [g1])
+        with pytest.raises(InvalidModelError):
+            app.add_graph(g2)
+
+    def test_duplicate_message_across_graphs_rejected(self):
+        def g(name, pids):
+            graph = ProcessGraph(name, 100)
+            for pid in pids:
+                graph.add_process(Process(pid, {"N1": 5}))
+            graph.add_message(Message("m-shared", pids[0], pids[1], 2))
+            return graph
+
+        app = Application("a", [g("g1", ["A", "B"])])
+        with pytest.raises(InvalidModelError):
+            app.add_graph(g("g2", ["C", "D"]))
+
+    def test_validate_empty_application(self):
+        with pytest.raises(InvalidModelError):
+            Application("a").validate()
+
+
+class TestApplicationQueries:
+    @pytest.fixture
+    def app(self) -> Application:
+        return Application(
+            "a", [graph_with("g0", period=100), graph_with("g1", period=50)]
+        )
+
+    def test_counts(self, app):
+        assert app.process_count == 4
+        assert app.message_count == 2
+        assert len(app) == 2
+
+    def test_iteration(self, app):
+        assert [g.name for g in app] == ["g0", "g1"]
+
+    def test_graph_lookup(self, app):
+        assert app.graph("g1").period == 50
+        with pytest.raises(InvalidModelError):
+            app.graph("nope")
+
+    def test_process_lookup(self, app):
+        assert app.process("g0.P1").id == "g0.P1"
+        with pytest.raises(InvalidModelError):
+            app.process("nope")
+
+    def test_graph_of(self, app):
+        assert app.graph_of("g1.P0").name == "g1"
+        with pytest.raises(InvalidModelError):
+            app.graph_of("nope")
+
+    def test_message_lookup(self, app):
+        assert app.message("g0.m0").size == 2
+        with pytest.raises(InvalidModelError):
+            app.message("nope")
+
+    def test_graph_of_message(self, app):
+        assert app.graph_of_message("g1.m0").name == "g1"
+        with pytest.raises(InvalidModelError):
+            app.graph_of_message("nope")
+
+    def test_contains(self, app):
+        assert "g0.P0" in app
+        assert "zzz" not in app
+
+    def test_periods_and_hyperperiod(self, app):
+        assert sorted(app.periods) == [50, 100]
+        assert app.hyperperiod() == 100
+
+    def test_total_min_wcet_per_hyperperiod(self, app):
+        # g0: 2 procs * 5 * 1 instance; g1: 2 procs * 5 * 2 instances.
+        assert app.total_min_wcet_per_hyperperiod() == 10 + 20
+
+    def test_total_min_wcet_custom_horizon(self, app):
+        assert app.total_min_wcet_per_hyperperiod(200) == 20 + 40
+
+    def test_validate_ok(self, app):
+        app.validate()
+
+
+class TestMergeApplications:
+    def test_merge_prefixes_graph_names(self):
+        a = Application("a", [graph_with("g0")])
+        b = Application("b", [graph_with("g1")])
+        merged = merge_applications("all", [a, b])
+        assert [g.name for g in merged.graphs] == ["a.g0", "b.g1"]
+        assert merged.process_count == 4
+
+    def test_merge_preserves_structure(self):
+        a = Application("a", [graph_with("g0")])
+        merged = merge_applications("all", [a])
+        graph = merged.graph("a.g0")
+        assert graph.period == 100
+        assert {m.id for m in graph.messages} == {"g0.m0"}
+
+    def test_merge_conflicting_process_ids_rejected(self):
+        a = Application("a", [graph_with("g0")])
+        b = Application("b", [graph_with("g0")])
+        with pytest.raises(InvalidModelError):
+            merge_applications("all", [a, b])

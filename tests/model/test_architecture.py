@@ -1,0 +1,67 @@
+"""Tests for nodes and architectures."""
+
+import pytest
+
+from repro.model.architecture import Architecture, Node
+from repro.tdma.bus import Slot, TdmaBus
+from repro.utils.errors import InvalidModelError
+
+
+class TestNode:
+    def test_defaults(self):
+        n = Node("N1")
+        assert n.name == "N1"
+        assert n.kind == "cpu"
+
+    def test_custom(self):
+        n = Node("N2", name="dsp-node", kind="asic")
+        assert n.name == "dsp-node"
+        assert n.kind == "asic"
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(InvalidModelError):
+            Node("")
+
+
+class TestArchitecture:
+    def test_default_uniform_bus(self):
+        arch = Architecture([Node("A"), Node("B")], slot_length=3, slot_capacity=7)
+        assert arch.bus.round_length == 6
+        assert arch.bus.slot_of("B").capacity == 7
+
+    def test_explicit_bus(self):
+        bus = TdmaBus([Slot("B", 2, 4), Slot("A", 5, 9)])
+        arch = Architecture([Node("A"), Node("B")], bus)
+        assert arch.bus.slot_index("B") == 0
+
+    def test_no_nodes_rejected(self):
+        with pytest.raises(InvalidModelError):
+            Architecture([])
+
+    def test_duplicate_node_rejected(self):
+        with pytest.raises(InvalidModelError):
+            Architecture([Node("A"), Node("A")])
+
+    def test_bus_node_mismatch_rejected(self):
+        bus = TdmaBus([Slot("A", 2, 4)])
+        with pytest.raises(InvalidModelError):
+            Architecture([Node("A"), Node("B")], bus)
+
+    def test_bus_extra_node_rejected(self):
+        bus = TdmaBus([Slot("A", 2, 4), Slot("C", 2, 4)])
+        with pytest.raises(InvalidModelError):
+            Architecture([Node("A")], bus)
+
+    def test_queries(self):
+        arch = Architecture([Node("A"), Node("B")])
+        assert len(arch) == 2
+        assert arch.node_ids == ["A", "B"]
+        assert "A" in arch
+        assert "Z" not in arch
+        assert arch.node("B").id == "B"
+        assert [n.id for n in arch] == ["A", "B"]
+
+    def test_unknown_node_lookup(self):
+        arch = Architecture([Node("A")])
+        with pytest.raises(InvalidModelError):
+            arch.node("Z")

@@ -1,0 +1,203 @@
+"""Tests for processes, messages and process graphs."""
+
+import pytest
+
+from repro.model.process_graph import (
+    Message,
+    Process,
+    ProcessGraph,
+    build_graph,
+)
+from repro.utils.errors import InvalidModelError
+
+
+class TestProcess:
+    def test_basic(self):
+        p = Process("P1", {"N1": 10, "N2": 20})
+        assert p.allowed_nodes == ("N1", "N2")
+        assert p.wcet_on("N1") == 10
+        assert p.name == "P1"
+
+    def test_custom_name(self):
+        assert Process("P1", {"N1": 5}, name="sensor").name == "sensor"
+
+    def test_average_wcet(self):
+        assert Process("P1", {"N1": 10, "N2": 20}).average_wcet == 15.0
+
+    def test_min_wcet(self):
+        assert Process("P1", {"N1": 10, "N2": 20}).min_wcet == 10
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(InvalidModelError):
+            Process("", {"N1": 10})
+
+    def test_empty_wcet_rejected(self):
+        with pytest.raises(InvalidModelError):
+            Process("P1", {})
+
+    def test_zero_wcet_rejected(self):
+        with pytest.raises(InvalidModelError):
+            Process("P1", {"N1": 0})
+
+    def test_negative_wcet_rejected(self):
+        with pytest.raises(InvalidModelError):
+            Process("P1", {"N1": -3})
+
+    def test_wcet_on_disallowed_node(self):
+        p = Process("P1", {"N1": 10})
+        with pytest.raises(InvalidModelError):
+            p.wcet_on("N9")
+
+    def test_wcet_table_is_copied(self):
+        table = {"N1": 10}
+        p = Process("P1", table)
+        table["N2"] = 99
+        assert "N2" not in p.wcet
+
+
+class TestMessage:
+    def test_basic(self):
+        m = Message("m1", "P1", "P2", 4)
+        assert (m.src, m.dst, m.size) == ("P1", "P2", 4)
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(InvalidModelError):
+            Message("", "P1", "P2", 4)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(InvalidModelError):
+            Message("m1", "P1", "P1", 4)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(InvalidModelError):
+            Message("m1", "P1", "P2", 0)
+
+
+class TestProcessGraphConstruction:
+    def test_period_deadline_defaults(self):
+        g = ProcessGraph("g", 100)
+        assert g.deadline == 100
+
+    def test_deadline_validation(self):
+        with pytest.raises(InvalidModelError):
+            ProcessGraph("g", 100, deadline=150)
+        with pytest.raises(InvalidModelError):
+            ProcessGraph("g", 100, deadline=0)
+
+    def test_zero_period_rejected(self):
+        with pytest.raises(InvalidModelError):
+            ProcessGraph("g", 0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(InvalidModelError):
+            ProcessGraph("", 100)
+
+    def test_duplicate_process_rejected(self):
+        g = ProcessGraph("g", 100)
+        g.add_process(Process("P1", {"N1": 5}))
+        with pytest.raises(InvalidModelError):
+            g.add_process(Process("P1", {"N1": 7}))
+
+    def test_message_unknown_endpoint_rejected(self):
+        g = ProcessGraph("g", 100)
+        g.add_process(Process("P1", {"N1": 5}))
+        with pytest.raises(InvalidModelError):
+            g.add_message(Message("m1", "P1", "P9", 2))
+
+    def test_duplicate_message_id_rejected(self):
+        g = ProcessGraph("g", 100)
+        g.add_process(Process("P1", {"N1": 5}))
+        g.add_process(Process("P2", {"N1": 5}))
+        g.add_process(Process("P3", {"N1": 5}))
+        g.add_message(Message("m1", "P1", "P2", 2))
+        with pytest.raises(InvalidModelError):
+            g.add_message(Message("m1", "P2", "P3", 2))
+
+    def test_parallel_edge_rejected(self):
+        g = ProcessGraph("g", 100)
+        g.add_process(Process("P1", {"N1": 5}))
+        g.add_process(Process("P2", {"N1": 5}))
+        g.add_message(Message("m1", "P1", "P2", 2))
+        with pytest.raises(InvalidModelError):
+            g.add_message(Message("m2", "P1", "P2", 2))
+
+    def test_cycle_rejected_and_rolled_back(self):
+        g = ProcessGraph("g", 100)
+        for pid in ("P1", "P2", "P3"):
+            g.add_process(Process(pid, {"N1": 5}))
+        g.add_message(Message("m1", "P1", "P2", 2))
+        g.add_message(Message("m2", "P2", "P3", 2))
+        with pytest.raises(InvalidModelError):
+            g.add_message(Message("m3", "P3", "P1", 2))
+        # The offending edge must not linger.
+        assert g.predecessors("P1") == []
+        assert len(g.messages) == 2
+
+    def test_validate_empty_graph(self):
+        with pytest.raises(InvalidModelError):
+            ProcessGraph("g", 100).validate()
+
+
+class TestProcessGraphQueries:
+    @pytest.fixture
+    def diamond(self) -> ProcessGraph:
+        return build_graph(
+            "g",
+            100,
+            None,
+            [Process(f"P{i}", {"N1": 10}) for i in range(4)],
+            [
+                Message("m0", "P0", "P1", 2),
+                Message("m1", "P0", "P2", 2),
+                Message("m2", "P1", "P3", 2),
+                Message("m3", "P2", "P3", 2),
+            ],
+        )
+
+    def test_len_and_contains(self, diamond):
+        assert len(diamond) == 4
+        assert "P2" in diamond
+        assert "P9" not in diamond
+
+    def test_lookup(self, diamond):
+        assert diamond.process("P1").id == "P1"
+        assert diamond.message("m2").dst == "P3"
+
+    def test_unknown_lookup(self, diamond):
+        with pytest.raises(InvalidModelError):
+            diamond.process("nope")
+        with pytest.raises(InvalidModelError):
+            diamond.message("nope")
+
+    def test_sources_sinks(self, diamond):
+        assert diamond.sources() == ["P0"]
+        assert diamond.sinks() == ["P3"]
+
+    def test_predecessors_successors(self, diamond):
+        assert sorted(diamond.successors("P0")) == ["P1", "P2"]
+        assert sorted(diamond.predecessors("P3")) == ["P1", "P2"]
+
+    def test_in_out_messages(self, diamond):
+        assert {m.id for m in diamond.in_messages("P3")} == {"m2", "m3"}
+        assert {m.id for m in diamond.out_messages("P0")} == {"m0", "m1"}
+
+    def test_topological_order(self, diamond):
+        order = diamond.topological_order()
+        assert order.index("P0") < order.index("P1")
+        assert order.index("P1") < order.index("P3")
+        assert order.index("P2") < order.index("P3")
+
+    def test_topological_order_deterministic(self, diamond):
+        assert diamond.topological_order() == diamond.topological_order()
+
+    def test_critical_path_length(self, diamond):
+        # Three levels of 10 each (communication excluded).
+        assert diamond.critical_path_length() == 30.0
+
+    def test_total_min_wcet(self, diamond):
+        assert diamond.total_min_wcet() == 40
+
+    def test_as_networkx_is_copy(self, diamond):
+        nxg = diamond.as_networkx()
+        nxg.remove_node("P0")
+        assert "P0" in diamond

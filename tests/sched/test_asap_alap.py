@@ -1,0 +1,97 @@
+"""Tests for contention-free ASAP/ALAP bounds and mobility."""
+
+import pytest
+
+from repro.model.application import Application
+from repro.model.mapping import Mapping
+from repro.model.process_graph import Message, Process, ProcessGraph
+from repro.sched.asap_alap import (
+    alap_schedule,
+    asap_schedule,
+    critical_processes,
+    time_bounds,
+)
+from repro.utils.errors import SchedulingError
+
+from tests.conftest import make_chain_graph
+
+
+@pytest.fixture
+def chain(arch2):
+    graph = make_chain_graph(period=100, deadline=100, wcets=(10, 20, 30))
+    app = Application("a", [graph])
+    mapping = Mapping(app, arch2, {p.id: "N1" for p in app.processes})
+    return graph, mapping, arch2.bus
+
+
+class TestAsap:
+    def test_chain_same_node(self, chain):
+        graph, mapping, bus = chain
+        asap = asap_schedule(graph, mapping, bus)
+        assert asap == {"P0": 0, "P1": 10, "P2": 30}
+
+    def test_cross_node_adds_latency(self, arch2):
+        graph = make_chain_graph(period=100, deadline=100, wcets=(10, 20, 30))
+        app = Application("a", [graph])
+        mapping = Mapping(
+            app, arch2, {"P0": "N1", "P1": "N2", "P2": "N2"}
+        )
+        asap = asap_schedule(graph, mapping, arch2.bus)
+        # N1's slot is 4 tu long; optimistic latency = 4.
+        assert asap["P1"] == 10 + 4
+        assert asap["P2"] == asap["P1"] + 20
+
+    def test_fork_join_takes_max(self, arch2, fork_join_app):
+        graph = fork_join_app.graphs[0]
+        mapping = Mapping(
+            fork_join_app, arch2, {p.id: "N1" for p in fork_join_app.processes}
+        )
+        asap = asap_schedule(graph, mapping, arch2.bus)
+        # P3 waits for the slower of P1 (8+9=17) and P2 (8+10=18).
+        assert asap["P3"] == 18
+
+
+class TestAlap:
+    def test_chain_same_node(self, chain):
+        graph, mapping, bus = chain
+        alap = alap_schedule(graph, mapping, bus)
+        # Backwards from deadline 100: P2 at 70, P1 at 50, P0 at 40.
+        assert alap == {"P0": 40, "P1": 50, "P2": 70}
+
+    def test_custom_deadline(self, chain):
+        graph, mapping, bus = chain
+        alap = alap_schedule(graph, mapping, bus, deadline=60)
+        assert alap == {"P0": 0, "P1": 10, "P2": 30}
+
+    def test_infeasible_deadline_raises(self, chain):
+        graph, mapping, bus = chain
+        with pytest.raises(SchedulingError):
+            alap_schedule(graph, mapping, bus, deadline=59)
+
+
+class TestMobility:
+    def test_mobility_zero_on_tight_deadline(self, chain):
+        graph, mapping, bus = chain
+        bounds = time_bounds(graph, mapping, bus, deadline=60)
+        assert all(b.mobility == 0 for b in bounds.values())
+
+    def test_mobility_equals_slack(self, chain):
+        graph, mapping, bus = chain
+        bounds = time_bounds(graph, mapping, bus)  # deadline 100
+        assert all(b.mobility == 40 for b in bounds.values())
+
+    def test_critical_processes_filter(self, arch2, fork_join_app):
+        graph = fork_join_app.graphs[0]
+        mapping = Mapping(
+            fork_join_app, arch2, {p.id: "N1" for p in fork_join_app.processes}
+        )
+        critical = critical_processes(graph, mapping, arch2.bus, 56)
+        # Deadline 80, critical path 8+10+6=24 via P2; P1 (wcet 9) has
+        # one extra unit of mobility.
+        assert set(critical) == {"P0", "P2", "P3"}
+
+    def test_asap_never_exceeds_alap_when_feasible(self, chain):
+        graph, mapping, bus = chain
+        bounds = time_bounds(graph, mapping, bus)
+        for b in bounds.values():
+            assert b.asap <= b.alap

@@ -1,0 +1,233 @@
+"""Tests for priority-driven static cyclic list scheduling."""
+
+import pytest
+
+from repro.model.application import Application
+from repro.model.mapping import Mapping
+from repro.model.process_graph import Message, Process, ProcessGraph
+from repro.sched.list_scheduler import ListScheduler
+from repro.sched.schedule import SystemSchedule
+from repro.utils.errors import SchedulingError
+
+from tests.conftest import make_chain_graph, make_fork_join_graph
+
+
+def all_on(app, arch, node_id) -> Mapping:
+    return Mapping(app, arch, {p.id: node_id for p in app.processes})
+
+
+class TestSingleGraph:
+    def test_chain_same_node_back_to_back(self, arch2, chain_app):
+        """Intra-node messages cost nothing; the chain packs tightly."""
+        mapping = all_on(chain_app, arch2, "N1")
+        schedule = ListScheduler(arch2).schedule(chain_app, mapping)
+        e = [schedule.entry_of(f"P{i}", 0) for i in range(3)]
+        assert (e[0].start, e[0].end) == (0, 8)
+        assert (e[1].start, e[1].end) == (8, 17)
+        assert (e[2].start, e[2].end) == (17, 23)
+        assert len(list(schedule.bus.all_entries())) == 0
+
+    def test_chain_cross_node_uses_bus(self, arch2, chain_app):
+        mapping = Mapping(
+            chain_app, arch2, {"P0": "N1", "P1": "N2", "P2": "N1"}
+        )
+        schedule = ListScheduler(arch2).schedule(chain_app, mapping)
+        # m0 rides N1's slot: P0 ends at 8; N1 slots start at 0, 8, 16...
+        occ0 = schedule.bus.occupancy_of("m0", 0)
+        assert occ0 is not None
+        window0 = schedule.bus.bus.occurrence_window("N1", occ0.round_index)
+        assert window0.start >= 8
+        # P1 starts only after m0 arrives (slot end).
+        assert schedule.entry_of("P1", 0).start >= window0.end
+        # m1 rides N2's slot after P1's finish.
+        occ1 = schedule.bus.occupancy_of("m1", 0)
+        window1 = schedule.bus.bus.occurrence_window("N2", occ1.round_index)
+        assert window1.start >= schedule.entry_of("P1", 0).end
+        assert schedule.entry_of("P2", 0).start >= window1.end
+
+    def test_fork_join(self, arch2, fork_join_app):
+        mapping = Mapping(
+            fork_join_app,
+            arch2,
+            {"P0": "N1", "P1": "N2", "P2": "N1", "P3": "N1"},
+        )
+        schedule = ListScheduler(arch2).schedule(fork_join_app, mapping)
+        p3 = schedule.entry_of("P3", 0)
+        # P3 waits for both branches: P2 locally, P1 over the bus.
+        occ = schedule.bus.occupancy_of("m2", 0)
+        arrival = schedule.bus.arrival_time(occ)
+        assert p3.start >= max(schedule.entry_of("P2", 0).end, arrival)
+
+    def test_result_counters(self, arch2, chain_app):
+        mapping = all_on(chain_app, arch2, "N1")
+        result = ListScheduler(arch2).try_schedule(chain_app, mapping)
+        assert result.success
+        assert result.scheduled_jobs == result.total_jobs == 3
+
+
+class TestPeriodicInstances:
+    def test_instances_expand_over_horizon(self, arch2):
+        app = Application("a", [make_chain_graph(period=40, deadline=40)])
+        mapping = all_on(app, arch2, "N1")
+        schedule = ListScheduler(arch2).schedule(
+            app, mapping, horizon=80
+        )
+        for k in (0, 1):
+            for i in range(3):
+                assert schedule.entry_of(f"P{i}", k) is not None
+        # Second instance released at 40.
+        assert schedule.entry_of("P0", 1).start >= 40
+
+    def test_deadline_enforced_per_instance(self, arch2):
+        app = Application(
+            "a", [make_chain_graph(period=40, deadline=24, wcets=(8, 9, 6))]
+        )
+        # 8 + 9 + 6 = 23 <= 24 works on one node...
+        mapping = all_on(app, arch2, "N1")
+        assert ListScheduler(arch2).try_schedule(app, mapping).success
+        # ...but a cross-node hop adds bus latency and misses it.
+        tight = Application(
+            "a", [make_chain_graph(period=40, deadline=24, wcets=(8, 9, 6))]
+        )
+        mapping2 = Mapping(tight, arch2, {"P0": "N1", "P1": "N2", "P2": "N2"})
+        result = ListScheduler(arch2).try_schedule(tight, mapping2)
+        assert not result.success
+        assert "deadline" in result.failure_reason
+
+    def test_period_must_divide_horizon(self, arch2, chain_app):
+        mapping = all_on(chain_app, arch2, "N1")
+        with pytest.raises(SchedulingError):
+            ListScheduler(arch2).try_schedule(chain_app, mapping, horizon=90)
+
+    def test_two_graphs_interleave(self, arch2):
+        app = Application(
+            "a",
+            [
+                make_chain_graph("g0", period=80, prefix="a"),
+                make_chain_graph("g1", period=40, prefix="b"),
+            ],
+        )
+        mapping = all_on(app, arch2, "N1")
+        # The short-period graph is urgent: give it higher priority so
+        # its tight deadline (40 per instance) is respected.
+        priorities = {"aP0": 3, "aP1": 2, "aP2": 1, "bP0": 30, "bP1": 20, "bP2": 10}
+        schedule = ListScheduler(arch2).schedule(app, mapping, priorities=priorities)
+        assert schedule.horizon == 80
+        assert schedule.entry_of("bP0", 1) is not None
+        schedule.validate()
+
+
+class TestBaseSchedule:
+    def test_schedules_around_frozen_reservations(self, arch2, chain_app):
+        base = SystemSchedule(arch2, 80)
+        base.place_process("existing", 0, "N1", 0, 30, frozen=True)
+        mapping = all_on(chain_app, arch2, "N1")
+        schedule = ListScheduler(arch2).schedule(chain_app, mapping, base=base)
+        # The chain must start after the frozen block.
+        assert schedule.entry_of("P0", 0).start >= 30
+        # Frozen entry untouched.
+        assert schedule.entry_of("existing", 0).frozen
+
+    def test_base_is_not_mutated(self, arch2, chain_app):
+        base = SystemSchedule(arch2, 80)
+        base.place_process("existing", 0, "N1", 0, 30, frozen=True)
+        mapping = all_on(chain_app, arch2, "N1")
+        ListScheduler(arch2).schedule(chain_app, mapping, base=base)
+        assert len(list(base.all_entries())) == 1
+
+    def test_horizon_conflict_rejected(self, arch2, chain_app):
+        base = SystemSchedule(arch2, 80)
+        mapping = all_on(chain_app, arch2, "N1")
+        with pytest.raises(SchedulingError):
+            ListScheduler(arch2).try_schedule(
+                chain_app, mapping, base=base, horizon=160
+            )
+
+    def test_failure_when_no_room(self, arch2, chain_app):
+        base = SystemSchedule(arch2, 80)
+        base.place_process("existing", 0, "N1", 0, 70, frozen=True)
+        mapping = all_on(chain_app, arch2, "N1")
+        result = ListScheduler(arch2).try_schedule(chain_app, mapping, base=base)
+        assert not result.success
+
+
+class TestPriorities:
+    def test_priority_order_controls_packing(self, arch2):
+        """Two independent processes on one node: the higher-priority
+        one is scheduled first."""
+        g = ProcessGraph("g", 80)
+        g.add_process(Process("A", {"N1": 10}))
+        g.add_process(Process("B", {"N1": 10}))
+        app = Application("a", [g])
+        mapping = all_on(app, arch2, "N1")
+        s1 = ListScheduler(arch2).schedule(
+            app, mapping, priorities={"A": 2.0, "B": 1.0}
+        )
+        assert s1.entry_of("A", 0).start == 0
+        s2 = ListScheduler(arch2).schedule(
+            app, mapping, priorities={"A": 1.0, "B": 2.0}
+        )
+        assert s2.entry_of("B", 0).start == 0
+
+    def test_default_priorities_are_hcp(self, arch2, chain_app):
+        mapping = all_on(chain_app, arch2, "N1")
+        assert ListScheduler(arch2).try_schedule(chain_app, mapping).success
+
+
+class TestMessageDelays:
+    def test_delay_shifts_message_to_later_round(self, arch2, chain_app):
+        mapping = Mapping(chain_app, arch2, {"P0": "N1", "P1": "N2", "P2": "N2"})
+        sched0 = ListScheduler(arch2).schedule(chain_app, mapping)
+        base_round = sched0.bus.occupancy_of("m0", 0).round_index
+        sched1 = ListScheduler(arch2).schedule(
+            chain_app, mapping, message_delays={"m0": 1}
+        )
+        assert sched1.bus.occupancy_of("m0", 0).round_index > base_round
+
+    def test_delay_of_intra_node_message_is_noop(self, arch2, chain_app):
+        mapping = all_on(chain_app, arch2, "N1")
+        schedule = ListScheduler(arch2).schedule(
+            chain_app, mapping, message_delays={"m0": 3}
+        )
+        assert len(list(schedule.bus.all_entries())) == 0
+
+    def test_huge_delay_fails_schedulability(self, arch2, chain_app):
+        mapping = Mapping(chain_app, arch2, {"P0": "N1", "P1": "N2", "P2": "N2"})
+        result = ListScheduler(arch2).try_schedule(
+            chain_app, mapping, message_delays={"m0": 1000}
+        )
+        assert not result.success
+
+
+class TestMessageCapacity:
+    def test_messages_pack_into_same_slot(self, arch2):
+        """Two 4-byte messages fit one 8-byte slot occurrence."""
+        g = ProcessGraph("g", 160)
+        g.add_process(Process("A", {"N1": 4}))
+        g.add_process(Process("B", {"N1": 4}))
+        g.add_process(Process("C", {"N2": 4}))
+        g.add_process(Process("D", {"N2": 4}))
+        g.add_message(Message("m1", "A", "C", 4))
+        g.add_message(Message("m2", "B", "D", 4))
+        app = Application("a", [g])
+        mapping = Mapping(app, arch2, {"A": "N1", "B": "N1", "C": "N2", "D": "N2"})
+        schedule = ListScheduler(arch2).schedule(app, mapping)
+        o1 = schedule.bus.occupancy_of("m1", 0)
+        o2 = schedule.bus.occupancy_of("m2", 0)
+        assert o1.round_index == o2.round_index
+
+    def test_oversized_message_fails(self, arch2):
+        g = ProcessGraph("g", 80)
+        g.add_process(Process("A", {"N1": 4}))
+        g.add_process(Process("B", {"N2": 4}))
+        g.add_message(Message("m1", "A", "B", 99))  # > slot capacity 8
+        app = Application("a", [g])
+        mapping = Mapping(app, arch2, {"A": "N1", "B": "N2"})
+        result = ListScheduler(arch2).try_schedule(app, mapping)
+        assert not result.success
+        assert "bus" in result.failure_reason
+
+    def test_incomplete_mapping_rejected(self, arch2, chain_app):
+        mapping = Mapping(chain_app, arch2, {"P0": "N1"})
+        with pytest.raises(Exception):
+            ListScheduler(arch2).try_schedule(chain_app, mapping)

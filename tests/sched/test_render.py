@@ -1,0 +1,65 @@
+"""Tests for ASCII Gantt rendering."""
+
+import pytest
+
+from repro.sched.render import render_gantt, render_slack_summary
+from repro.sched.schedule import SystemSchedule
+
+
+@pytest.fixture
+def sched(arch2) -> SystemSchedule:
+    s = SystemSchedule(arch2, 80)
+    s.place_process("app.P1", 0, "N1", 0, 10)
+    s.place_process("app.P2", 0, "N2", 20, 10, frozen=True)
+    s.bus.place("app.m1", 0, "N1", 1, 4)
+    return s
+
+
+class TestGantt:
+    def test_contains_rows_for_all_nodes_and_bus(self, sched):
+        out = render_gantt(sched)
+        lines = out.splitlines()
+        assert lines[0].startswith("N1")
+        assert lines[1].startswith("N2")
+        assert lines[2].startswith("bus")
+
+    def test_labels_appear(self, sched):
+        out = render_gantt(sched)
+        assert "P1" in out
+        assert "P2" in out
+        assert "m1" in out
+
+    def test_frozen_marker(self, sched):
+        n2_row = render_gantt(sched).splitlines()[1]
+        assert "#" in n2_row
+
+    def test_scale_respects_width_limit(self, sched):
+        out = render_gantt(sched, scale=1, width_limit=20)
+        for line in out.splitlines()[:3]:
+            chart = line.split("|")[1]
+            assert len(chart) <= 20
+
+    def test_invalid_scale_rejected(self, sched):
+        with pytest.raises(ValueError):
+            render_gantt(sched, scale=0)
+
+    def test_custom_labels(self, sched):
+        out = render_gantt(sched, labels={"app.P1": "XX"})
+        assert "XX" in out
+
+    def test_empty_schedule_renders(self, arch2):
+        out = render_gantt(SystemSchedule(arch2, 40))
+        assert "N1" in out
+
+
+class TestSlackSummary:
+    def test_lists_gaps_and_bus(self, sched):
+        out = render_slack_summary(sched)
+        assert "N1" in out and "N2" in out and "bus" in out
+        assert "[10,80)" in out
+
+    def test_full_node_reports_none(self, arch2):
+        s = SystemSchedule(arch2, 40)
+        s.place_process("P", 0, "N1", 0, 40)
+        out = render_slack_summary(s)
+        assert "total slack 0 tu in gaps none" in out

@@ -1,0 +1,151 @@
+"""Tests for the system schedule table (processor side)."""
+
+import pytest
+
+from repro.sched.schedule import SystemSchedule
+from repro.utils.errors import SchedulingError
+from repro.utils.intervals import Interval
+
+
+@pytest.fixture
+def sched(arch2) -> SystemSchedule:
+    return SystemSchedule(arch2, horizon=100)
+
+
+class TestPlace:
+    def test_place_and_lookup(self, sched):
+        entry = sched.place_process("P1", 0, "N1", 10, 5)
+        assert entry.interval == Interval(10, 15)
+        assert entry.duration == 5
+        assert sched.entry_of("P1", 0) is entry
+
+    def test_zero_horizon_rejected(self, arch2):
+        with pytest.raises(SchedulingError):
+            SystemSchedule(arch2, 0)
+
+    def test_place_overlap_rejected(self, sched):
+        sched.place_process("P1", 0, "N1", 10, 5)
+        with pytest.raises(SchedulingError):
+            sched.place_process("P2", 0, "N1", 12, 5)
+
+    def test_place_adjacent_ok(self, sched):
+        sched.place_process("P1", 0, "N1", 10, 5)
+        sched.place_process("P2", 0, "N1", 15, 5)
+        assert sched.busy_set("N1").total_length == 10
+
+    def test_other_node_no_conflict(self, sched):
+        sched.place_process("P1", 0, "N1", 10, 5)
+        sched.place_process("P2", 0, "N2", 10, 5)
+
+    def test_duplicate_instance_rejected(self, sched):
+        sched.place_process("P1", 0, "N1", 10, 5)
+        with pytest.raises(SchedulingError):
+            sched.place_process("P1", 0, "N2", 30, 5)
+
+    def test_separate_instances_ok(self, sched):
+        sched.place_process("P1", 0, "N1", 10, 5)
+        sched.place_process("P1", 1, "N1", 60, 5)
+
+    def test_out_of_horizon_rejected(self, sched):
+        with pytest.raises(SchedulingError):
+            sched.place_process("P1", 0, "N1", 98, 5)
+        with pytest.raises(SchedulingError):
+            sched.place_process("P1", 0, "N1", -1, 5)
+
+    def test_zero_duration_rejected(self, sched):
+        with pytest.raises(SchedulingError):
+            sched.place_process("P1", 0, "N1", 10, 0)
+
+    def test_unknown_node_rejected(self, sched):
+        with pytest.raises(SchedulingError):
+            sched.place_process("P1", 0, "N9", 10, 5)
+
+
+class TestRemove:
+    def test_remove_frees_time(self, sched):
+        sched.place_process("P1", 0, "N1", 10, 5)
+        sched.remove_process("P1", 0)
+        assert sched.entry_of("P1", 0) is None
+        sched.place_process("P2", 0, "N1", 10, 5)
+
+    def test_remove_unknown_rejected(self, sched):
+        with pytest.raises(SchedulingError):
+            sched.remove_process("P1", 0)
+
+    def test_remove_frozen_rejected(self, sched):
+        sched.place_process("P1", 0, "N1", 10, 5, frozen=True)
+        with pytest.raises(SchedulingError):
+            sched.remove_process("P1", 0)
+
+    def test_remove_keeps_other_entries(self, sched):
+        sched.place_process("P1", 0, "N1", 10, 5)
+        sched.place_process("P2", 0, "N1", 20, 5)
+        sched.remove_process("P1", 0)
+        assert sched.busy_set("N1").intervals() == [Interval(20, 25)]
+
+
+class TestFreeze:
+    def test_freeze_all_marks_everything(self, sched):
+        sched.place_process("P1", 0, "N1", 10, 5)
+        sched.bus.place("m1", 0, "N1", 0, 2)
+        sched.freeze_all()
+        assert sched.entry_of("P1", 0).frozen
+        assert sched.bus.occupancy_of("m1", 0).frozen
+
+    def test_frozen_entries_cannot_be_removed(self, sched):
+        sched.place_process("P1", 0, "N1", 10, 5)
+        sched.freeze_all()
+        with pytest.raises(SchedulingError):
+            sched.remove_process("P1", 0)
+
+
+class TestQueries:
+    def test_entries_on_sorted(self, sched):
+        sched.place_process("P2", 0, "N1", 50, 5)
+        sched.place_process("P1", 0, "N1", 10, 5)
+        assert [e.process_id for e in sched.entries_on("N1")] == ["P1", "P2"]
+
+    def test_all_entries(self, sched):
+        sched.place_process("P1", 0, "N1", 10, 5)
+        sched.place_process("P2", 0, "N2", 20, 5)
+        assert len(list(sched.all_entries())) == 2
+
+    def test_earliest_fit_around_reservation(self, sched):
+        sched.place_process("P1", 0, "N1", 10, 20)
+        assert sched.earliest_fit("N1", 10, 0) == 0
+        assert sched.earliest_fit("N1", 15, 0) == 30
+        assert sched.earliest_fit("N1", 5, 12) == 30
+
+    def test_slack_gaps(self, sched):
+        sched.place_process("P1", 0, "N1", 10, 20)
+        assert sched.slack_gaps("N1") == [Interval(0, 10), Interval(30, 100)]
+
+    def test_slack_within(self, sched):
+        sched.place_process("P1", 0, "N1", 10, 20)
+        assert sched.slack_within("N1", Interval(0, 50)) == 30
+
+    def test_total_slack_and_utilization(self, sched):
+        sched.place_process("P1", 0, "N1", 10, 25)
+        assert sched.total_slack("N1") == 75
+        assert sched.utilization("N1") == 0.25
+        assert sched.utilization("N2") == 0.0
+
+
+class TestCopyValidate:
+    def test_copy_independent(self, sched):
+        sched.place_process("P1", 0, "N1", 10, 5)
+        clone = sched.copy()
+        clone.place_process("P2", 0, "N1", 20, 5)
+        assert sched.entry_of("P2", 0) is None
+        assert clone.entry_of("P1", 0) is not None
+
+    def test_copy_includes_bus(self, sched):
+        sched.bus.place("m1", 0, "N1", 0, 2)
+        clone = sched.copy()
+        assert clone.bus.occupancy_of("m1", 0) is not None
+        clone.bus.remove("m1", 0)
+        assert sched.bus.occupancy_of("m1", 0) is not None
+
+    def test_validate_ok(self, sched):
+        sched.place_process("P1", 0, "N1", 10, 5)
+        sched.validate()

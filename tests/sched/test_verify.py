@@ -1,0 +1,140 @@
+"""Tests for the independent design verifier."""
+
+import pytest
+
+from repro.model.application import Application
+from repro.model.mapping import Mapping
+from repro.sched.list_scheduler import ListScheduler
+from repro.sched.schedule import SystemSchedule
+from repro.sched.verify import verify_design
+from repro.utils.errors import SchedulingError
+
+from tests.conftest import make_chain_graph
+
+
+@pytest.fixture
+def good_design(arch2):
+    """A verified-good design built by the list scheduler."""
+    app = Application("a", [make_chain_graph(period=40)])
+    mapping = Mapping(app, arch2, {"P0": "N1", "P1": "N2", "P2": "N2"})
+    schedule = ListScheduler(arch2).schedule(app, mapping, horizon=80)
+    return schedule, app, mapping
+
+
+class TestAcceptsValid:
+    def test_scheduler_output_verifies(self, good_design):
+        schedule, app, mapping = good_design
+        verify_design(schedule, [app], {"a": mapping})
+
+    def test_without_mapping(self, good_design):
+        schedule, app, _ = good_design
+        verify_design(schedule, [app])
+
+
+class TestRejectsViolations:
+    def test_missing_instance(self, arch2, good_design):
+        _, app, mapping = good_design
+        incomplete = SystemSchedule(arch2, 80)
+        with pytest.raises(SchedulingError, match="missing"):
+            verify_design(incomplete, [app])
+
+    def test_wrong_duration(self, arch2, good_design):
+        _, app, _ = good_design
+        forged = SystemSchedule(arch2, 80)
+        for k in (0, 1):
+            base = 40 * k
+            forged.place_process("P0", k, "N1", base, 5)  # WCET is 8
+            forged.place_process("P1", k, "N2", base + 20, 9)
+            forged.place_process("P2", k, "N2", base + 30, 6)
+        with pytest.raises(SchedulingError, match="WCET"):
+            verify_design(forged, [app])
+
+    def test_deadline_violation(self, arch2):
+        app = Application("a", [make_chain_graph(period=40, deadline=20)])
+        forged = SystemSchedule(arch2, 40)
+        forged.place_process("P0", 0, "N1", 0, 8)
+        forged.place_process("P1", 0, "N1", 8, 9)
+        forged.place_process("P2", 0, "N1", 17, 6)  # ends 23 > 20
+        with pytest.raises(SchedulingError, match="deadline"):
+            verify_design(forged, [app])
+
+    def test_missing_bus_message(self, arch2):
+        app = Application("a", [make_chain_graph(period=80)])
+        forged = SystemSchedule(arch2, 80)
+        forged.place_process("P0", 0, "N1", 0, 8)
+        forged.place_process("P1", 0, "N2", 20, 9)  # m0 not on the bus
+        forged.place_process("P2", 0, "N2", 29, 6)
+        with pytest.raises(SchedulingError, match="not.*on the bus"):
+            verify_design(forged, [app])
+
+    def test_receiver_before_delivery(self, arch2):
+        app = Application("a", [make_chain_graph(period=80)])
+        forged = SystemSchedule(arch2, 80)
+        forged.place_process("P0", 0, "N1", 0, 8)
+        # N1's slot round 1 = [8, 12): delivery at 12, receiver at 10.
+        forged.bus.place("m0", 0, "N1", 1, 4)
+        forged.place_process("P1", 0, "N2", 10, 9)
+        forged.place_process("P2", 0, "N2", 19, 6)
+        with pytest.raises(SchedulingError, match="before delivery"):
+            verify_design(forged, [app])
+
+    def test_wrong_slot_owner(self, arch2):
+        app = Application("a", [make_chain_graph(period=80)])
+        forged = SystemSchedule(arch2, 80)
+        forged.place_process("P0", 0, "N1", 0, 8)
+        forged.bus.place("m0", 0, "N2", 2, 4)  # sender runs on N1!
+        forged.place_process("P1", 0, "N2", 20, 9)
+        forged.place_process("P2", 0, "N2", 29, 6)
+        with pytest.raises(SchedulingError, match="slot"):
+            verify_design(forged, [app])
+
+    def test_intra_node_precedence(self, arch2):
+        app = Application("a", [make_chain_graph(period=80)])
+        forged = SystemSchedule(arch2, 80)
+        forged.place_process("P0", 0, "N1", 10, 8)
+        forged.place_process("P1", 0, "N1", 0, 9)  # before its sender
+        forged.place_process("P2", 0, "N1", 30, 6)
+        with pytest.raises(SchedulingError, match="before sender"):
+            verify_design(forged, [app])
+
+    def test_disallowed_node(self, arch2):
+        g = make_chain_graph(nodes=("N1",))
+        app = Application("a", [g])
+        forged = SystemSchedule(arch2, 80)
+        forged.place_process("P0", 0, "N2", 0, 8)  # only N1 allowed
+        forged.place_process("P1", 0, "N2", 8, 9)
+        forged.place_process("P2", 0, "N2", 17, 6)
+        with pytest.raises(SchedulingError, match="disallowed"):
+            verify_design(forged, [app])
+
+    def test_mapping_mismatch(self, good_design):
+        schedule, app, mapping = good_design
+        wrong = mapping.copy()
+        wrong.assign("P0", "N2")
+        with pytest.raises(SchedulingError, match="mapped to"):
+            verify_design(schedule, [app], {"a": wrong})
+
+    def test_period_horizon_mismatch(self, arch2):
+        app = Application("a", [make_chain_graph(period=80)])
+        forged = SystemSchedule(arch2, 100)
+        with pytest.raises(SchedulingError, match="divide"):
+            verify_design(forged, [app])
+
+
+class TestStrategyOutputsVerify:
+    def test_mh_design_passes_verifier(self):
+        from repro.gen.scenario import ScenarioParams, build_scenario
+        from repro.core.strategy import make_strategy
+
+        scenario = build_scenario(
+            ScenarioParams(n_nodes=3, hyperperiod=2400,
+                           n_existing=12, n_current=8),
+            seed=3,
+        )
+        result = make_strategy("MH").design(scenario.spec())
+        assert result.valid
+        verify_design(
+            result.schedule,
+            [scenario.existing, scenario.current],
+            {scenario.current.name: result.mapping},
+        )

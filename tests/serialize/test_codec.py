@@ -1,0 +1,166 @@
+"""Round-trip tests for the JSON codecs."""
+
+import json
+
+import pytest
+
+from repro.core.future import DiscreteDistribution, FutureCharacterization
+from repro.gen.scenario import ScenarioParams, build_scenario
+from repro.model.application import Application
+from repro.model.mapping import Mapping
+from repro.serialize import (
+    application_from_dict,
+    application_to_dict,
+    architecture_from_dict,
+    architecture_to_dict,
+    from_dict,
+    future_from_dict,
+    future_to_dict,
+    load_json,
+    mapping_from_dict,
+    mapping_to_dict,
+    save_json,
+    schedule_from_dict,
+    schedule_to_dict,
+    to_dict,
+)
+from repro.utils.errors import InvalidModelError
+
+from tests.conftest import make_fork_join_graph
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    params = ScenarioParams(n_nodes=3, hyperperiod=2400,
+                            n_existing=12, n_current=6)
+    return build_scenario(params, seed=9)
+
+
+class TestApplicationCodec:
+    def test_round_trip(self, scenario):
+        payload = application_to_dict(scenario.existing)
+        rebuilt = application_from_dict(payload)
+        assert rebuilt.name == scenario.existing.name
+        assert rebuilt.process_count == scenario.existing.process_count
+        assert rebuilt.message_count == scenario.existing.message_count
+        for g_old, g_new in zip(scenario.existing.graphs, rebuilt.graphs):
+            assert (g_new.period, g_new.deadline) == (g_old.period, g_old.deadline)
+            for p_old, p_new in zip(g_old.processes, g_new.processes):
+                assert dict(p_new.wcet) == dict(p_old.wcet)
+
+    def test_payload_is_json_safe(self, scenario):
+        json.dumps(application_to_dict(scenario.existing))
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(InvalidModelError):
+            application_from_dict({"kind": "architecture"})
+
+
+class TestArchitectureCodec:
+    def test_round_trip(self, scenario):
+        payload = architecture_to_dict(scenario.architecture)
+        rebuilt = architecture_from_dict(payload)
+        assert rebuilt.node_ids == scenario.architecture.node_ids
+        assert rebuilt.bus.round_length == scenario.architecture.bus.round_length
+        for old, new in zip(scenario.architecture.bus.slots, rebuilt.bus.slots):
+            assert (new.node_id, new.length, new.capacity) == (
+                old.node_id,
+                old.length,
+                old.capacity,
+            )
+
+
+class TestMappingCodec:
+    def test_round_trip(self, scenario):
+        app = scenario.current
+        mapping = Mapping(
+            app,
+            scenario.architecture,
+            {p.id: p.allowed_nodes[0] for p in app.processes},
+        )
+        payload = mapping_to_dict(mapping)
+        rebuilt = mapping_from_dict(payload, app, scenario.architecture)
+        assert rebuilt.as_dict() == mapping.as_dict()
+
+    def test_wrong_application_rejected(self, scenario):
+        app = scenario.current
+        mapping = Mapping(
+            app,
+            scenario.architecture,
+            {p.id: p.allowed_nodes[0] for p in app.processes},
+        )
+        payload = mapping_to_dict(mapping)
+        other = Application("other", [make_fork_join_graph(nodes=("N0",))])
+        with pytest.raises(InvalidModelError):
+            mapping_from_dict(payload, other, scenario.architecture)
+
+
+class TestFutureCodec:
+    def test_round_trip(self, scenario):
+        payload = future_to_dict(scenario.future)
+        rebuilt = future_from_dict(payload)
+        assert rebuilt == scenario.future
+
+    def test_distribution_preserved(self):
+        fc = FutureCharacterization(
+            t_min=100,
+            t_need=50,
+            b_need=10,
+            wcet_distribution=DiscreteDistribution((3, 9), (0.25, 0.75)),
+        )
+        rebuilt = future_from_dict(future_to_dict(fc))
+        assert rebuilt.wcet_distribution.values == (3, 9)
+        assert rebuilt.wcet_distribution.probabilities == (0.25, 0.75)
+
+
+class TestScheduleCodec:
+    def test_round_trip(self, scenario):
+        payload = schedule_to_dict(scenario.base_schedule)
+        rebuilt = schedule_from_dict(payload)
+        assert rebuilt.horizon == scenario.base_schedule.horizon
+        old_entries = sorted(
+            (e.process_id, e.instance, e.node_id, e.start, e.end, e.frozen)
+            for e in scenario.base_schedule.all_entries()
+        )
+        new_entries = sorted(
+            (e.process_id, e.instance, e.node_id, e.start, e.end, e.frozen)
+            for e in rebuilt.all_entries()
+        )
+        assert old_entries == new_entries
+        assert rebuilt.bus.total_free_bytes() == (
+            scenario.base_schedule.bus.total_free_bytes()
+        )
+
+    def test_json_safe(self, scenario):
+        json.dumps(schedule_to_dict(scenario.base_schedule))
+
+
+class TestGenericEntryPoints:
+    def test_to_dict_dispatch(self, scenario):
+        assert to_dict(scenario.existing)["kind"] == "application"
+        assert to_dict(scenario.architecture)["kind"] == "architecture"
+        assert to_dict(scenario.future)["kind"] == "future"
+        assert to_dict(scenario.base_schedule)["kind"] == "schedule"
+
+    def test_to_dict_unknown_type(self):
+        with pytest.raises(TypeError):
+            to_dict(42)
+
+    def test_from_dict_dispatch(self, scenario):
+        payload = to_dict(scenario.future)
+        assert from_dict(payload) == scenario.future
+
+    def test_from_dict_unknown_kind(self):
+        with pytest.raises(InvalidModelError):
+            from_dict({"kind": "mystery"})
+
+    def test_file_round_trip(self, scenario, tmp_path):
+        path = tmp_path / "future.json"
+        save_json(scenario.future, path)
+        assert load_json(path) == scenario.future
+
+    def test_file_round_trip_schedule(self, scenario, tmp_path):
+        path = tmp_path / "schedule.json"
+        save_json(scenario.base_schedule, path)
+        rebuilt = load_json(path)
+        rebuilt.validate()

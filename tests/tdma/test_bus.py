@@ -1,0 +1,132 @@
+"""Tests for the static TDMA round layout and timing arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tdma.bus import Slot, TdmaBus, uniform_bus
+from repro.utils.errors import InvalidModelError
+from repro.utils.intervals import Interval
+
+
+class TestSlot:
+    def test_basic(self):
+        s = Slot("N1", 4, 16)
+        assert (s.node_id, s.length, s.capacity) == ("N1", 4, 16)
+
+    def test_empty_node_rejected(self):
+        with pytest.raises(InvalidModelError):
+            Slot("", 4, 16)
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(InvalidModelError):
+            Slot("N1", 0, 16)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(InvalidModelError):
+            Slot("N1", 4, 0)
+
+
+@pytest.fixture
+def bus() -> TdmaBus:
+    """Three unequal slots: N1 at [0,2), N2 at [2,6), N3 at [6,12)."""
+    return TdmaBus([Slot("N1", 2, 4), Slot("N2", 4, 8), Slot("N3", 6, 12)])
+
+
+class TestStructure:
+    def test_round_length(self, bus):
+        assert bus.round_length == 12
+
+    def test_len_iter(self, bus):
+        assert len(bus) == 3
+        assert [s.node_id for s in bus] == ["N1", "N2", "N3"]
+
+    def test_slot_of(self, bus):
+        assert bus.slot_of("N2").capacity == 8
+
+    def test_slot_index(self, bus):
+        assert bus.slot_index("N3") == 2
+
+    def test_node_ids(self, bus):
+        assert bus.node_ids() == ["N1", "N2", "N3"]
+
+    def test_unknown_node(self, bus):
+        with pytest.raises(InvalidModelError):
+            bus.slot_of("N9")
+        with pytest.raises(InvalidModelError):
+            bus.slot_index("N9")
+
+    def test_empty_bus_rejected(self):
+        with pytest.raises(InvalidModelError):
+            TdmaBus([])
+
+    def test_duplicate_owner_rejected(self):
+        with pytest.raises(InvalidModelError):
+            TdmaBus([Slot("N1", 2, 4), Slot("N1", 4, 8)])
+
+    def test_uniform_bus(self):
+        b = uniform_bus(["A", "B"], 3, 9)
+        assert b.round_length == 6
+        assert b.slot_of("B").capacity == 9
+
+
+class TestTiming:
+    def test_slot_offsets(self, bus):
+        assert bus.slot_offset("N1") == 0
+        assert bus.slot_offset("N2") == 2
+        assert bus.slot_offset("N3") == 6
+
+    def test_occurrence_window_round0(self, bus):
+        assert bus.occurrence_window("N2", 0) == Interval(2, 6)
+
+    def test_occurrence_window_round2(self, bus):
+        assert bus.occurrence_window("N3", 2) == Interval(30, 36)
+
+    def test_negative_round_rejected(self, bus):
+        with pytest.raises(ValueError):
+            bus.occurrence_window("N1", -1)
+
+    def test_first_occurrence_at_zero(self, bus):
+        assert bus.first_occurrence_not_before("N1", 0) == 0
+
+    def test_first_occurrence_exactly_at_offset(self, bus):
+        assert bus.first_occurrence_not_before("N2", 2) == 0
+
+    def test_first_occurrence_after_offset(self, bus):
+        # N2's slot starts at 2, 14, 26...; ready at 3 -> round 1.
+        assert bus.first_occurrence_not_before("N2", 3) == 1
+
+    def test_first_occurrence_far_future(self, bus):
+        # N1's slot starts at 0, 12, 24, 36...; ready at 25 -> round 3.
+        assert bus.first_occurrence_not_before("N1", 25) == 3
+
+    def test_rounds_within(self, bus):
+        assert bus.rounds_within(0) == 0
+        assert bus.rounds_within(11) == 0
+        assert bus.rounds_within(12) == 1
+        assert bus.rounds_within(120) == 10
+
+    def test_rounds_within_negative_rejected(self, bus):
+        with pytest.raises(ValueError):
+            bus.rounds_within(-1)
+
+    def test_occurrences_within(self, bus):
+        occ = bus.occurrences_within("N2", 24)
+        assert occ == [Interval(2, 6), Interval(14, 18)]
+
+    def test_total_capacity_within(self, bus):
+        assert bus.total_capacity_within(24) == 2 * (4 + 8 + 12)
+
+    @given(ready=st.integers(0, 400))
+    def test_first_occurrence_is_earliest(self, ready):
+        """The returned occurrence starts at or after ready; the one
+        before it (if any) starts strictly before."""
+        # Built inline: hypothesis forbids function-scoped fixtures.
+        local_bus = TdmaBus(
+            [Slot("N1", 2, 4), Slot("N2", 4, 8), Slot("N3", 6, 12)]
+        )
+        r = local_bus.first_occurrence_not_before("N2", ready)
+        window = local_bus.occurrence_window("N2", r)
+        assert window.start >= ready
+        if r > 0:
+            prev = local_bus.occurrence_window("N2", r - 1)
+            assert prev.start < ready

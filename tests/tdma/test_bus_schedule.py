@@ -1,0 +1,186 @@
+"""Tests for mutable bus occupancy (BusSchedule)."""
+
+import pytest
+
+from repro.tdma.bus import Slot, TdmaBus
+from repro.tdma.schedule import BusSchedule
+from repro.utils.errors import SchedulingError
+from repro.utils.intervals import Interval
+
+
+@pytest.fixture
+def bus() -> TdmaBus:
+    return TdmaBus([Slot("N1", 2, 4), Slot("N2", 4, 8)])  # round = 6
+
+
+@pytest.fixture
+def sched(bus) -> BusSchedule:
+    return BusSchedule(bus, horizon=24)  # 4 rounds
+
+
+class TestBasics:
+    def test_rounds(self, sched):
+        assert sched.rounds == 4
+
+    def test_zero_horizon_rejected(self, bus):
+        with pytest.raises(SchedulingError):
+            BusSchedule(bus, 0)
+
+    def test_free_bytes_initial(self, sched):
+        assert sched.free_bytes("N1", 0) == 4
+        assert sched.free_bytes("N2", 3) == 8
+
+    def test_out_of_horizon_round_rejected(self, sched):
+        with pytest.raises(SchedulingError):
+            sched.free_bytes("N1", 4)
+
+    def test_unknown_node_rejected(self, sched):
+        with pytest.raises(Exception):
+            sched.free_bytes("N9", 0)
+
+
+class TestPlace:
+    def test_place_and_query(self, sched):
+        occ = sched.place("m1", 0, "N1", 1, 3)
+        assert sched.used_bytes("N1", 1) == 3
+        assert sched.free_bytes("N1", 1) == 1
+        assert sched.occupancy_of("m1", 0) is occ
+        assert sched.entries("N1", 1) == [occ]
+
+    def test_place_multiple_same_slot(self, sched):
+        sched.place("m1", 0, "N2", 0, 5)
+        sched.place("m2", 0, "N2", 0, 3)
+        assert sched.free_bytes("N2", 0) == 0
+
+    def test_place_over_capacity_rejected(self, sched):
+        sched.place("m1", 0, "N1", 0, 3)
+        with pytest.raises(SchedulingError):
+            sched.place("m2", 0, "N1", 0, 2)
+
+    def test_place_duplicate_instance_rejected(self, sched):
+        sched.place("m1", 0, "N1", 0, 1)
+        with pytest.raises(SchedulingError):
+            sched.place("m1", 0, "N1", 1, 1)
+
+    def test_place_distinct_instances_ok(self, sched):
+        sched.place("m1", 0, "N1", 0, 2)
+        sched.place("m1", 1, "N1", 2, 2)
+        assert sched.occupancy_of("m1", 1).round_index == 2
+
+    def test_place_zero_size_rejected(self, sched):
+        with pytest.raises(SchedulingError):
+            sched.place("m1", 0, "N1", 0, 0)
+
+    def test_place_outside_horizon_rejected(self, sched):
+        with pytest.raises(SchedulingError):
+            sched.place("m1", 0, "N1", 4, 1)
+
+
+class TestRemove:
+    def test_remove_restores_capacity(self, sched):
+        sched.place("m1", 0, "N1", 0, 3)
+        sched.remove("m1", 0)
+        assert sched.free_bytes("N1", 0) == 4
+        assert sched.occupancy_of("m1", 0) is None
+
+    def test_remove_unknown_rejected(self, sched):
+        with pytest.raises(SchedulingError):
+            sched.remove("m1", 0)
+
+    def test_remove_frozen_rejected(self, sched):
+        sched.place("m1", 0, "N1", 0, 3, frozen=True)
+        with pytest.raises(SchedulingError):
+            sched.remove("m1", 0)
+
+
+class TestEarliestRound:
+    def test_first_fit(self, sched):
+        assert sched.earliest_round_with_room("N1", 4, 0) == 0
+
+    def test_respects_ready_time(self, sched):
+        # N1's slot starts at 0, 6, 12, 18; ready at 1 -> round 1.
+        assert sched.earliest_round_with_room("N1", 2, 1) == 1
+
+    def test_skips_full_slots(self, sched):
+        sched.place("m1", 0, "N1", 0, 4)
+        sched.place("m2", 0, "N1", 1, 4)
+        assert sched.earliest_round_with_room("N1", 1, 0) == 2
+
+    def test_partial_slot_still_fits(self, sched):
+        sched.place("m1", 0, "N1", 0, 2)
+        assert sched.earliest_round_with_room("N1", 2, 0) == 0
+
+    def test_oversized_message_never_fits(self, sched):
+        assert sched.earliest_round_with_room("N1", 5, 0) is None
+
+    def test_no_room_before_horizon(self, sched):
+        for r in range(4):
+            sched.place(f"m{r}", 0, "N1", r, 4)
+        assert sched.earliest_round_with_room("N1", 1, 0) is None
+
+    def test_ready_past_horizon(self, sched):
+        assert sched.earliest_round_with_room("N1", 1, 23) is None
+
+
+class TestArrival:
+    def test_arrival_is_slot_end(self, sched):
+        occ = sched.place("m1", 0, "N2", 1, 4)
+        # N2's slot in round 1 is [8, 12).
+        assert sched.arrival_time(occ) == 12
+
+
+class TestResidualQueries:
+    def test_residuals_cover_all_occurrences(self, sched):
+        res = sched.residuals()
+        assert len(res) == 8  # 4 rounds x 2 slots
+        assert all(free in (4, 8) for _, free in res)
+        starts = [w.start for w, _ in res]
+        assert starts == sorted(starts)
+
+    def test_residuals_reflect_usage(self, sched):
+        sched.place("m1", 0, "N1", 1, 3)
+        res = {(w.start, w.end): free for w, free in sched.residuals()}
+        assert res[(6, 8)] == 1
+
+    def test_free_bytes_within_full_horizon(self, sched):
+        assert sched.free_bytes_within(Interval(0, 24)) == 4 * (4 + 8)
+
+    def test_free_bytes_within_one_round(self, sched):
+        assert sched.free_bytes_within(Interval(0, 6)) == 12
+
+    def test_free_bytes_within_partial_window_excludes_cut_slots(self, sched):
+        # Window [0, 4) contains N1's slot [0, 2) fully, N2's [2, 6) cut.
+        assert sched.free_bytes_within(Interval(0, 4)) == 4
+
+    def test_free_bytes_within_accounts_usage(self, sched):
+        sched.place("m1", 0, "N2", 0, 5)
+        assert sched.free_bytes_within(Interval(0, 6)) == 12 - 5
+
+    def test_free_bytes_within_matches_residual_scan(self, sched):
+        sched.place("m1", 0, "N1", 1, 2)
+        sched.place("m2", 0, "N2", 2, 7)
+        for window in (Interval(0, 12), Interval(6, 18), Interval(5, 23)):
+            brute = sum(
+                free
+                for w, free in sched.residuals()
+                if w.start >= window.start and w.end <= window.end
+            )
+            assert sched.free_bytes_within(window) == brute
+
+    def test_total_free_bytes(self, sched):
+        sched.place("m1", 0, "N1", 0, 3)
+        assert sched.total_free_bytes() == 4 * 12 - 3
+
+
+class TestCopy:
+    def test_copy_is_independent(self, sched):
+        sched.place("m1", 0, "N1", 0, 2)
+        clone = sched.copy()
+        clone.place("m2", 0, "N1", 0, 2)
+        assert sched.free_bytes("N1", 0) == 2
+        assert clone.free_bytes("N1", 0) == 0
+
+    def test_copy_preserves_entries(self, sched):
+        sched.place("m1", 0, "N1", 0, 2, frozen=True)
+        clone = sched.copy()
+        assert clone.occupancy_of("m1", 0).frozen

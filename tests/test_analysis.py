@@ -1,0 +1,120 @@
+"""Tests for the design-analysis report module."""
+
+import pytest
+
+from repro.analysis import analyze_design, render_report
+from repro.model.application import Application
+from repro.model.mapping import Mapping
+from repro.sched.list_scheduler import ListScheduler
+from repro.sched.schedule import SystemSchedule
+from repro.utils.errors import SchedulingError
+
+from tests.conftest import make_chain_graph
+
+
+@pytest.fixture
+def designed(arch2):
+    app = Application("a", [make_chain_graph(period=40)])
+    mapping = Mapping(app, arch2, {"P0": "N1", "P1": "N2", "P2": "N2"})
+    schedule = ListScheduler(arch2).schedule(app, mapping, horizon=80)
+    return schedule, app
+
+
+class TestNodeReports:
+    def test_utilization_and_slack(self, designed):
+        schedule, app = designed
+        report = analyze_design(schedule, [app])
+        by_id = {n.node_id: n for n in report.nodes}
+        # N1 runs P0 twice (8 tu each) over 80 tu.
+        assert by_id["N1"].utilization == pytest.approx(16 / 80)
+        assert by_id["N1"].total_slack == 64
+        assert 0.0 <= by_id["N1"].fragmentation <= 1.0
+
+    def test_all_nodes_reported(self, designed):
+        schedule, app = designed
+        report = analyze_design(schedule, [app])
+        assert {n.node_id for n in report.nodes} == {"N1", "N2"}
+
+
+class TestGraphReports:
+    def test_response_and_laxity(self, designed):
+        schedule, app = designed
+        report = analyze_design(schedule, [app])
+        (graph_report,) = report.graphs
+        assert graph_report.instances == 2
+        # Worst response equals the makespan of the worse instance.
+        worst = max(
+            schedule.entry_of("P2", k).end - 40 * k for k in (0, 1)
+        )
+        assert graph_report.worst_response == worst
+        assert graph_report.laxity == 40 - worst
+        assert graph_report.laxity >= 0  # valid design
+
+    def test_incomplete_design_rejected(self, arch2):
+        app = Application("a", [make_chain_graph(period=80)])
+        empty = SystemSchedule(arch2, 80)
+        with pytest.raises(SchedulingError, match="incomplete"):
+            analyze_design(empty, [app])
+
+
+class TestBusReport:
+    def test_bus_accounting(self, designed):
+        schedule, app = designed
+        report = analyze_design(schedule, [app])
+        bus = report.bus
+        assert bus.rounds == 10
+        assert bus.total_capacity == 10 * 16
+        # Two instances of m0 cross the bus (P0 on N1, P1 on N2).
+        assert bus.messages == 2
+        assert bus.used_bytes == 2 * 4
+        assert bus.utilization == pytest.approx(8 / 160)
+
+
+class TestMetricsSection:
+    def test_metrics_attached_when_future_given(self, designed):
+        from repro.core.future import (
+            DiscreteDistribution,
+            FutureCharacterization,
+        )
+
+        schedule, app = designed
+        future = FutureCharacterization(
+            t_min=40,
+            t_need=20,
+            b_need=8,
+            wcet_distribution=DiscreteDistribution((10,), (1.0,)),
+            message_size_distribution=DiscreteDistribution((2,), (1.0,)),
+        )
+        report = analyze_design(schedule, [app], future)
+        assert report.metrics is not None
+        assert report.metrics.objective >= 0
+
+    def test_metrics_absent_by_default(self, designed):
+        schedule, app = designed
+        assert analyze_design(schedule, [app]).metrics is None
+
+
+class TestRendering:
+    def test_render_contains_sections(self, designed):
+        schedule, app = designed
+        out = render_report(analyze_design(schedule, [app]))
+        assert "design report" in out
+        assert "nodes:" in out and "graphs:" in out and "bus:" in out
+        assert "a/g0" in out
+
+    def test_render_with_metrics(self, designed):
+        from repro.core.future import (
+            DiscreteDistribution,
+            FutureCharacterization,
+        )
+
+        schedule, app = designed
+        future = FutureCharacterization(
+            t_min=40,
+            t_need=20,
+            b_need=8,
+            wcet_distribution=DiscreteDistribution((10,), (1.0,)),
+            message_size_distribution=DiscreteDistribution((2,), (1.0,)),
+        )
+        out = render_report(analyze_design(schedule, [app], future))
+        assert "metrics:" in out

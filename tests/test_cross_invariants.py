@@ -1,0 +1,98 @@
+"""Cross-module invariants tying the analysis tools to real schedules.
+
+The ASAP/ALAP bounds, the analysis reports and the verifier must agree
+with what the scheduler actually produces.
+"""
+
+import pytest
+
+from repro.analysis import analyze_design
+from repro.core.initial_mapping import InitialMapper
+from repro.gen.scenario import ScenarioParams, build_scenario
+from repro.sched.asap_alap import asap_schedule, time_bounds
+from repro.sched.verify import verify_design
+
+
+@pytest.fixture(scope="module")
+def designed_scenario():
+    scenario = build_scenario(
+        ScenarioParams(n_nodes=4, hyperperiod=2400,
+                       n_existing=16, n_current=10),
+        seed=21,
+    )
+    mapper = InitialMapper(scenario.architecture)
+    outcome = mapper.try_map_and_schedule(
+        scenario.current, base=scenario.base_schedule
+    )
+    assert outcome is not None
+    mapping, schedule = outcome
+    return scenario, mapping, schedule
+
+
+class TestAsapIsALowerBound:
+    def test_actual_starts_respect_asap(self, designed_scenario):
+        """No scheduled instance starts before its contention-free
+        ASAP bound (shifted by the instance release)."""
+        scenario, mapping, schedule = designed_scenario
+        for graph in scenario.current.graphs:
+            asap = asap_schedule(graph, mapping, scenario.architecture.bus)
+            for k in range(schedule.horizon // graph.period):
+                release = k * graph.period
+                for proc in graph.processes:
+                    entry = schedule.entry_of(proc.id, k)
+                    assert entry.start >= release + asap[proc.id]
+
+    def test_bounds_are_consistent_for_valid_design(self, designed_scenario):
+        """A valid schedule implies ASAP <= ALAP for every process."""
+        scenario, mapping, schedule = designed_scenario
+        for graph in scenario.current.graphs:
+            bounds = time_bounds(graph, mapping, scenario.architecture.bus)
+            for b in bounds.values():
+                assert b.asap <= b.alap
+
+
+class TestAnalysisAgreesWithSchedule:
+    def test_worst_response_below_deadline(self, designed_scenario):
+        scenario, _, schedule = designed_scenario
+        report = analyze_design(
+            schedule, [scenario.existing, scenario.current], scenario.future
+        )
+        for graph_report in report.graphs:
+            assert graph_report.laxity >= 0
+
+    def test_node_utilizations_sum_to_busy_time(self, designed_scenario):
+        scenario, _, schedule = designed_scenario
+        report = analyze_design(schedule, [scenario.existing, scenario.current])
+        for node in report.nodes:
+            busy = schedule.busy_set(node.node_id).total_length
+            assert node.utilization == pytest.approx(busy / schedule.horizon)
+            assert node.total_slack == schedule.horizon - busy
+
+    def test_metrics_match_direct_evaluation(self, designed_scenario):
+        from repro.core.metrics import evaluate_design
+
+        scenario, _, schedule = designed_scenario
+        report = analyze_design(
+            schedule, [scenario.existing, scenario.current], scenario.future
+        )
+        direct = evaluate_design(schedule, scenario.future)
+        assert report.metrics == direct
+
+
+class TestVerifierAcceptsAllStrategyOutputs:
+    @pytest.mark.parametrize("strategy,kwargs", [
+        ("AH", {}),
+        ("MH", {"max_iterations": 6}),
+        ("SA", {"iterations": 60, "seed": 2}),
+    ])
+    def test_every_strategy_output_verifies(self, designed_scenario, strategy, kwargs):
+        from repro.core.strategy import make_strategy
+
+        scenario, _, _ = designed_scenario
+        result = make_strategy(strategy, **kwargs).design(scenario.spec())
+        assert result.valid
+        verify_design(
+            result.schedule,
+            [scenario.existing, scenario.current],
+            {scenario.current.name: result.mapping},
+        )

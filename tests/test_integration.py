@@ -1,0 +1,167 @@
+"""End-to-end integration tests across the whole library."""
+
+import pytest
+
+from repro import (
+    ScenarioParams,
+    build_scenario,
+    design_application,
+    evaluate_design,
+    fits_future_application,
+    generate_future_application,
+    render_gantt,
+)
+from repro.core.strategy import DesignSpec
+from repro.sched.list_scheduler import ListScheduler
+from repro.serialize import schedule_from_dict, schedule_to_dict
+from repro.utils.intervals import Interval
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    params = ScenarioParams(n_nodes=4, hyperperiod=2400,
+                            n_existing=20, n_current=10)
+    return build_scenario(params, seed=13)
+
+
+@pytest.fixture(scope="module")
+def designs(scenario):
+    return {
+        "AH": design_application(scenario.spec(), "AH"),
+        "MH": design_application(
+            scenario.spec(), "MH", max_iterations=16
+        ),
+        "SA": design_application(
+            scenario.spec(), "SA", iterations=120, seed=3
+        ),
+    }
+
+
+class TestFullFlow:
+    def test_all_strategies_valid(self, designs):
+        for result in designs.values():
+            assert result.valid
+
+    def test_quality_ordering(self, designs):
+        """SA <= MH <= AH on the shared scenario (SA dominates MH by
+        construction; MH improves on AH's IM-only design)."""
+        assert designs["SA"].objective <= designs["MH"].objective + 1e-9
+        assert designs["MH"].objective <= designs["AH"].objective + 1e-9
+
+    def test_existing_untouched_by_every_strategy(self, scenario, designs):
+        base_entries = {
+            (e.process_id, e.instance): e
+            for e in scenario.base_schedule.all_entries()
+        }
+        for result in designs.values():
+            for key, old in base_entries.items():
+                new = result.schedule.entry_of(*key)
+                assert new is not None
+                assert (new.node_id, new.start, new.end) == (
+                    old.node_id,
+                    old.start,
+                    old.end,
+                )
+
+    def test_current_app_fully_scheduled(self, scenario, designs):
+        horizon = scenario.params.hyperperiod
+        for result in designs.values():
+            for graph in scenario.current.graphs:
+                for k in range(horizon // graph.period):
+                    for proc in graph.processes:
+                        entry = result.schedule.entry_of(proc.id, k)
+                        assert entry is not None
+                        assert entry.end <= k * graph.period + graph.deadline
+
+    def test_precedence_respected_everywhere(self, scenario, designs):
+        """Every message's receiver starts after the sender finishes
+        (plus bus latency when crossing nodes)."""
+        for result in designs.values():
+            schedule = result.schedule
+            for graph in scenario.current.graphs:
+                for k in range(schedule.horizon // graph.period):
+                    for msg in graph.messages:
+                        src = schedule.entry_of(msg.src, k)
+                        dst = schedule.entry_of(msg.dst, k)
+                        if src.node_id == dst.node_id:
+                            assert dst.start >= src.end
+                        else:
+                            occ = schedule.bus.occupancy_of(msg.id, k)
+                            assert occ is not None
+                            window = schedule.bus.bus.occurrence_window(
+                                occ.node_id, occ.round_index
+                            )
+                            assert window.start >= src.end
+                            assert dst.start >= window.end
+
+    def test_metrics_recomputable_from_schedule(self, scenario, designs):
+        for result in designs.values():
+            again = evaluate_design(result.schedule, scenario.future)
+            assert again.objective == pytest.approx(result.objective)
+
+    def test_schedule_survives_serialization(self, designs):
+        payload = schedule_to_dict(designs["MH"].schedule)
+        rebuilt = schedule_from_dict(payload)
+        rebuilt.validate()
+
+    def test_gantt_renders_all_designs(self, designs):
+        for result in designs.values():
+            out = render_gantt(result.schedule)
+            assert "bus" in out
+
+
+class TestFutureFlow:
+    def test_future_fit_is_monotone_in_demand(self, scenario, designs):
+        """If a big future application fits, a smaller one (prefix of
+        the same structure) also fits."""
+        fut_small = generate_future_application(scenario, 3, rng=0)
+        fut_big = generate_future_application(scenario, 12, rng=0)
+        sched = designs["MH"].schedule
+        if fits_future_application(sched, fut_big, scenario.architecture):
+            assert fits_future_application(
+                sched, fut_small, scenario.architecture
+            )
+
+    def test_future_fit_leaves_schedule_unchanged(self, scenario, designs):
+        sched = designs["MH"].schedule
+        before = len(list(sched.all_entries()))
+        generate_future_application(scenario, 5, rng=1)
+        fits_future_application(
+            sched,
+            generate_future_application(scenario, 5, rng=1),
+            scenario.architecture,
+        )
+        assert len(list(sched.all_entries())) == before
+
+
+class TestGreenFieldDesign:
+    def test_design_without_base_schedule(self, scenario):
+        """A spec with no existing applications is a green-field design."""
+        spec = DesignSpec(
+            architecture=scenario.architecture,
+            current=scenario.current,
+            future=scenario.future,
+            horizon=scenario.params.hyperperiod,
+        )
+        result = design_application(spec, "MH", max_iterations=6)
+        assert result.valid
+        assert not any(e.frozen for e in result.schedule.all_entries())
+
+
+class TestSlackAccounting:
+    def test_slack_plus_busy_equals_horizon(self, designs):
+        for result in designs.values():
+            schedule = result.schedule
+            for node_id in schedule.architecture.node_ids:
+                busy = schedule.busy_set(node_id).total_length
+                assert busy + schedule.total_slack(node_id) == schedule.horizon
+
+    def test_window_slack_sums_to_total(self, designs, scenario):
+        schedule = designs["MH"].schedule
+        t_min = scenario.future.t_min
+        for node_id in schedule.architecture.node_ids:
+            per_window = [
+                schedule.slack_within(node_id, Interval(s, s + t_min))
+                for s in range(0, schedule.horizon, t_min)
+            ]
+            assert sum(per_window) == schedule.total_slack(node_id)

@@ -1,0 +1,189 @@
+"""Cross-module property-based tests (hypothesis).
+
+These drive the generator + scheduler + metrics pipeline with random
+shapes and check the invariants the paper's machinery relies on:
+schedules never overlap, requirement (a) holds structurally, metrics
+stay in range, and the objective is deterministic.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.future import DiscreteDistribution, FutureCharacterization
+from repro.core.metrics import evaluate_design, metric_c1p, metric_c2p
+from repro.gen.architecture_gen import random_architecture
+from repro.gen.taskgraph import GraphParams, random_process_graph
+from repro.model.application import Application
+from repro.core.initial_mapping import InitialMapper
+from repro.sched.schedule import SystemSchedule
+from repro.utils.intervals import Interval
+
+COMMON_SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def small_application(draw):
+    """A random 1-graph application on a random small platform."""
+    n_nodes = draw(st.integers(2, 4))
+    n_procs = draw(st.integers(1, 10))
+    seed = draw(st.integers(0, 10_000))
+    arch = random_architecture(n_nodes, slot_length=4, slot_capacity=8)
+    graph = random_process_graph(
+        "g0",
+        n_procs,
+        period=480,
+        architecture=arch,
+        rng=seed,
+        params=GraphParams(wcet_range=(5, 25), msg_size_range=(2, 6)),
+    )
+    return arch, Application("app", [graph])
+
+
+class TestSchedulingProperties:
+    @given(small_application())
+    @settings(**COMMON_SETTINGS)
+    def test_im_schedules_are_overlap_free(self, inst):
+        arch, app = inst
+        outcome = InitialMapper(arch).try_map_and_schedule(app)
+        if outcome is None:
+            return  # random instance genuinely unschedulable
+        _, schedule = outcome
+        schedule.validate()  # raises on overlap / horizon escape
+
+    @given(small_application())
+    @settings(**COMMON_SETTINGS)
+    def test_im_output_passes_independent_verifier(self, inst):
+        """Every IM design satisfies the full model re-checked from
+        scratch by :mod:`repro.sched.verify`."""
+        from repro.sched.verify import verify_design
+
+        arch, app = inst
+        outcome = InitialMapper(arch).try_map_and_schedule(app)
+        if outcome is None:
+            return
+        mapping, schedule = outcome
+        verify_design(schedule, [app], {app.name: mapping})
+
+    @given(small_application())
+    @settings(**COMMON_SETTINGS)
+    def test_im_respects_deadlines_and_precedence(self, inst):
+        arch, app = inst
+        outcome = InitialMapper(arch).try_map_and_schedule(app)
+        if outcome is None:
+            return
+        _, schedule = outcome
+        graph = app.graphs[0]
+        for k in range(schedule.horizon // graph.period):
+            for msg in graph.messages:
+                src = schedule.entry_of(msg.src, k)
+                dst = schedule.entry_of(msg.dst, k)
+                assert dst.start >= src.end or src.node_id != dst.node_id
+                if src.node_id != dst.node_id:
+                    occ = schedule.bus.occupancy_of(msg.id, k)
+                    assert occ is not None
+                    window = schedule.bus.bus.occurrence_window(
+                        occ.node_id, occ.round_index
+                    )
+                    assert window.start >= src.end
+                    assert dst.start >= window.end
+            for proc in graph.processes:
+                entry = schedule.entry_of(proc.id, k)
+                assert entry.end <= k * graph.period + graph.deadline
+                assert entry.start >= k * graph.period
+
+    @given(small_application())
+    @settings(**COMMON_SETTINGS)
+    def test_mapping_respects_allowed_nodes(self, inst):
+        arch, app = inst
+        outcome = InitialMapper(arch).try_map_and_schedule(app)
+        if outcome is None:
+            return
+        mapping, _ = outcome
+        for proc in app.processes:
+            assert mapping.node_of(proc.id) in proc.allowed_nodes
+
+    @given(small_application())
+    @settings(**COMMON_SETTINGS)
+    def test_bus_slot_ownership(self, inst):
+        """Messages only ever travel in their sender's slot."""
+        arch, app = inst
+        outcome = InitialMapper(arch).try_map_and_schedule(app)
+        if outcome is None:
+            return
+        mapping, schedule = outcome
+        for occ in schedule.bus.all_entries():
+            msg = app.message(occ.message_id)
+            assert occ.node_id == mapping.node_of(msg.src)
+
+    @given(small_application())
+    @settings(**COMMON_SETTINGS)
+    def test_slot_capacity_never_exceeded(self, inst):
+        arch, app = inst
+        outcome = InitialMapper(arch).try_map_and_schedule(app)
+        if outcome is None:
+            return
+        _, schedule = outcome
+        for r in range(schedule.bus.rounds):
+            for slot in arch.bus.slots:
+                assert schedule.bus.free_bytes(slot.node_id, r) >= 0
+
+
+class TestMetricProperties:
+    @given(
+        busy_blocks=st.lists(
+            st.tuples(st.integers(0, 380), st.integers(1, 60)), max_size=8
+        ),
+        t_need=st.integers(0, 400),
+    )
+    @settings(**COMMON_SETTINGS)
+    def test_c1p_bounded(self, busy_blocks, t_need):
+        arch = random_architecture(1, slot_length=4, slot_capacity=8)
+        schedule = SystemSchedule(arch, 400)
+        for i, (start, length) in enumerate(busy_blocks):
+            end = min(start + length, 400)
+            window = Interval(start, end)
+            if end > start and not schedule.busy_set("N0").overlaps(window):
+                schedule.place_process(f"P{i}", i, "N0", start, end - start)
+        fc = FutureCharacterization(
+            t_min=100,
+            t_need=t_need,
+            b_need=0,
+            wcet_distribution=DiscreteDistribution((10, 30), (0.5, 0.5)),
+        )
+        value = metric_c1p(schedule, fc)
+        assert 0.0 <= value <= 100.0
+
+    @given(
+        busy_blocks=st.lists(
+            st.tuples(st.integers(0, 380), st.integers(1, 60)), max_size=8
+        )
+    )
+    @settings(**COMMON_SETTINGS)
+    def test_c2p_bounded_by_window(self, busy_blocks):
+        arch = random_architecture(1, slot_length=4, slot_capacity=8)
+        schedule = SystemSchedule(arch, 400)
+        for i, (start, length) in enumerate(busy_blocks):
+            end = min(start + length, 400)
+            window = Interval(start, end)
+            if end > start and not schedule.busy_set("N0").overlaps(window):
+                schedule.place_process(f"P{i}", i, "N0", start, end - start)
+        fc = FutureCharacterization(t_min=100, t_need=10, b_need=0)
+        value = metric_c2p(schedule, fc)
+        assert 0 <= value <= 100  # one node, window length 100
+
+    @given(small_application())
+    @settings(**COMMON_SETTINGS)
+    def test_objective_deterministic(self, inst):
+        arch, app = inst
+        outcome = InitialMapper(arch).try_map_and_schedule(app)
+        if outcome is None:
+            return
+        _, schedule = outcome
+        fc = FutureCharacterization(t_min=120, t_need=60, b_need=16)
+        a = evaluate_design(schedule, fc)
+        b = evaluate_design(schedule, fc)
+        assert a == b

@@ -1,0 +1,153 @@
+"""Stateful (model-based) property tests for the mutable cores.
+
+Hypothesis drives random operation sequences against the two mutable
+data structures everything else is built on -- the interval set (busy
+time / slack) and the bus schedule (slot occupancy) -- comparing them
+against trivially correct reference models.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.tdma.bus import Slot, TdmaBus
+from repro.tdma.schedule import BusSchedule
+from repro.utils.errors import SchedulingError
+from repro.utils.intervals import Interval, IntervalSet
+
+HORIZON = 120
+
+
+class IntervalSetMachine(RuleBasedStateMachine):
+    """IntervalSet vs a boolean-array reference model."""
+
+    def __init__(self):
+        super().__init__()
+        self.model = [False] * HORIZON
+        self.real = IntervalSet()
+
+    @rule(start=st.integers(0, HORIZON - 1), length=st.integers(1, 25))
+    def add(self, start, length):
+        end = min(start + length, HORIZON)
+        self.real.add(Interval(start, end))
+        for t in range(start, end):
+            self.model[t] = True
+
+    @rule(start=st.integers(0, HORIZON - 1), length=st.integers(1, 25))
+    def add_busy_checked(self, start, length):
+        end = min(start + length, HORIZON)
+        overlaps = any(self.model[start:end])
+        if overlaps:
+            try:
+                self.real.add_busy(Interval(start, end))
+                raise AssertionError("add_busy accepted an overlap")
+            except ValueError:
+                pass
+        else:
+            self.real.add_busy(Interval(start, end))
+            for t in range(start, end):
+                self.model[t] = True
+
+    @invariant()
+    def total_length_matches(self):
+        assert self.real.total_length == sum(self.model)
+
+    @invariant()
+    def point_membership_matches(self):
+        for t in range(0, HORIZON, 7):
+            assert self.real.contains_point(t) == self.model[t]
+
+    @invariant()
+    def complement_is_exact(self):
+        slack = self.real.complement(Interval(0, HORIZON))
+        for gap in slack:
+            assert not any(self.model[gap.start : gap.end])
+        assert slack.total_length == HORIZON - sum(self.model)
+
+    @invariant()
+    def canonical_form(self):
+        intervals = self.real.intervals()
+        for prev, cur in zip(intervals, intervals[1:]):
+            assert prev.end < cur.start  # disjoint and non-adjacent
+
+
+class BusScheduleMachine(RuleBasedStateMachine):
+    """BusSchedule vs a per-occurrence byte-count reference model."""
+
+    def __init__(self):
+        super().__init__()
+        self.bus = TdmaBus([Slot("A", 3, 10), Slot("B", 5, 6)])
+        self.sched = BusSchedule(self.bus, horizon=80)  # 10 rounds
+        self.model = {}  # (node, round) -> used bytes
+        self.placed = {}  # (msg, instance) -> (node, round, size)
+        self.counter = 0
+
+    @rule(
+        node=st.sampled_from(["A", "B"]),
+        round_index=st.integers(0, 9),
+        size=st.integers(1, 12),
+    )
+    def place(self, node, round_index, size):
+        capacity = self.bus.slot_of(node).capacity
+        used = self.model.get((node, round_index), 0)
+        msg_id = f"m{self.counter}"
+        self.counter += 1
+        if used + size > capacity:
+            try:
+                self.sched.place(msg_id, 0, node, round_index, size)
+                raise AssertionError("place accepted an overfull slot")
+            except SchedulingError:
+                pass
+        else:
+            self.sched.place(msg_id, 0, node, round_index, size)
+            self.model[(node, round_index)] = used + size
+            self.placed[(msg_id, 0)] = (node, round_index, size)
+
+    @precondition(lambda self: self.placed)
+    @rule(data=st.data())
+    def remove(self, data):
+        key = data.draw(st.sampled_from(sorted(self.placed)))
+        node, round_index, size = self.placed.pop(key)
+        self.sched.remove(*key)
+        self.model[(node, round_index)] -= size
+
+    @invariant()
+    def used_bytes_match(self):
+        for (node, r), used in self.model.items():
+            assert self.sched.used_bytes(node, r) == used
+
+    @invariant()
+    def total_free_matches(self):
+        capacity = 10 * (10 + 6)
+        assert self.sched.total_free_bytes() == capacity - sum(
+            self.model.values()
+        )
+
+    @invariant()
+    def earliest_round_is_correct(self):
+        """earliest_round_with_room agrees with a linear reference scan."""
+        for node, size in (("A", 4), ("B", 6)):
+            got = self.sched.earliest_round_with_room(node, size, 0)
+            capacity = self.bus.slot_of(node).capacity
+            expected = None
+            for r in range(10):
+                if capacity - self.model.get((node, r), 0) >= size:
+                    expected = r
+                    break
+            assert got == expected
+
+
+TestIntervalSetStateful = IntervalSetMachine.TestCase
+TestIntervalSetStateful.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None
+)
+
+TestBusScheduleStateful = BusScheduleMachine.TestCase
+TestBusScheduleStateful.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None
+)

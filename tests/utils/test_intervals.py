@@ -1,0 +1,289 @@
+"""Unit and property tests for half-open intervals and interval sets."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.intervals import Interval, IntervalSet
+
+
+# ----------------------------------------------------------------------
+# Interval
+# ----------------------------------------------------------------------
+class TestInterval:
+    def test_length(self):
+        assert Interval(3, 10).length == 7
+
+    def test_empty_interval(self):
+        iv = Interval(5, 5)
+        assert iv.empty
+        assert iv.length == 0
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(10, 3)
+
+    def test_contains_inclusive_start(self):
+        assert Interval(2, 5).contains(2)
+
+    def test_contains_exclusive_end(self):
+        assert not Interval(2, 5).contains(5)
+
+    def test_contains_interior(self):
+        assert Interval(2, 5).contains(4)
+
+    def test_overlap_true(self):
+        assert Interval(0, 5).overlaps(Interval(4, 8))
+
+    def test_overlap_adjacent_false(self):
+        assert not Interval(0, 5).overlaps(Interval(5, 8))
+
+    def test_overlap_disjoint_false(self):
+        assert not Interval(0, 3).overlaps(Interval(5, 8))
+
+    def test_overlap_contained(self):
+        assert Interval(0, 10).overlaps(Interval(3, 4))
+
+    def test_intersect(self):
+        assert Interval(0, 6).intersect(Interval(4, 10)) == Interval(4, 6)
+
+    def test_intersect_disjoint_is_empty(self):
+        assert Interval(0, 3).intersect(Interval(5, 8)).empty
+
+    def test_shift(self):
+        assert Interval(2, 5).shift(10) == Interval(12, 15)
+
+    def test_ordering(self):
+        assert Interval(1, 3) < Interval(2, 3)
+
+    @given(
+        a=st.integers(-1000, 1000),
+        length=st.integers(0, 1000),
+        delta=st.integers(-500, 500),
+    )
+    def test_shift_preserves_length(self, a, length, delta):
+        iv = Interval(a, a + length)
+        assert iv.shift(delta).length == iv.length
+
+
+# ----------------------------------------------------------------------
+# IntervalSet basics
+# ----------------------------------------------------------------------
+class TestIntervalSetAdd:
+    def test_empty_set(self):
+        s = IntervalSet()
+        assert len(s) == 0
+        assert not s
+        assert s.total_length == 0
+
+    def test_add_single(self):
+        s = IntervalSet()
+        s.add(Interval(2, 5))
+        assert s.intervals() == [Interval(2, 5)]
+
+    def test_add_empty_is_noop(self):
+        s = IntervalSet()
+        s.add(Interval(3, 3))
+        assert len(s) == 0
+
+    def test_add_disjoint_keeps_sorted(self):
+        s = IntervalSet()
+        s.add(Interval(10, 12))
+        s.add(Interval(0, 2))
+        s.add(Interval(5, 7))
+        assert s.intervals() == [Interval(0, 2), Interval(5, 7), Interval(10, 12)]
+
+    def test_add_merges_overlap(self):
+        s = IntervalSet([Interval(0, 5)])
+        s.add(Interval(3, 8))
+        assert s.intervals() == [Interval(0, 8)]
+
+    def test_add_merges_adjacent(self):
+        s = IntervalSet([Interval(0, 5)])
+        s.add(Interval(5, 8))
+        assert s.intervals() == [Interval(0, 8)]
+
+    def test_add_bridges_multiple(self):
+        s = IntervalSet([Interval(0, 2), Interval(4, 6), Interval(8, 10)])
+        s.add(Interval(1, 9))
+        assert s.intervals() == [Interval(0, 10)]
+
+    def test_add_contained_is_noop(self):
+        s = IntervalSet([Interval(0, 10)])
+        s.add(Interval(3, 4))
+        assert s.intervals() == [Interval(0, 10)]
+
+    def test_equality(self):
+        a = IntervalSet([Interval(0, 2), Interval(4, 6)])
+        b = IntervalSet([Interval(4, 6), Interval(0, 2)])
+        assert a == b
+
+    def test_copy_is_independent(self):
+        a = IntervalSet([Interval(0, 2)])
+        b = a.copy()
+        b.add(Interval(10, 12))
+        assert len(a) == 1
+        assert len(b) == 2
+
+
+class TestIntervalSetBusy:
+    def test_add_busy_rejects_overlap(self):
+        s = IntervalSet([Interval(0, 5)])
+        with pytest.raises(ValueError):
+            s.add_busy(Interval(4, 8))
+
+    def test_add_busy_allows_adjacent(self):
+        s = IntervalSet([Interval(0, 5)])
+        s.add_busy(Interval(5, 8))
+        assert s.total_length == 8
+
+    def test_overlaps_detects_interior(self):
+        s = IntervalSet([Interval(2, 6)])
+        assert s.overlaps(Interval(5, 9))
+        assert s.overlaps(Interval(0, 3))
+        assert s.overlaps(Interval(3, 4))
+
+    def test_overlaps_adjacent_false(self):
+        s = IntervalSet([Interval(2, 6)])
+        assert not s.overlaps(Interval(6, 9))
+        assert not s.overlaps(Interval(0, 2))
+
+    def test_overlaps_empty_query(self):
+        s = IntervalSet([Interval(2, 6)])
+        assert not s.overlaps(Interval(3, 3))
+
+    def test_contains_point(self):
+        s = IntervalSet([Interval(2, 6)])
+        assert s.contains_point(2)
+        assert s.contains_point(5)
+        assert not s.contains_point(6)
+        assert not s.contains_point(1)
+
+
+class TestComplement:
+    def test_complement_of_empty_is_horizon(self):
+        s = IntervalSet()
+        assert s.complement(Interval(0, 10)).intervals() == [Interval(0, 10)]
+
+    def test_complement_full_coverage_is_empty(self):
+        s = IntervalSet([Interval(0, 10)])
+        assert len(s.complement(Interval(0, 10))) == 0
+
+    def test_complement_middle_gap(self):
+        s = IntervalSet([Interval(0, 3), Interval(7, 10)])
+        assert s.complement(Interval(0, 10)).intervals() == [Interval(3, 7)]
+
+    def test_complement_edges(self):
+        s = IntervalSet([Interval(2, 4)])
+        assert s.complement(Interval(0, 10)).intervals() == [
+            Interval(0, 2),
+            Interval(4, 10),
+        ]
+
+    def test_complement_ignores_outside(self):
+        s = IntervalSet([Interval(-5, -1), Interval(20, 30)])
+        assert s.complement(Interval(0, 10)).intervals() == [Interval(0, 10)]
+
+    def test_complement_partial_overlap_at_edges(self):
+        s = IntervalSet([Interval(-2, 3), Interval(8, 15)])
+        assert s.complement(Interval(0, 10)).intervals() == [Interval(3, 8)]
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 100), st.integers(1, 20)), max_size=12
+        )
+    )
+    def test_complement_partitions_horizon(self, raw):
+        """busy + slack lengths always sum to the horizon length."""
+        horizon = Interval(0, 120)
+        s = IntervalSet()
+        for start, length in raw:
+            s.add(Interval(start, min(start + length, 120)))
+        slack = s.complement(horizon)
+        busy_within = s.length_within(horizon)
+        assert busy_within + slack.total_length == horizon.length
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 100), st.integers(1, 20)), max_size=12
+        )
+    )
+    def test_complement_disjoint_from_set(self, raw):
+        s = IntervalSet()
+        for start, length in raw:
+            s.add(Interval(start, start + length))
+        for gap in s.complement(Interval(0, 120)):
+            assert not s.overlaps(gap)
+
+
+class TestWindows:
+    def test_clipped(self):
+        s = IntervalSet([Interval(0, 5), Interval(8, 12)])
+        clipped = s.clipped(Interval(3, 10))
+        assert clipped.intervals() == [Interval(3, 5), Interval(8, 10)]
+
+    def test_length_within(self):
+        s = IntervalSet([Interval(0, 5), Interval(8, 12)])
+        assert s.length_within(Interval(3, 10)) == 4
+
+    def test_length_within_empty_window(self):
+        s = IntervalSet([Interval(0, 5)])
+        assert s.length_within(Interval(6, 6)) == 0
+
+
+class TestEarliestFit:
+    def test_fit_in_empty_set(self):
+        assert IntervalSet().earliest_fit(5, 0) == 0
+
+    def test_fit_respects_not_before(self):
+        assert IntervalSet().earliest_fit(5, 17) == 17
+
+    def test_fit_skips_busy(self):
+        s = IntervalSet([Interval(0, 10)])
+        assert s.earliest_fit(5, 0) == 10
+
+    def test_fit_in_gap(self):
+        s = IntervalSet([Interval(0, 4), Interval(10, 20)])
+        assert s.earliest_fit(5, 0) == 4
+
+    def test_fit_too_big_for_gap(self):
+        s = IntervalSet([Interval(0, 4), Interval(10, 20)])
+        assert s.earliest_fit(7, 0) == 20
+
+    def test_fit_not_before_inside_busy(self):
+        s = IntervalSet([Interval(0, 10)])
+        assert s.earliest_fit(3, 5) == 10
+
+    def test_fit_not_before_inside_gap(self):
+        s = IntervalSet([Interval(0, 4), Interval(20, 30)])
+        assert s.earliest_fit(5, 6) == 6
+
+    def test_fit_not_before_inside_gap_but_too_small(self):
+        s = IntervalSet([Interval(0, 4), Interval(10, 30)])
+        assert s.earliest_fit(5, 6) == 30
+
+    def test_zero_duration_lands_on_first_free_instant(self):
+        s = IntervalSet([Interval(0, 4)])
+        assert s.earliest_fit(0, 0) == 4
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalSet().earliest_fit(-1, 0)
+
+    @given(
+        raw=st.lists(
+            st.tuples(st.integers(0, 200), st.integers(1, 30)), max_size=10
+        ),
+        duration=st.integers(1, 40),
+        not_before=st.integers(0, 100),
+    )
+    def test_fit_never_overlaps(self, raw, duration, not_before):
+        s = IntervalSet()
+        for start, length in raw:
+            s.add(Interval(start, start + length))
+        start = s.earliest_fit(duration, not_before)
+        assert start >= not_before
+        assert not s.overlaps(Interval(start, start + duration))
+
+    def test_gaps_as_tuples(self):
+        s = IntervalSet([Interval(2, 4)])
+        assert s.gaps_as_tuples(Interval(0, 6)) == [(0, 2), (4, 6)]

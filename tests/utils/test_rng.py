@@ -1,0 +1,52 @@
+"""Tests for the deterministic RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_int_seed_is_deterministic(self):
+        a = make_rng(42).integers(0, 1_000_000, size=8)
+        b = make_rng(42).integers(0, 1_000_000, size=8)
+        assert (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).integers(0, 1_000_000, size=8)
+        b = make_rng(2).integers(0, 1_000_000, size=8)
+        assert not (a == b).all()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(7)
+        assert make_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_deterministic(self):
+        a = [g.integers(0, 10**9) for g in spawn_rngs(3, 4)]
+        b = [g.integers(0, 10**9) for g in spawn_rngs(3, 4)]
+        assert a == b
+
+    def test_children_independent(self):
+        draws = [g.integers(0, 10**9) for g in spawn_rngs(3, 6)]
+        assert len(set(draws)) == len(draws)
+
+    def test_spawn_from_generator(self):
+        gen = np.random.default_rng(11)
+        children = spawn_rngs(gen, 3)
+        assert len(children) == 3
+        assert all(isinstance(c, np.random.Generator) for c in children)

@@ -1,0 +1,80 @@
+"""Tests for hyperperiod and periodic-window arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.intervals import Interval
+from repro.utils.timemath import hyperperiod, periodic_windows
+
+
+class TestHyperperiod:
+    def test_single_period(self):
+        assert hyperperiod([12]) == 12
+
+    def test_coprime(self):
+        assert hyperperiod([3, 5]) == 15
+
+    def test_harmonic(self):
+        assert hyperperiod([100, 50, 25]) == 100
+
+    def test_duplicates(self):
+        assert hyperperiod([8, 8, 8]) == 8
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            hyperperiod([])
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            hyperperiod([4, 0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            hyperperiod([4, -2])
+
+    @given(st.lists(st.integers(1, 40), min_size=1, max_size=6))
+    def test_every_period_divides_hyperperiod(self, periods):
+        h = hyperperiod(periods)
+        assert all(h % p == 0 for p in periods)
+
+    @given(st.lists(st.integers(1, 40), min_size=1, max_size=6))
+    def test_hyperperiod_at_least_max(self, periods):
+        assert hyperperiod(periods) >= max(periods)
+
+
+class TestPeriodicWindows:
+    def test_exact_division(self):
+        windows = periodic_windows(100, 25)
+        assert windows == [
+            Interval(0, 25),
+            Interval(25, 50),
+            Interval(50, 75),
+            Interval(75, 100),
+        ]
+
+    def test_truncated_last_window(self):
+        windows = periodic_windows(10, 4)
+        assert windows == [Interval(0, 4), Interval(4, 8), Interval(8, 10)]
+
+    def test_window_larger_than_horizon(self):
+        assert periodic_windows(5, 100) == [Interval(0, 5)]
+
+    def test_window_one(self):
+        assert len(periodic_windows(7, 1)) == 7
+
+    def test_zero_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            periodic_windows(0, 5)
+
+    def test_zero_window_rejected(self):
+        with pytest.raises(ValueError):
+            periodic_windows(10, 0)
+
+    @given(st.integers(1, 500), st.integers(1, 100))
+    def test_windows_partition_horizon(self, horizon, window):
+        windows = periodic_windows(horizon, window)
+        assert windows[0].start == 0
+        assert windows[-1].end == horizon
+        for prev, cur in zip(windows, windows[1:]):
+            assert prev.end == cur.start
+        assert sum(w.length for w in windows) == horizon
