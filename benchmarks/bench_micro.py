@@ -3,9 +3,14 @@
 These are the inner loops every strategy evaluation exercises:
 
 * list scheduling of the current application around frozen reservations,
+  uncompiled (the seed path) and through a precompiled spec,
+* one full engine evaluation and its cached re-evaluation,
 * the full four-metric objective evaluation,
 * best-fit bin packing at metric scale,
 * schedule copying (the per-candidate setup cost).
+
+The compiled-vs-uncompiled and cached-re-evaluation pairs track the
+evaluation engine's speedup in the perf trajectory.
 
 Run:  pytest benchmarks/bench_micro.py --benchmark-only
 """
@@ -15,6 +20,9 @@ import pytest
 from repro.core.binpack import best_fit
 from repro.core.initial_mapping import InitialMapper
 from repro.core.metrics import evaluate_design
+from repro.core.strategy import DesignEvaluator
+from repro.core.transformations import CandidateDesign
+from repro.engine import CompiledSpec
 from repro.sched.list_scheduler import ListScheduler
 from repro.sched.priorities import hcp_priorities
 
@@ -28,6 +36,12 @@ def prepared(scenarios):
     )
     priorities = hcp_priorities(scenario.current, scenario.architecture.bus)
     return scenario, mapping, priorities, schedule
+
+
+@pytest.fixture(scope="module")
+def candidate(prepared):
+    _, mapping, priorities, _ = prepared
+    return CandidateDesign(mapping, dict(priorities))
 
 
 def test_list_scheduling(benchmark, prepared):
@@ -44,6 +58,53 @@ def test_list_scheduling(benchmark, prepared):
         )
     )
     assert result.success
+
+
+def test_compiled_list_scheduling(benchmark, prepared):
+    """The same candidate scheduling, through a precompiled spec.
+
+    Compare against ``test_list_scheduling``: the delta is the
+    per-candidate cost of re-expanding jobs, re-validating the horizon
+    and re-deriving priorities that :class:`CompiledSpec` eliminates.
+    """
+    scenario, mapping, priorities, _ = prepared
+    compiled = CompiledSpec(scenario.spec())
+    scheduler = ListScheduler(scenario.architecture)
+
+    result = benchmark(
+        lambda: scheduler.try_schedule(
+            scenario.current,
+            mapping,
+            priorities=priorities,
+            compiled=compiled,
+        )
+    )
+    assert result.success
+
+
+def test_engine_first_evaluation(benchmark, prepared, candidate):
+    """One cold engine evaluation (schedule + metrics, cache miss)."""
+    scenario, _, _, _ = prepared
+    evaluator = DesignEvaluator(scenario.spec(), use_cache=False)
+
+    out = benchmark(lambda: evaluator.evaluate(candidate))
+    assert out is not None
+
+
+def test_engine_cached_reevaluation(benchmark, prepared, candidate):
+    """Re-evaluating a seen candidate: signature + cache hit only.
+
+    This is the engine's repeated-evaluation fast path; SA revisits
+    rejected design points constantly, so this bound dominates hot
+    search loops.
+    """
+    scenario, _, _, _ = prepared
+    evaluator = DesignEvaluator(scenario.spec(), use_cache=True)
+    assert evaluator.evaluate(candidate) is not None  # warm the cache
+
+    out = benchmark(lambda: evaluator.evaluate(candidate))
+    assert out is not None
+    assert evaluator.cache_hits > 0
 
 
 def test_metric_evaluation(benchmark, prepared):

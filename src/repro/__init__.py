@@ -57,6 +57,14 @@ from repro.model import (
     ProcessGraph,
 )
 from repro.analysis import DesignReport, analyze_design, render_report
+from repro.engine import (
+    BatchEvaluator,
+    CacheStats,
+    CompiledSpec,
+    EvaluatedDesign,
+    EvaluationCache,
+    EvaluationEngine,
+)
 from repro.sched import ListScheduler, SystemSchedule, render_gantt, verify_design
 from repro.tdma import BusSchedule, Slot, TdmaBus
 
@@ -66,7 +74,13 @@ __all__ = [
     "AdHocStrategy",
     "Application",
     "Architecture",
+    "BatchEvaluator",
     "BusSchedule",
+    "CacheStats",
+    "CompiledSpec",
+    "EvaluatedDesign",
+    "EvaluationCache",
+    "EvaluationEngine",
     "DesignReport",
     "analyze_design",
     "render_report",

@@ -15,37 +15,53 @@ experiments measure.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.core.initial_mapping import InitialMapper
-from repro.core.metrics import evaluate_design
-from repro.core.strategy import DesignResult, DesignSpec, timed
-from repro.sched.priorities import hcp_priorities
+from repro.core.strategy import (
+    DesignEvaluator,
+    DesignResult,
+    DesignSpec,
+    timed,
+)
 
-
+@dataclass
 class AdHocStrategy:
-    """Validity-only design: Initial Mapping with no optimization."""
+    """Validity-only design: Initial Mapping with no optimization.
+
+    ``use_cache`` and ``jobs`` exist so every strategy shares one
+    construction signature (the experiment runner passes them
+    uniformly); AH performs a single evaluation, so neither changes
+    its behavior.
+    """
+
+    use_cache: bool = True
+    jobs: int = 1
 
     name = "AH"
 
     @timed
     def design(self, spec: DesignSpec) -> DesignResult:
         """Run IM once and report its design as-is."""
-        mapper = InitialMapper(spec.architecture)
-        outcome = mapper.try_map_and_schedule(
-            spec.current,
-            base=spec.base_schedule,
-            horizon=None if spec.base_schedule else spec.horizon,
-        )
-        if outcome is None:
-            return DesignResult(self.name, valid=False, evaluations=1)
-        mapping, schedule = outcome
-        metrics = evaluate_design(schedule, spec.future, spec.weights)
-        priorities = hcp_priorities(spec.current, spec.architecture.bus)
-        return DesignResult(
-            self.name,
-            valid=True,
-            mapping=mapping,
-            priorities=priorities,
-            schedule=schedule,
-            metrics=metrics,
-            evaluations=1,
-        )
+        with DesignEvaluator(spec, use_cache=False) as evaluator:
+            mapper = InitialMapper(spec.architecture)
+            outcome = mapper.try_map_and_schedule(
+                spec.current,
+                base=spec.base_schedule,
+                horizon=None if spec.base_schedule else spec.horizon,
+                compiled=evaluator.compiled,
+            )
+            if outcome is None:
+                return DesignResult(self.name, valid=False, evaluations=1)
+            mapping, schedule = outcome
+            metrics = evaluator.engine.price(schedule)
+            priorities = dict(evaluator.compiled.default_priorities)
+            return DesignResult(
+                self.name,
+                valid=True,
+                mapping=mapping,
+                priorities=priorities,
+                schedule=schedule,
+                metrics=metrics,
+                evaluations=1,
+            )

@@ -159,11 +159,17 @@ def best_improving_move(
     moves: List[Transformation],
     min_improvement: float,
 ) -> Optional[EvaluatedDesign]:
-    """Exactly evaluate every move; return the steepest improvement."""
+    """Exactly evaluate every move; return the steepest improvement.
+
+    The whole neighbourhood is scored in one :meth:`evaluate_many`
+    batch -- cached outcomes are served directly and the remainder is
+    evaluated in parallel when the evaluator runs with ``jobs > 1``.
+    The winner scan walks the results in move order, so serial,
+    cached and parallel runs pick the identical move.
+    """
+    candidates = [move.apply(best.design) for move in moves]
     winner: Optional[EvaluatedDesign] = None
-    for move in moves:
-        candidate = move.apply(best.design)
-        evaluated = evaluator.evaluate(candidate)
+    for evaluated in evaluator.evaluate_many(candidates):
         if evaluated is None:
             continue
         target = winner.objective if winner is not None else best.objective

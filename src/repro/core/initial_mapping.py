@@ -19,25 +19,18 @@ a small amount of backtracking per process.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.model.application import Application
 from repro.model.architecture import Architecture
 from repro.model.mapping import Mapping
+from repro.sched.jobs import Job, expand_jobs
 from repro.sched.priorities import PriorityMap, hcp_priorities
 from repro.sched.schedule import SystemSchedule
 from repro.utils.errors import MappingError, SchedulingError
 
-
-@dataclass
-class _PendingJob:
-    """Book-keeping for one process instance during IM."""
-
-    process_id: str
-    instance: int
-    release: int
-    abs_deadline: int
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.compiled_spec import CompiledSpec
 
 
 class InitialMapper:
@@ -84,6 +77,7 @@ class InitialMapper:
         frozen: bool = False,
         priorities: Optional[PriorityMap] = None,
         restarts: int = 3,
+        compiled: Optional["CompiledSpec"] = None,
     ) -> Optional[Tuple[Mapping, SystemSchedule]]:
         """Like :meth:`map_and_schedule` but returns ``None`` on failure.
 
@@ -94,16 +88,26 @@ class InitialMapper:
         single greedy order misses, at zero cost on the success path.
         ``restarts`` only applies when ``priorities`` is not supplied
         explicitly.
+
+        ``compiled`` is an optional
+        :class:`repro.engine.compiled_spec.CompiledSpec` for this exact
+        problem; its precomputed job table, base template and default
+        priorities are reused instead of re-derived, and ``base`` /
+        ``horizon`` are ignored.
         """
         if priorities is not None:
             return self._attempt_once(
-                application, base, horizon, frozen, priorities
+                application, base, horizon, frozen, priorities, compiled
             )
         from repro.utils.rng import make_rng
 
-        base_priorities = hcp_priorities(application, self.architecture.bus)
+        base_priorities = (
+            compiled.default_priorities
+            if compiled is not None
+            else hcp_priorities(application, self.architecture.bus)
+        )
         outcome = self._attempt_once(
-            application, base, horizon, frozen, base_priorities
+            application, base, horizon, frozen, base_priorities, compiled
         )
         attempt = 0
         while outcome is None and attempt < restarts:
@@ -113,7 +117,7 @@ class InitialMapper:
                 for pid, value in base_priorities.items()
             }
             outcome = self._attempt_once(
-                application, base, horizon, frozen, jittered
+                application, base, horizon, frozen, jittered, compiled
             )
             attempt += 1
         return outcome
@@ -125,60 +129,61 @@ class InitialMapper:
         horizon: Optional[int] = None,
         frozen: bool = False,
         priorities: Optional[PriorityMap] = None,
+        compiled: Optional["CompiledSpec"] = None,
     ) -> Optional[Tuple[Mapping, SystemSchedule]]:
         """One greedy HCP mapping/scheduling pass."""
-        if base is not None:
-            schedule = base.copy()
-            if horizon is not None and horizon != base.horizon:
-                raise SchedulingError(
-                    f"requested horizon {horizon} differs from base horizon "
-                    f"{base.horizon}"
-                )
+        if compiled is not None:
+            compiled.validate_against(application, base, horizon)
+            schedule = compiled.fresh_schedule()
+            table = compiled.job_table
+            if priorities is None:
+                priorities = compiled.default_priorities
         else:
-            schedule = SystemSchedule(
-                self.architecture,
-                horizon if horizon is not None else application.hyperperiod(),
-            )
-        for graph in application.graphs:
-            if schedule.horizon % graph.period != 0:
-                raise SchedulingError(
-                    f"graph {graph.name!r} period {graph.period} does not "
-                    f"divide the horizon {schedule.horizon}"
+            if base is not None:
+                schedule = base.copy()
+                if horizon is not None and horizon != base.horizon:
+                    raise SchedulingError(
+                        f"requested horizon {horizon} differs from base "
+                        f"horizon {base.horizon}"
+                    )
+            else:
+                schedule = SystemSchedule(
+                    self.architecture,
+                    horizon
+                    if horizon is not None
+                    else application.hyperperiod(),
                 )
+            for graph in application.graphs:
+                if schedule.horizon % graph.period != 0:
+                    raise SchedulingError(
+                        f"graph {graph.name!r} period {graph.period} does "
+                        f"not divide the horizon {schedule.horizon}"
+                    )
+            table = expand_jobs(application, schedule.horizon)
         if priorities is None:
             priorities = hcp_priorities(application, self.architecture.bus)
 
         mapping = Mapping(application, self.architecture)
         locked: Dict[str, str] = {}
 
-        jobs: Dict[Tuple[str, int], _PendingJob] = {}
-        preds_left: Dict[Tuple[str, int], int] = {}
+        jobs: Dict[Tuple[str, int], Job] = table.jobs
+        preds_left: Dict[Tuple[str, int], int] = table.fresh_preds()
         finish: Dict[Tuple[str, int], int] = {}
-        for graph in application.graphs:
-            for k in range(schedule.horizon // graph.period):
-                release = k * graph.period
-                for proc in graph.processes:
-                    key = (proc.id, k)
-                    jobs[key] = _PendingJob(
-                        proc.id, k, release, release + graph.deadline
-                    )
-                    preds_left[key] = len(graph.predecessors(proc.id))
 
         ready: List[Tuple[float, int, str, int]] = []
-        for key, job in jobs.items():
-            if preds_left[key] == 0:
-                heapq.heappush(
-                    ready,
-                    (
-                        # Latest-start-time urgency; see
-                        # ListScheduler._heap_key for the rationale.
-                        job.abs_deadline
-                        - priorities.get(job.process_id, 0.0),
-                        job.release,
-                        job.process_id,
-                        job.instance,
-                    ),
-                )
+        for key in table.sources:
+            job = jobs[key]
+            heapq.heappush(
+                ready,
+                (
+                    # Latest-start-time urgency; see
+                    # ListScheduler._heap_key for the rationale.
+                    job.abs_deadline - priorities.get(job.process_id, 0.0),
+                    job.release,
+                    job.process_id,
+                    job.instance,
+                ),
+            )
 
         while ready:
             _, _, pid, instance = heapq.heappop(ready)
@@ -239,7 +244,7 @@ class InitialMapper:
         self,
         application: Application,
         schedule: SystemSchedule,
-        job: _PendingJob,
+        job: Job,
         process,
         graph,
         finish: Dict[Tuple[str, int], int],
@@ -286,7 +291,7 @@ class InitialMapper:
         self,
         application: Application,
         schedule: SystemSchedule,
-        job: _PendingJob,
+        job: Job,
         node_id: str,
         graph,
         finish: Dict[Tuple[str, int], int],

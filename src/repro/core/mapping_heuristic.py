@@ -30,10 +30,10 @@ to the Initial Mapping and the strategy interface.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.improvement import DescentParams, steepest_descent
 from repro.core.initial_mapping import InitialMapper
-from repro.core.metrics import evaluate_design
 from repro.core.strategy import (
     DesignEvaluator,
     DesignResult,
@@ -41,7 +41,7 @@ from repro.core.strategy import (
     timed,
 )
 from repro.core.transformations import CandidateDesign
-from repro.sched.priorities import hcp_priorities
+from repro.engine.cache import DEFAULT_MAX_ENTRIES
 
 
 @dataclass
@@ -60,49 +60,69 @@ class MappingHeuristic:
         A move must lower the objective by more than this to be taken.
     use_message_moves:
         Whether bus-slack (message-delay) moves are generated.
+    use_cache:
+        Memoize candidate evaluations in the engine (neighbourhoods of
+        consecutive descent iterations overlap heavily).
+    jobs:
+        Worker processes for batch-evaluating each neighbourhood;
+        ``1`` stays serial.  Results are identical for any value.
+    max_cache_entries:
+        LRU bound of the engine's cache (``None`` = unbounded).
     """
 
     pool_size: int = 8
     max_iterations: int = 64
     min_improvement: float = 1e-9
     use_message_moves: bool = True
+    use_cache: bool = True
+    jobs: int = 1
+    max_cache_entries: Optional[int] = DEFAULT_MAX_ENTRIES
 
     name = "MH"
 
     @timed
     def design(self, spec: DesignSpec) -> DesignResult:
         """Run IM, then steepest-descent improvement of the objective."""
+        with DesignEvaluator(
+            spec,
+            use_cache=self.use_cache,
+            jobs=self.jobs,
+            max_cache_entries=self.max_cache_entries,
+        ) as evaluator:
+            return self._design(spec, evaluator)
+
+    def _design(
+        self, spec: DesignSpec, evaluator: DesignEvaluator
+    ) -> DesignResult:
         mapper = InitialMapper(spec.architecture)
         outcome = mapper.try_map_and_schedule(
             spec.current,
             base=spec.base_schedule,
             horizon=None if spec.base_schedule else spec.horizon,
+            compiled=evaluator.compiled,
         )
         if outcome is None:
             return DesignResult(self.name, valid=False, evaluations=1)
         im_mapping, im_schedule = outcome
 
-        evaluator = DesignEvaluator(spec)
         start = evaluator.evaluate(
             CandidateDesign(
-                im_mapping,
-                hcp_priorities(spec.current, spec.architecture.bus),
+                im_mapping, dict(evaluator.compiled.default_priorities)
             )
         )
         if start is None:
             # The list scheduler resolved messages slightly differently
             # than IM and failed; report IM's own valid schedule without
             # optimization (rare).
-            metrics = evaluate_design(im_schedule, spec.future, spec.weights)
+            metrics = evaluator.engine.price(im_schedule)
             return DesignResult(
                 self.name,
                 valid=True,
                 mapping=im_mapping,
-                priorities=hcp_priorities(spec.current, spec.architecture.bus),
+                priorities=dict(evaluator.compiled.default_priorities),
                 schedule=im_schedule,
                 metrics=metrics,
-                evaluations=evaluator.evaluations,
-            )
+            ).record_engine_stats(evaluator)
 
         best = steepest_descent(
             spec,
@@ -123,5 +143,4 @@ class MappingHeuristic:
             message_delays=dict(best.design.message_delays),
             schedule=best.schedule,
             metrics=best.metrics,
-            evaluations=evaluator.evaluations,
-        )
+        ).record_engine_stats(evaluator)

@@ -103,6 +103,7 @@ def design_with_modifications(
     strategy: str = "MH",
     horizon: Optional[int] = None,
     max_modified: Optional[int] = None,
+    jobs: int = 1,
     **strategy_kwargs,
 ) -> ModificationResult:
     """Design ``current``, modifying existing applications only if needed.
@@ -128,6 +129,10 @@ def design_with_modifications(
     max_modified:
         Upper bound on how many existing applications may be modified
         (``None`` = all of them, i.e. full redesign as last resort).
+    jobs:
+        Worker processes for the strategy's evaluation engine; each
+        subset attempt redesigns a larger movable application, which is
+        exactly where parallel batch evaluation pays off.
     strategy_kwargs:
         Forwarded to the strategy constructor (e.g. SA iterations).
 
@@ -146,6 +151,7 @@ def design_with_modifications(
         horizon = hyperperiod(periods)
     if max_modified is None:
         max_modified = len(existing)
+    strategy_kwargs.setdefault("jobs", jobs)
 
     by_cost = sorted(existing, key=lambda e: (e.modification_cost, e.name))
     mapper = InitialMapper(architecture)

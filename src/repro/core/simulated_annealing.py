@@ -23,7 +23,6 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.initial_mapping import InitialMapper
-from repro.core.metrics import evaluate_design
 from repro.core.strategy import (
     DesignEvaluator,
     DesignResult,
@@ -38,7 +37,7 @@ from repro.core.transformations import (
     SwapPriorities,
     Transformation,
 )
-from repro.sched.priorities import hcp_priorities
+from repro.engine.cache import DEFAULT_MAX_ENTRIES
 from repro.utils.rng import SeedLike, make_rng
 
 
@@ -70,6 +69,15 @@ class SimulatedAnnealing:
         :mod:`repro.core.improvement`, walking to the bottom of the
         basin SA found.  This keeps the reference "near optimal" even
         with moderate iteration budgets.
+    use_cache:
+        Memoize candidate evaluations in the engine; annealing revisits
+        rejected design points constantly, so hit rates are high.
+    jobs:
+        Worker processes for the polish phase's neighbourhood batches;
+        the Metropolis walk itself is inherently sequential.  Results
+        are identical for any value.
+    max_cache_entries:
+        LRU bound of the engine's cache (``None`` = unbounded).
     """
 
     iterations: int = 1500
@@ -79,6 +87,9 @@ class SimulatedAnnealing:
     probe_moves: int = 24
     seed: SeedLike = 0
     polish: bool = True
+    use_cache: bool = True
+    jobs: int = 1
+    max_cache_entries: Optional[int] = DEFAULT_MAX_ENTRIES
 
     name = "SA"
 
@@ -86,35 +97,44 @@ class SimulatedAnnealing:
     @timed
     def design(self, spec: DesignSpec) -> DesignResult:
         """Anneal from the Initial Mapping and return the best design seen."""
+        with DesignEvaluator(
+            spec,
+            use_cache=self.use_cache,
+            jobs=self.jobs,
+            max_cache_entries=self.max_cache_entries,
+        ) as evaluator:
+            return self._design(spec, evaluator)
+
+    def _design(
+        self, spec: DesignSpec, evaluator: DesignEvaluator
+    ) -> DesignResult:
         rng = make_rng(self.seed)
         mapper = InitialMapper(spec.architecture)
         outcome = mapper.try_map_and_schedule(
             spec.current,
             base=spec.base_schedule,
             horizon=None if spec.base_schedule else spec.horizon,
+            compiled=evaluator.compiled,
         )
         if outcome is None:
             return DesignResult(self.name, valid=False, evaluations=1)
         im_mapping, im_schedule = outcome
 
-        evaluator = DesignEvaluator(spec)
         current = evaluator.evaluate(
             CandidateDesign(
-                im_mapping,
-                hcp_priorities(spec.current, spec.architecture.bus),
+                im_mapping, dict(evaluator.compiled.default_priorities)
             )
         )
         if current is None:
-            metrics = evaluate_design(im_schedule, spec.future, spec.weights)
+            metrics = evaluator.engine.price(im_schedule)
             return DesignResult(
                 self.name,
                 valid=True,
                 mapping=im_mapping,
-                priorities=hcp_priorities(spec.current, spec.architecture.bus),
+                priorities=dict(evaluator.compiled.default_priorities),
                 schedule=im_schedule,
                 metrics=metrics,
-                evaluations=evaluator.evaluations,
-            )
+            ).record_engine_stats(evaluator)
         start = current
         best = current
 
@@ -155,8 +175,7 @@ class SimulatedAnnealing:
             message_delays=dict(best.design.message_delays),
             schedule=best.schedule,
             metrics=best.metrics,
-            evaluations=evaluator.evaluations,
-        )
+        ).record_engine_stats(evaluator)
 
     # ------------------------------------------------------------------
     # internals

@@ -13,21 +13,27 @@ The mapping strategies (AH, MH, SA) share one contract:
 result with the slide-14 objective.  Invalid candidates (deadline miss,
 unpackable message) evaluate to ``None`` and are rejected by every
 strategy, which enforces the paper's requirement (a) throughout the
-search.
+search.  The heavy lifting -- problem compilation, memoization and
+parallel batch scoring -- lives in :mod:`repro.engine`; the evaluator
+here is the strategy-facing facade over one
+:class:`repro.engine.engine.EvaluationEngine`.
 """
 
 from __future__ import annotations
 
+import functools
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.future import FutureCharacterization
-from repro.core.metrics import DesignMetrics, ObjectiveWeights, evaluate_design
+from repro.core.metrics import DesignMetrics, ObjectiveWeights
+from repro.engine.cache import DEFAULT_MAX_ENTRIES, CacheStats
+from repro.engine.engine import EvaluationEngine
+from repro.engine.evaluation import EvaluatedDesign
 from repro.model.application import Application
 from repro.model.architecture import Architecture
 from repro.model.mapping import Mapping
-from repro.sched.list_scheduler import ListScheduler
 from repro.core.transformations import CandidateDesign
 from repro.sched.priorities import PriorityMap
 from repro.sched.schedule import SystemSchedule
@@ -73,27 +79,6 @@ class DesignSpec:
 
 
 @dataclass
-class EvaluatedDesign:
-    """A valid candidate design with its schedule and metric values."""
-
-    design: "CandidateDesign"
-    schedule: SystemSchedule
-    metrics: DesignMetrics
-
-    @property
-    def objective(self) -> float:
-        return self.metrics.objective
-
-    @property
-    def mapping(self) -> Mapping:
-        return self.design.mapping
-
-    @property
-    def priorities(self) -> PriorityMap:
-        return self.design.priorities
-
-
-@dataclass
 class DesignResult:
     """Outcome of running one strategy on one spec.
 
@@ -110,6 +95,8 @@ class DesignResult:
     metrics: Optional[DesignMetrics] = None
     runtime_seconds: float = 0.0
     evaluations: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def objective(self) -> float:
@@ -118,32 +105,92 @@ class DesignResult:
             return float("inf")
         return self.metrics.objective
 
+    def record_engine_stats(self, evaluator: "DesignEvaluator") -> "DesignResult":
+        """Copy the evaluator's accounting into this result, in place."""
+        self.evaluations = evaluator.evaluations
+        self.cache_hits = evaluator.cache_hits
+        self.cache_misses = evaluator.cache_misses
+        return self
+
 
 class DesignEvaluator:
-    """Schedules and prices :class:`CandidateDesign` points."""
+    """Schedules and prices :class:`CandidateDesign` points.
 
-    def __init__(self, spec: DesignSpec):
+    Since the evaluation-engine refactor this class is a thin facade
+    over :class:`repro.engine.engine.EvaluationEngine`: the engine owns
+    the compiled problem, the memo cache and the worker pool, while
+    this class keeps the historical strategy-facing API.
+
+    Parameters
+    ----------
+    spec:
+        The design problem (compiled once by the engine).
+    use_cache:
+        Memoize candidate evaluations, including invalid verdicts.
+    jobs:
+        Worker processes for :meth:`evaluate_many`; ``1`` stays serial.
+    max_cache_entries:
+        LRU bound of the engine's cache (``None`` = unbounded).
+    parallel_threshold:
+        Minimum problem size (expanded jobs) before the pool engages.
+    """
+
+    def __init__(
+        self,
+        spec: DesignSpec,
+        use_cache: bool = True,
+        jobs: int = 1,
+        max_cache_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
+        parallel_threshold: Optional[int] = None,
+    ):
         self.spec = spec
-        self.scheduler = ListScheduler(spec.architecture)
-        self.evaluations = 0
+        self.engine = EvaluationEngine(
+            spec,
+            use_cache=use_cache,
+            jobs=jobs,
+            max_cache_entries=max_cache_entries,
+            parallel_threshold=parallel_threshold,
+        )
 
     def evaluate(self, design: "CandidateDesign") -> Optional[EvaluatedDesign]:
         """Schedule the candidate; return ``None`` when it is invalid."""
-        self.evaluations += 1
-        result = self.scheduler.try_schedule(
-            self.spec.current,
-            design.mapping,
-            base=self.spec.base_schedule,
-            priorities=design.priorities,
-            horizon=None if self.spec.base_schedule else self.spec.horizon,
-            message_delays=design.message_delays,
-        )
-        if not result.success:
-            return None
-        metrics = evaluate_design(
-            result.schedule, self.spec.future, self.spec.weights
-        )
-        return EvaluatedDesign(design, result.schedule, metrics)
+        return self.engine.evaluate(design)
+
+    def evaluate_many(
+        self, designs: Sequence["CandidateDesign"]
+    ) -> List[Optional[EvaluatedDesign]]:
+        """Score a batch of candidates, preserving input order."""
+        return self.engine.evaluate_many(designs)
+
+    @property
+    def compiled(self):
+        """The engine's compiled problem (shared with Initial Mapping)."""
+        return self.engine.compiled
+
+    @property
+    def evaluations(self) -> int:
+        return self.engine.evaluations
+
+    @property
+    def cache_hits(self) -> int:
+        return self.engine.cache_hits
+
+    @property
+    def cache_misses(self) -> int:
+        return self.engine.cache_misses
+
+    def cache_stats(self) -> CacheStats:
+        return self.engine.cache_stats()
+
+    def close(self) -> None:
+        """Release the engine's worker pool (idempotent)."""
+        self.engine.close()
+
+    def __enter__(self) -> "DesignEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def make_strategy(name: str, **kwargs):
@@ -202,12 +249,11 @@ def timed(func):
     ``runtime_seconds`` field is filled in.
     """
 
+    @functools.wraps(func)
     def wrapper(self, spec: DesignSpec) -> DesignResult:
         start = time.perf_counter()
         result = func(self, spec)
         result.runtime_seconds = time.perf_counter() - start
         return result
 
-    wrapper.__doc__ = func.__doc__
-    wrapper.__name__ = func.__name__
     return wrapper

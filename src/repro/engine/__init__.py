@@ -1,0 +1,36 @@
+"""Shared evaluation engine: compiled specs, caching, batch evaluation.
+
+This package separates problem *construction* from repeated *solving*:
+
+* :mod:`~repro.engine.compiled_spec` -- :class:`CompiledSpec`,
+  everything derivable from a :class:`repro.core.strategy.DesignSpec`
+  alone (job expansion, horizon validation, default priorities, the
+  frozen base-schedule template, candidate signatures);
+* :mod:`~repro.engine.evaluation` -- the pure per-candidate evaluation
+  primitive and :class:`EvaluatedDesign`;
+* :mod:`~repro.engine.cache` -- :class:`EvaluationCache`, memoized
+  outcomes with hit/miss accounting;
+* :mod:`~repro.engine.batch` -- :class:`BatchEvaluator`, process-pool
+  scoring of candidate batches with deterministic ordering;
+* :mod:`~repro.engine.engine` -- :class:`EvaluationEngine`, the facade
+  composing the above; every strategy's inner loop.
+
+See DESIGN.md at the repository root for the layer diagram and the
+engine contracts.
+"""
+
+from repro.engine.batch import BatchEvaluator
+from repro.engine.cache import CacheStats, EvaluationCache
+from repro.engine.compiled_spec import CompiledSpec
+from repro.engine.engine import EvaluationEngine
+from repro.engine.evaluation import EvaluatedDesign, evaluate_candidate
+
+__all__ = [
+    "BatchEvaluator",
+    "CacheStats",
+    "CompiledSpec",
+    "EvaluatedDesign",
+    "EvaluationCache",
+    "EvaluationEngine",
+    "evaluate_candidate",
+]

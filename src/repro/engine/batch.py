@@ -1,0 +1,178 @@
+"""Concurrent scoring of candidate batches.
+
+The steepest-descent loop of MH (and SA's polish phase) generates a
+whole neighbourhood of candidate designs per iteration and evaluates
+every one of them before picking the winner -- an embarrassingly
+parallel inner loop.  :class:`BatchEvaluator` scores such batches with
+a ``concurrent.futures`` process pool for large scenarios and falls
+back to serial evaluation for small ones, where the fork/pickle
+overhead would dominate.
+
+Determinism: results are returned in input order (``executor.map``
+preserves it) and each worker runs the same pure
+:func:`repro.engine.evaluation.evaluate_candidate`, so a parallel run
+produces exactly the results of a serial run -- seeded experiments stay
+reproducible under ``--jobs N``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Executor, ProcessPoolExecutor
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+from repro.engine.compiled_spec import CompiledSpec
+from repro.engine.evaluation import EvaluatedDesign, evaluate_candidate
+from repro.sched.list_scheduler import ListScheduler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.strategy import DesignSpec
+    from repro.core.transformations import CandidateDesign
+
+#: Compiled specs below this many expanded jobs are evaluated serially:
+#: the problem is too small for process spin-up and pickling to pay off.
+DEFAULT_PARALLEL_THRESHOLD = 96
+
+#: Minimum batch size worth fanning out.
+MIN_PARALLEL_BATCH = 2
+
+#: Per-worker state: ``(spec, compiled, scheduler)``, built once by the
+#: pool initializer so each worker compiles the problem exactly once.
+_WORKER_STATE: Optional[Tuple] = None
+
+#: Wire form of one candidate: ``(assignment, priorities, delays)``.
+Payload = Tuple[dict, dict, dict]
+
+
+def _init_worker(spec: "DesignSpec") -> None:
+    """Process-pool initializer: compile the spec once per worker."""
+    global _WORKER_STATE
+    _WORKER_STATE = (
+        spec,
+        CompiledSpec(spec),
+        ListScheduler(spec.architecture),
+    )
+
+
+def _evaluate_payload(payload: Payload) -> Optional[EvaluatedDesign]:
+    """Worker-side evaluation of one wire-form candidate."""
+    from repro.core.transformations import CandidateDesign
+    from repro.model.mapping import Mapping
+
+    assert _WORKER_STATE is not None, "worker initializer did not run"
+    spec, compiled, scheduler = _WORKER_STATE
+    assignment, priorities, delays = payload
+    design = CandidateDesign(
+        Mapping(spec.current, spec.architecture, assignment),
+        dict(priorities),
+        dict(delays),
+    )
+    return evaluate_candidate(spec, compiled, scheduler, design)
+
+
+def _to_payload(design: "CandidateDesign") -> Payload:
+    """Strip a candidate down to plain dicts for cheap pickling."""
+    return (
+        design.mapping.as_dict(),
+        dict(design.priorities),
+        dict(design.message_delays),
+    )
+
+
+class BatchEvaluator:
+    """Scores lists of candidates, concurrently when it pays off.
+
+    Parameters
+    ----------
+    compiled:
+        The compiled problem every candidate belongs to.
+    jobs:
+        Worker-process count; ``1`` (the default) never forks.
+    parallel_threshold:
+        Minimum :attr:`CompiledSpec.total_jobs` for the process pool to
+        engage; smaller problems always evaluate serially.  Tests force
+        the pool with ``parallel_threshold=0``.
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledSpec,
+        jobs: int = 1,
+        parallel_threshold: Optional[int] = None,
+    ):
+        self.compiled = compiled
+        self.jobs = max(1, int(jobs))
+        self.parallel_threshold = (
+            DEFAULT_PARALLEL_THRESHOLD
+            if parallel_threshold is None
+            else parallel_threshold
+        )
+        self._scheduler = ListScheduler(compiled.architecture)
+        self._executor: Optional[Executor] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def evaluate_one(self, design: "CandidateDesign") -> Optional[EvaluatedDesign]:
+        """Serial evaluation of a single candidate (the engine hot path)."""
+        return evaluate_candidate(
+            self.compiled.spec, self.compiled, self._scheduler, design
+        )
+
+    def evaluate_batch(
+        self, designs: Sequence["CandidateDesign"]
+    ) -> List[Optional[EvaluatedDesign]]:
+        """Score ``designs``, preserving input order exactly."""
+        designs = list(designs)
+        if not self._use_pool(len(designs)):
+            return [self.evaluate_one(design) for design in designs]
+        executor = self._ensure_executor()
+        payloads = [_to_payload(design) for design in designs]
+        chunksize = max(1, len(payloads) // (self.jobs * 4))
+        outcomes = list(
+            executor.map(_evaluate_payload, payloads, chunksize=chunksize)
+        )
+        # Workers rebuild the candidate from its wire form, so their
+        # results reference private Application/Architecture/Mapping
+        # copies.  Reattach the caller's original design: only the
+        # schedule and metrics are worth keeping from the worker, and
+        # downstream consumers (cache, DesignResult) keep referencing
+        # the one true model object graph.
+        for design, outcome in zip(designs, outcomes):
+            if outcome is not None:
+                outcome.design = design
+        return outcomes
+
+    def close(self) -> None:
+        """Shut the worker pool down for good (idempotent).
+
+        Later batches fall back to serial evaluation instead of
+        silently respawning workers, so a closed evaluator never owns
+        untracked processes.
+        """
+        self._closed = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "BatchEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _use_pool(self, batch_size: int) -> bool:
+        return (
+            not self._closed
+            and self.jobs > 1
+            and batch_size >= MIN_PARALLEL_BATCH
+            and self.compiled.total_jobs >= self.parallel_threshold
+        )
+
+    def _ensure_executor(self) -> Executor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_init_worker,
+                initargs=(self.compiled.spec,),
+            )
+        return self._executor

@@ -1,0 +1,117 @@
+"""Memoization of candidate evaluations.
+
+The search strategies revisit design points constantly: SA proposes a
+move, rejects it, and proposes it again a hundred iterations later; the
+steepest-descent neighbourhood of consecutive iterations overlaps
+heavily (only the processes near the applied move change).  Since the
+list scheduler is a deterministic function of the candidate triple
+``(mapping, priorities, message_delays)``, every repeated evaluation is
+pure waste.
+
+:class:`EvaluationCache` memoizes evaluation outcomes -- including the
+*invalid* verdict (``None``), which is exactly as expensive to
+recompute -- keyed by :meth:`CompiledSpec.signature`.  Hit/miss
+counters feed the per-run statistics surfaced in
+:class:`repro.core.strategy.DesignResult` and the experiment reports.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.engine.compiled_spec import Signature
+
+#: Sentinel distinguishing "not cached" from a cached invalid verdict.
+_MISSING = object()
+
+#: Default LRU bound.  Far above the reproduction's iteration budgets
+#: (so no behavior change), but it keeps a long-running search from
+#: retaining one full schedule per distinct candidate forever.
+DEFAULT_MAX_ENTRIES = 65536
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss accounting of one cache over its lifetime."""
+
+    hits: int
+    misses: int
+    entries: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class EvaluationCache:
+    """LRU-bounded memo of signature -> evaluation outcome.
+
+    Parameters
+    ----------
+    max_entries:
+        Upper bound on stored outcomes; the least recently used entry
+        is evicted beyond it.  Defaults to :data:`DEFAULT_MAX_ENTRIES`;
+        ``None`` means unbounded.
+    """
+
+    def __init__(self, max_entries: Optional[int] = DEFAULT_MAX_ENTRIES):
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError(
+                f"max_entries must be positive or None, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self._store: "OrderedDict[Signature, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def lookup(self, signature: Signature):
+        """Return ``(found, outcome)``; counts the hit or miss.
+
+        ``outcome`` is the memoized evaluation result -- possibly
+        ``None`` for a cached invalid verdict -- and only meaningful
+        when ``found`` is True.
+        """
+        value = self._store.get(signature, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        self._store.move_to_end(signature)
+        return True, value
+
+    def count_hit(self) -> None:
+        """Record a hit served outside the store.
+
+        Used by the engine for in-batch duplicates: the outcome is
+        shared from the first occurrence's evaluation without a
+        lookup, but it is a hit from the caller's perspective (served
+        without scheduling).  Keeps all counter mutation in this class.
+        """
+        self.hits += 1
+
+    def store(self, signature: Signature, outcome) -> None:
+        """Memoize one outcome (``None`` records an invalid candidate)."""
+        self._store[signature] = outcome
+        self._store.move_to_end(signature)
+        if self.max_entries is not None and len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry; counters keep accumulating."""
+        self._store.clear()
+
+    def stats(self) -> CacheStats:
+        """A snapshot of the accounting counters."""
+        return CacheStats(self.hits, self.misses, len(self._store))

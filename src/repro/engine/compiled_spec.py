@@ -1,0 +1,134 @@
+"""Problem compilation: everything derivable from a :class:`DesignSpec` alone.
+
+Every strategy evaluation schedules *one candidate* of the *same
+problem*: the application, the frozen base schedule, the horizon and
+the default priorities never change inside a search run.  The seed
+implementation nevertheless re-derived all of them per candidate inside
+``ListScheduler.try_schedule`` -- thousands of times in one SA run.
+
+:class:`CompiledSpec` performs that derivation once, in the spirit of
+separating problem *construction* from repeated *solving*:
+
+* the horizon is resolved and every graph period is validated against
+  it up front (a per-candidate check before);
+* the application is instance-expanded into a
+  :class:`repro.sched.jobs.JobTable` (jobs, predecessor counts,
+  successor edges, initial ready set);
+* the default HCP priorities are computed once;
+* the frozen base schedule is kept as a template; per-candidate
+  evaluation only pays one ``copy()`` of it;
+* candidate signatures -- the memoization key of the evaluation cache
+  -- are derived here so the cache and the batch evaluator agree on
+  identity.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from repro.sched.jobs import JobTable, expand_jobs
+from repro.sched.priorities import PriorityMap, hcp_priorities
+from repro.sched.schedule import SystemSchedule
+from repro.utils.errors import SchedulingError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.strategy import DesignSpec
+    from repro.core.transformations import CandidateDesign
+
+#: Hashable identity of one candidate design; see :func:`CompiledSpec.signature`.
+Signature = Tuple[
+    Tuple[Tuple[str, str], ...],
+    Tuple[Tuple[str, float], ...],
+    Tuple[Tuple[str, int], ...],
+]
+
+
+class CompiledSpec:
+    """Precomputed, reusable form of one :class:`DesignSpec`.
+
+    Instances are immutable in practice: nothing here is mutated after
+    construction, so one compiled spec can be shared by an arbitrary
+    number of candidate evaluations (including across processes -- the
+    batch evaluator pickles the spec once per worker and recompiles).
+    """
+
+    def __init__(self, spec: "DesignSpec"):
+        self.spec = spec
+        self.horizon = spec.effective_horizon()
+        for graph in spec.current.graphs:
+            if self.horizon % graph.period != 0:
+                raise SchedulingError(
+                    f"graph {graph.name!r} period {graph.period} does not "
+                    f"divide the horizon {self.horizon}"
+                )
+        self.job_table: JobTable = expand_jobs(spec.current, self.horizon)
+        self.default_priorities: PriorityMap = hcp_priorities(
+            spec.current, spec.architecture.bus
+        )
+        self._base_template: Optional[SystemSchedule] = spec.base_schedule
+
+    # ------------------------------------------------------------------
+    @property
+    def architecture(self):
+        return self.spec.architecture
+
+    @property
+    def application(self):
+        return self.spec.current
+
+    @property
+    def total_jobs(self) -> int:
+        """Process instances one candidate evaluation has to place."""
+        return len(self.job_table)
+
+    def validate_against(
+        self,
+        application,
+        base: Optional[SystemSchedule],
+        horizon: Optional[int],
+    ) -> None:
+        """Guard against reusing this compiled spec for another problem.
+
+        The compiled fast paths (list scheduler, initial mapper) ignore
+        their ``application``/``base``/``horizon`` arguments in favor of
+        the precomputed state, so a mismatch would silently schedule
+        the wrong problem; this check turns it into an error.  Shared
+        by both call sites so the accepted usages can never diverge.
+        """
+        if self.application is not application:
+            raise SchedulingError(
+                "compiled spec was built for application "
+                f"{self.application.name!r}, not {application.name!r}"
+            )
+        if base is not None and base is not self.spec.base_schedule:
+            raise SchedulingError(
+                "compiled spec was built around a different base schedule"
+            )
+        if horizon is not None and horizon != self.horizon:
+            raise SchedulingError(
+                f"requested horizon {horizon} differs from compiled "
+                f"horizon {self.horizon}"
+            )
+
+    def fresh_schedule(self) -> SystemSchedule:
+        """A writable schedule seeded with the frozen reservations.
+
+        This is the only per-candidate setup cost left: one copy of the
+        base template (or an empty schedule for green-field designs).
+        """
+        if self._base_template is not None:
+            return self._base_template.copy()
+        return SystemSchedule(self.spec.architecture, self.horizon)
+
+    def signature(self, design: "CandidateDesign") -> Signature:
+        """Hashable identity of ``design`` for memoization.
+
+        Two candidates with equal mapping, priorities and message
+        delays produce byte-identical schedules (the list scheduler is
+        deterministic), so this triple is a sound cache key.
+        """
+        return (
+            tuple(sorted(design.mapping.as_dict().items())),
+            tuple(sorted(design.priorities.items())),
+            tuple(sorted(design.message_delays.items())),
+        )

@@ -1,0 +1,171 @@
+"""The evaluation engine: compiled problem + cache + batch execution.
+
+:class:`EvaluationEngine` is the one inner loop every strategy shares.
+It owns
+
+* a :class:`~repro.engine.compiled_spec.CompiledSpec` (problem
+  construction, done once),
+* an optional :class:`~repro.engine.cache.EvaluationCache` (memoized
+  solving), and
+* a :class:`~repro.engine.batch.BatchEvaluator` (parallel solving of
+  candidate batches).
+
+``core.strategy.DesignEvaluator`` is a thin facade over this class, so
+existing strategy code keeps its historical API while all performance
+work happens here.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from repro.engine.batch import BatchEvaluator
+from repro.engine.cache import DEFAULT_MAX_ENTRIES, CacheStats, EvaluationCache
+from repro.engine.compiled_spec import CompiledSpec
+from repro.engine.evaluation import EvaluatedDesign
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.metrics import DesignMetrics
+    from repro.core.strategy import DesignSpec
+    from repro.core.transformations import CandidateDesign
+    from repro.sched.schedule import SystemSchedule
+
+
+class EvaluationEngine:
+    """Fast, cached, parallelizable evaluation of candidate designs.
+
+    Parameters
+    ----------
+    spec:
+        The design problem; compiled once at construction.
+    use_cache:
+        Memoize evaluation outcomes (including invalid verdicts).
+    jobs:
+        Worker processes for batch evaluation; ``1`` stays serial.
+    max_cache_entries:
+        LRU bound of the cache (default
+        :data:`repro.engine.cache.DEFAULT_MAX_ENTRIES`; ``None`` =
+        unbounded).
+    parallel_threshold:
+        Forwarded to :class:`BatchEvaluator`; minimum problem size (in
+        expanded jobs) for the process pool to engage.
+    """
+
+    def __init__(
+        self,
+        spec: "DesignSpec",
+        use_cache: bool = True,
+        jobs: int = 1,
+        max_cache_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
+        parallel_threshold: Optional[int] = None,
+    ):
+        self.spec = spec
+        self.compiled = CompiledSpec(spec)
+        self.cache: Optional[EvaluationCache] = (
+            EvaluationCache(max_cache_entries) if use_cache else None
+        )
+        self.batch = BatchEvaluator(
+            self.compiled, jobs=jobs, parallel_threshold=parallel_threshold
+        )
+        self.evaluations = 0
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, design: "CandidateDesign") -> Optional[EvaluatedDesign]:
+        """Schedule and price one candidate; ``None`` when invalid."""
+        self.evaluations += 1
+        if self.cache is None:
+            return self.batch.evaluate_one(design)
+        signature = self.compiled.signature(design)
+        found, outcome = self.cache.lookup(signature)
+        if found:
+            return outcome
+        outcome = self.batch.evaluate_one(design)
+        self.cache.store(signature, outcome)
+        return outcome
+
+    def evaluate_many(
+        self, designs: Sequence["CandidateDesign"]
+    ) -> List[Optional[EvaluatedDesign]]:
+        """Score a batch of candidates, preserving input order.
+
+        Cached outcomes are served without scheduling; the remaining
+        misses (deduplicated within the batch) go through the batch
+        evaluator -- in parallel when the problem and batch are large
+        enough.
+        """
+        designs = list(designs)
+        self.evaluations += len(designs)
+        if self.cache is None:
+            return self.batch.evaluate_batch(designs)
+
+        results: List[Optional[EvaluatedDesign]] = [None] * len(designs)
+        signatures = [self.compiled.signature(d) for d in designs]
+        fresh_indices: List[int] = []
+        fresh_by_signature: dict = {}
+        for i, signature in enumerate(signatures):
+            if signature in fresh_by_signature:
+                # Duplicate within the batch: served without scheduling
+                # once the first occurrence is evaluated, so it counts
+                # as a hit (keeps evaluations == hits + misses).
+                self.cache.count_hit()
+                fresh_by_signature[signature].append(i)
+                continue
+            found, outcome = self.cache.lookup(signature)
+            if found:
+                results[i] = outcome
+            else:
+                fresh_indices.append(i)
+                fresh_by_signature[signature] = [i]
+
+        if fresh_indices:
+            outcomes = self.batch.evaluate_batch(
+                [designs[i] for i in fresh_indices]
+            )
+            for i, outcome in zip(fresh_indices, outcomes):
+                self.cache.store(signatures[i], outcome)
+                for slot in fresh_by_signature[signatures[i]]:
+                    results[slot] = outcome
+        return results
+
+    def price(self, schedule: "SystemSchedule") -> "DesignMetrics":
+        """Metric evaluation of an already-built schedule.
+
+        Used by strategies that obtain a schedule outside the candidate
+        loop (AH reports the Initial Mapping's own schedule), so every
+        objective value in the system comes from one code path.
+        """
+        from repro.core.metrics import evaluate_design
+
+        return evaluate_design(schedule, self.spec.future, self.spec.weights)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @property
+    def cache_hits(self) -> int:
+        return self.cache.hits if self.cache is not None else 0
+
+    @property
+    def cache_misses(self) -> int:
+        return self.cache.misses if self.cache is not None else 0
+
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss accounting (all zeros when caching is disabled)."""
+        if self.cache is None:
+            return CacheStats(0, 0, 0)
+        return self.cache.stats()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the worker pool; the engine stays usable serially."""
+        self.batch.close()
+
+    def __enter__(self) -> "EvaluationEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,78 @@
+"""The single candidate-evaluation primitive every search loop shares.
+
+``evaluate_candidate`` is the pure function at the bottom of the whole
+optimization stack: schedule one :class:`CandidateDesign` with the
+compiled problem and price the result with the slide-14 objective.  The
+serial engine path, the cache-miss path and the process-pool workers
+all call exactly this function, which is what makes cached, serial and
+parallel runs bit-identical.
+
+Imports from :mod:`repro.core` are deferred to call time: the engine
+package sits between ``sched`` and ``core`` in the layer diagram
+(``core.strategy`` imports the engine), so importing core modules at
+module scope would be circular.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.sched.schedule import SystemSchedule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.metrics import DesignMetrics
+    from repro.core.strategy import DesignSpec
+    from repro.core.transformations import CandidateDesign
+    from repro.engine.compiled_spec import CompiledSpec
+    from repro.model.mapping import Mapping
+    from repro.sched.list_scheduler import ListScheduler
+    from repro.sched.priorities import PriorityMap
+
+
+@dataclass
+class EvaluatedDesign:
+    """A valid candidate design with its schedule and metric values."""
+
+    design: "CandidateDesign"
+    schedule: SystemSchedule
+    metrics: "DesignMetrics"
+
+    @property
+    def objective(self) -> float:
+        return self.metrics.objective
+
+    @property
+    def mapping(self) -> "Mapping":
+        return self.design.mapping
+
+    @property
+    def priorities(self) -> "PriorityMap":
+        return self.design.priorities
+
+
+def evaluate_candidate(
+    spec: "DesignSpec",
+    compiled: "CompiledSpec",
+    scheduler: "ListScheduler",
+    design: "CandidateDesign",
+) -> Optional[EvaluatedDesign]:
+    """Schedule and price one candidate; ``None`` when it is invalid.
+
+    Deterministic: equal ``(spec, design)`` always produce the same
+    outcome, which both the evaluation cache and the batch evaluator
+    rely on.
+    """
+    from repro.core.metrics import evaluate_design
+
+    result = scheduler.try_schedule(
+        spec.current,
+        design.mapping,
+        priorities=design.priorities,
+        message_delays=design.message_delays,
+        compiled=compiled,
+    )
+    if not result.success:
+        return None
+    metrics = evaluate_design(result.schedule, spec.future, spec.weights)
+    return EvaluatedDesign(design, result.schedule, metrics)

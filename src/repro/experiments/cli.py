@@ -21,7 +21,12 @@ from typing import List, Optional
 from repro.experiments.fig_future import fig_future, render as render_future
 from repro.experiments.fig_quality import fig_quality, render as render_quality
 from repro.experiments.fig_runtime import fig_runtime, render as render_runtime
-from repro.experiments.runner import ExperimentConfig, run_comparison
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import (
+    ExperimentConfig,
+    cache_statistics,
+    run_comparison,
+)
 
 
 def _build_config(args: argparse.Namespace) -> ExperimentConfig:
@@ -37,9 +42,33 @@ def _build_config(args: argparse.Namespace) -> ExperimentConfig:
         overrides["n_existing"] = args.existing
     if args.sa_iterations:
         overrides["sa_iterations"] = args.sa_iterations
+    if args.jobs is not None:
+        overrides["jobs"] = args.jobs
     if overrides:
         config = replace(config, **overrides)
     return config
+
+
+def render_cache_statistics(records) -> str:
+    """The per-run evaluation-engine statistics table."""
+    rows = [
+        (name, evals, hits, misses, f"{rate * 100.0:.1f}%")
+        for name, evals, hits, misses, rate in cache_statistics(records)
+    ]
+    return format_table(
+        ["strategy", "evaluations", "cache hits", "cache misses", "hit rate"],
+        rows,
+        title="Evaluation engine statistics (all runs)",
+    )
+
+
+def _positive_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {value!r}"
+        )
+    return parsed
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -73,6 +102,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--sa-iterations", type=int, help="simulated-annealing iterations"
     )
     parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        help=(
+            "worker processes per strategy run (evaluation-engine batch "
+            "parallelism; results are identical to a serial run)"
+        ),
+    )
+    parser.add_argument(
         "-v", "--verbose", action="store_true", help="per-scenario progress"
     )
     args = parser.parse_args(argv)
@@ -86,6 +123,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.figure in ("fig-runtime", "all"):
             print(render_runtime(fig_runtime(config, records)))
             print()
+        print(render_cache_statistics(records))
+        print()
     if args.figure in ("fig-future", "all"):
         print(render_future(fig_future(config, verbose=args.verbose)))
     return 0

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.metrics import ObjectiveWeights
 from repro.core.strategy import DesignResult, make_strategy
+from repro.engine.cache import CacheStats
 from repro.gen.scenario import Scenario, ScenarioParams, build_scenario
 from repro.utils.errors import MappingError
 
@@ -30,6 +31,9 @@ class ExperimentConfig:
     n_existing: int = 60
     seeds: Tuple[int, ...] = (1, 2, 3)
     sa_iterations: int = 1200
+    #: Worker processes per strategy run (the evaluation engine's batch
+    #: evaluator); ``1`` stays serial.  Results are identical either way.
+    jobs: int = 1
     scenario_params: ScenarioParams = field(default_factory=ScenarioParams)
     weights: ObjectiveWeights = field(default_factory=ObjectiveWeights)
     # fig-future only.  ``n_future_processes=None`` sizes each future
@@ -82,6 +86,14 @@ class ComparisonRecord:
     def all_valid(self) -> bool:
         return all(r.valid for r in self.results.values())
 
+    def cache_line(self, strategy: str) -> str:
+        """Human-readable engine statistics of one strategy's run."""
+        r = self.results[strategy]
+        return (
+            f"{r.evaluations} evals, {r.cache_hits} hits, "
+            f"{r.cache_misses} misses"
+        )
+
 
 def run_comparison(
     config: ExperimentConfig,
@@ -108,12 +120,16 @@ def run_comparison(
             for name in strategies:
                 strategy = _build(name, config, seed)
                 results[name] = strategy.design(scenario.spec(config.weights))
-            records.append(ComparisonRecord(size, seed, scenario, results))
+            record = ComparisonRecord(size, seed, scenario, results)
+            records.append(record)
             if verbose:
                 line = " ".join(
                     f"{n}={results[n].objective:.1f}" for n in strategies
                 )
-                print(f"size={size} seed={seed}: {line}")
+                cache = "; ".join(
+                    f"{n}: {record.cache_line(n)}" for n in strategies
+                )
+                print(f"size={size} seed={seed}: {line} [{cache}]")
     return records
 
 
@@ -121,9 +137,41 @@ def _build(name: str, config: ExperimentConfig, seed: int):
     """Instantiate a strategy with experiment-appropriate parameters."""
     if name.upper() == "SA":
         return make_strategy(
-            "SA", iterations=config.sa_iterations, seed=seed * 7919 + 13
+            "SA",
+            iterations=config.sa_iterations,
+            seed=seed * 7919 + 13,
+            jobs=config.jobs,
         )
-    return make_strategy(name)
+    return make_strategy(name, jobs=config.jobs)
+
+
+def cache_statistics(
+    records: Sequence[ComparisonRecord],
+    strategies: Optional[Sequence[str]] = None,
+) -> List[Tuple[str, int, int, int, float]]:
+    """Per-strategy evaluation-engine totals across all runs.
+
+    Returns ``(strategy, evaluations, hits, misses, hit_rate)`` rows,
+    aggregated over every record that ran the strategy -- the data of
+    the CLI's engine-statistics report.  ``strategies`` defaults to the
+    names actually present in ``records``, in first-seen order.
+    """
+    if strategies is None:
+        seen: List[str] = []
+        for record in records:
+            for name in record.results:
+                if name not in seen:
+                    seen.append(name)
+        strategies = seen
+    rows: List[Tuple[str, int, int, int, float]] = []
+    for name in strategies:
+        results = [r.results[name] for r in records if name in r.results]
+        evaluations = sum(r.evaluations for r in results)
+        hits = sum(r.cache_hits for r in results)
+        misses = sum(r.cache_misses for r in results)
+        rate = CacheStats(hits, misses, 0).hit_rate
+        rows.append((name, evaluations, hits, misses, rate))
+    return rows
 
 
 def mean(values: Sequence[float]) -> float:

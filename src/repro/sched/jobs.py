@@ -1,0 +1,101 @@
+"""Periodic job expansion shared by every scheduling pass.
+
+Expanding an application into its periodic process instances (jobs)
+inside a horizon used to be done inline by both the list scheduler and
+the initial mapper, once per *candidate evaluation*.  The expansion
+only depends on ``(application, horizon)``, so it is factored out here
+and precomputed once by :class:`repro.engine.compiled_spec.CompiledSpec`;
+search loops then reuse the same :class:`JobTable` for thousands of
+candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.model.application import Application
+
+#: A job is identified by ``(process_id, instance)``.
+JobKey = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class Job:
+    """One periodic instance of one process, as seen by a scheduler."""
+
+    process_id: str
+    instance: int
+    graph_name: str
+    release: int
+    abs_deadline: int
+
+
+@dataclass(frozen=True)
+class JobTable:
+    """The instance-expanded view of one application over one horizon.
+
+    Attributes
+    ----------
+    horizon:
+        The horizon the expansion covers.
+    jobs:
+        Every job keyed by ``(process_id, instance)``.
+    preds_template:
+        Unscheduled-predecessor counts per job at the start of a pass.
+        Schedulers must not mutate it; take :meth:`fresh_preds`.
+    succ_edges:
+        Successor adjacency: job -> same-instance successor jobs.
+    sources:
+        Jobs with no predecessors (the initial ready set), in insertion
+        order.
+    """
+
+    horizon: int
+    jobs: Dict[JobKey, Job]
+    preds_template: Dict[JobKey, int]
+    succ_edges: Dict[JobKey, List[JobKey]]
+    sources: Tuple[JobKey, ...]
+
+    def fresh_preds(self) -> Dict[JobKey, int]:
+        """A mutable copy of the predecessor counts for one pass."""
+        return dict(self.preds_template)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+
+def expand_jobs(application: Application, horizon: int) -> JobTable:
+    """Instance-expand ``application``'s process graphs over ``horizon``.
+
+    Every graph contributes ``horizon // period`` instances; instance
+    ``k`` is released at ``k * period`` with absolute deadline
+    ``k * period + deadline``.  The caller is responsible for checking
+    that every period divides the horizon.
+    """
+    jobs: Dict[JobKey, Job] = {}
+    preds_template: Dict[JobKey, int] = {}
+    succ_edges: Dict[JobKey, List[JobKey]] = {}
+    sources: List[JobKey] = []
+    for graph in application.graphs:
+        instances = horizon // graph.period
+        for k in range(instances):
+            release = k * graph.period
+            abs_deadline = release + graph.deadline
+            for proc in graph.processes:
+                key = (proc.id, k)
+                jobs[key] = Job(proc.id, k, graph.name, release, abs_deadline)
+                n_preds = len(graph.predecessors(proc.id))
+                preds_template[key] = n_preds
+                succ_edges[key] = [
+                    (succ, k) for succ in graph.successors(proc.id)
+                ]
+                if n_preds == 0:
+                    sources.append(key)
+    return JobTable(
+        horizon=horizon,
+        jobs=jobs,
+        preds_template=preds_template,
+        succ_edges=succ_edges,
+        sources=tuple(sources),
+    )

@@ -17,27 +17,19 @@ the paper's requirement (a) structurally.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping as TMapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Mapping as TMapping, Optional, Tuple
 
 from repro.model.application import Application
 from repro.model.mapping import Mapping
 from repro.model.architecture import Architecture
+from repro.sched.jobs import Job, expand_jobs
 from repro.sched.priorities import PriorityMap, hcp_priorities
 from repro.sched.schedule import SystemSchedule
 from repro.utils.errors import SchedulingError
-from repro.utils.timemath import hyperperiod
 
-
-@dataclass(frozen=True)
-class _Job:
-    """One periodic instance of one process, as seen by the scheduler."""
-
-    process_id: str
-    instance: int
-    graph_name: str
-    release: int
-    abs_deadline: int
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine -> sched)
+    from repro.engine.compiled_spec import CompiledSpec
 
 
 @dataclass
@@ -92,6 +84,7 @@ class ListScheduler:
         horizon: Optional[int] = None,
         frozen: bool = False,
         message_delays: Optional[TMapping[str, int]] = None,
+        compiled: Optional["CompiledSpec"] = None,
     ) -> SystemSchedule:
         """Schedule ``application`` and return the resulting schedule.
 
@@ -102,7 +95,7 @@ class ListScheduler:
         """
         result = self.try_schedule(
             application, mapping, base, priorities, horizon, frozen,
-            message_delays,
+            message_delays, compiled,
         )
         if not result.success:
             raise SchedulingError(result.failure_reason or "scheduling failed")
@@ -117,6 +110,7 @@ class ListScheduler:
         horizon: Optional[int] = None,
         frozen: bool = False,
         message_delays: Optional[TMapping[str, int]] = None,
+        compiled: Optional["CompiledSpec"] = None,
     ) -> ScheduleResult:
         """Like :meth:`schedule` but reports failure instead of raising.
 
@@ -145,15 +139,30 @@ class ListScheduler:
             is the paper's "move a message to a different slack on the
             bus" transformation; strategies propose delays and the
             scheduler realizes them.
+        compiled:
+            A :class:`repro.engine.compiled_spec.CompiledSpec` for this
+            exact ``(application, base, horizon)`` problem.  When given,
+            the precomputed job table, base-schedule template and
+            default priorities are reused instead of re-derived -- the
+            per-candidate fast path of the evaluation engine.
         """
         mapping.validate_complete()
         if message_delays is None:
             message_delays = {}
-        schedule = self._prepare_schedule(application, base, horizon)
-        if priorities is None:
-            priorities = hcp_priorities(application, self.architecture.bus)
+        if compiled is not None:
+            compiled.validate_against(application, base, horizon)
+            schedule = compiled.fresh_schedule()
+            if priorities is None:
+                priorities = compiled.default_priorities
+            table = compiled.job_table
+        else:
+            schedule = self._prepare_schedule(application, base, horizon)
+            if priorities is None:
+                priorities = hcp_priorities(application, self.architecture.bus)
+            table = expand_jobs(application, schedule.horizon)
 
-        jobs, preds_left, succ_edges = self._expand_jobs(application, schedule.horizon)
+        jobs = table.jobs
+        preds_left = table.fresh_preds()
         total_jobs = len(jobs)
 
         # Earliest-start constraint accumulated per job: release time,
@@ -164,9 +173,8 @@ class ListScheduler:
         finish: Dict[Tuple[str, int], int] = {}
 
         ready: List[Tuple[float, int, str, int]] = []
-        for key, job in jobs.items():
-            if preds_left[key] == 0:
-                heapq.heappush(ready, self._heap_key(job, priorities))
+        for key in table.sources:
+            heapq.heappush(ready, self._heap_key(jobs[key], priorities))
 
         scheduled = 0
         while ready:
@@ -270,41 +278,8 @@ class ListScheduler:
         return SystemSchedule(self.architecture, horizon)
 
     @staticmethod
-    def _expand_jobs(
-        application: Application, horizon: int
-    ) -> Tuple[
-        Dict[Tuple[str, int], _Job],
-        Dict[Tuple[str, int], int],
-        Dict[Tuple[str, int], List[Tuple[str, int]]],
-    ]:
-        """Instance-expand the application's process graphs.
-
-        Returns the job table, the number of unscheduled predecessors
-        per job, and the successor adjacency (currently only used by
-        tests; the scheduler walks out-messages directly).
-        """
-        jobs: Dict[Tuple[str, int], _Job] = {}
-        preds_left: Dict[Tuple[str, int], int] = {}
-        succ_edges: Dict[Tuple[str, int], List[Tuple[str, int]]] = {}
-        for graph in application.graphs:
-            instances = horizon // graph.period
-            for k in range(instances):
-                release = k * graph.period
-                abs_deadline = release + graph.deadline
-                for proc in graph.processes:
-                    key = (proc.id, k)
-                    jobs[key] = _Job(
-                        proc.id, k, graph.name, release, abs_deadline
-                    )
-                    preds_left[key] = len(graph.predecessors(proc.id))
-                    succ_edges[key] = [
-                        (succ, k) for succ in graph.successors(proc.id)
-                    ]
-        return jobs, preds_left, succ_edges
-
-    @staticmethod
     def _heap_key(
-        job: _Job, priorities: TMapping[str, float]
+        job: Job, priorities: TMapping[str, float]
     ) -> Tuple[float, int, str, int]:
         """Min-heap key: most urgent ready job first.
 

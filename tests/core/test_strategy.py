@@ -117,6 +117,19 @@ class TestRegistry:
         assert result.runtime_seconds > 0
 
 
+class TestTimedDecorator:
+    def test_wraps_preserves_introspection(self):
+        # functools.wraps must keep the full metadata, not just
+        # __doc__/__name__ as the original hand-rolled decorator did.
+        for cls in (AdHocStrategy, MappingHeuristic, SimulatedAnnealing):
+            design = cls.design
+            assert design.__name__ == "design"
+            assert design.__qualname__ == f"{cls.__name__}.design"
+            assert design.__module__ == cls.__module__
+            assert design.__doc__
+            assert hasattr(design, "__wrapped__")
+
+
 class TestFitsFutureApplication:
     def test_fits_on_empty_system(self, arch2, chain_app):
         base = SystemSchedule(arch2, 80)

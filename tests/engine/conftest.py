@@ -1,0 +1,21 @@
+"""Fixtures for the evaluation-engine tests: one small seeded scenario."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.strategy import DesignSpec
+from repro.gen.scenario import Scenario, ScenarioParams, build_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario() -> Scenario:
+    """A small but non-trivial scenario (frozen base + current app)."""
+    return build_scenario(
+        ScenarioParams(n_existing=12, n_current=8), seed=3
+    )
+
+
+@pytest.fixture(scope="module")
+def spec(scenario) -> DesignSpec:
+    return scenario.spec()

@@ -1,0 +1,134 @@
+"""Tests for parallel batch evaluation and its determinism contract."""
+
+import pytest
+
+from repro.core.initial_mapping import InitialMapper
+from repro.core.strategy import DesignEvaluator, make_strategy
+from repro.core.transformations import CandidateDesign, RemapProcess, SwapPriorities
+from repro.engine.batch import BatchEvaluator
+from repro.engine.compiled_spec import CompiledSpec
+from repro.sched.priorities import hcp_priorities
+
+
+@pytest.fixture(scope="module")
+def neighbourhood(spec):
+    """A batch of candidate designs around the IM starting point."""
+    mapper = InitialMapper(spec.architecture)
+    mapping, _ = mapper.try_map_and_schedule(
+        spec.current, base=spec.base_schedule
+    )
+    start = CandidateDesign(
+        mapping, hcp_priorities(spec.current, spec.architecture.bus)
+    )
+    designs = [start]
+    processes = spec.current.processes
+    for proc in processes[:4]:
+        for node in proc.allowed_nodes:
+            if node != mapping.node_of(proc.id):
+                designs.append(RemapProcess(proc.id, node).apply(start))
+    designs.append(
+        SwapPriorities(processes[0].id, processes[-1].id).apply(start)
+    )
+    return start, designs
+
+
+def _outcomes(results):
+    return [None if r is None else r.objective for r in results]
+
+
+class TestBatchEvaluator:
+    def test_pool_matches_serial(self, spec, neighbourhood):
+        _, designs = neighbourhood
+        compiled = CompiledSpec(spec)
+        serial = BatchEvaluator(compiled, jobs=1)
+        with BatchEvaluator(
+            compiled, jobs=2, parallel_threshold=0
+        ) as pooled:
+            assert pooled._use_pool(len(designs))
+            par = pooled.evaluate_batch(designs)
+        ser = serial.evaluate_batch(designs)
+        assert _outcomes(par) == _outcomes(ser)
+        # Pool results must reference the caller's original candidates,
+        # not the workers' unpickled model copies.
+        for design, outcome in zip(designs, par):
+            if outcome is not None:
+                assert outcome.design is design
+
+    def test_small_problem_falls_back_to_serial(self, spec):
+        compiled = CompiledSpec(spec)
+        pooled = BatchEvaluator(
+            compiled, jobs=2, parallel_threshold=compiled.total_jobs + 1
+        )
+        assert not pooled._use_pool(100)
+        assert pooled._executor is None
+
+    def test_single_candidate_stays_serial(self, spec):
+        compiled = CompiledSpec(spec)
+        pooled = BatchEvaluator(compiled, jobs=2, parallel_threshold=0)
+        assert not pooled._use_pool(1)
+
+    def test_close_is_sticky_and_idempotent(self, spec, neighbourhood):
+        _, designs = neighbourhood
+        evaluator = BatchEvaluator(
+            CompiledSpec(spec), jobs=2, parallel_threshold=0
+        )
+        evaluator.evaluate_batch(designs[:3])
+        evaluator.close()
+        evaluator.close()
+        # A closed evaluator keeps working serially and must never
+        # respawn worker processes behind the caller's back.
+        assert not evaluator._use_pool(len(designs))
+        assert len(evaluator.evaluate_batch(designs)) == len(designs)
+        assert evaluator._executor is None
+
+
+class TestEvaluateMany:
+    def test_order_preserved_and_cached(self, spec, neighbourhood):
+        _, designs = neighbourhood
+        with DesignEvaluator(spec) as evaluator:
+            batch = evaluator.evaluate_many(designs)
+            singles = [evaluator.evaluate(d) for d in designs]
+        assert _outcomes(batch) == _outcomes(singles)
+
+    def test_duplicates_within_batch_scheduled_once(self, spec, neighbourhood):
+        start, _ = neighbourhood
+        with DesignEvaluator(spec) as evaluator:
+            results = evaluator.evaluate_many([start, start.copy(), start])
+            assert evaluator.evaluations == 3
+            # One real scheduling pass; the duplicates count as hits so
+            # evaluations == hits + misses stays an invariant.
+            assert evaluator.cache_misses == 1
+            assert evaluator.cache_hits == 2
+            assert _outcomes(results)[0] is not None
+            assert len(set(_outcomes(results))) == 1
+
+    def test_parallel_evaluator_matches_serial(self, spec, neighbourhood):
+        _, designs = neighbourhood
+        with DesignEvaluator(
+            spec, use_cache=False, jobs=2, parallel_threshold=0
+        ) as par:
+            par_out = par.evaluate_many(designs)
+        ser = DesignEvaluator(spec, use_cache=False)
+        assert _outcomes(par_out) == _outcomes(ser.evaluate_many(designs))
+
+
+class TestSeededRunDeterminism:
+    def test_sa_identical_serial_vs_jobs2(self, spec):
+        serial = make_strategy("SA", iterations=60, seed=11).design(spec)
+        parallel = make_strategy(
+            "SA", iterations=60, seed=11, jobs=2
+        ).design(spec)
+        assert serial.valid and parallel.valid
+        assert serial.mapping.as_dict() == parallel.mapping.as_dict()
+        assert serial.priorities == parallel.priorities
+        assert serial.message_delays == parallel.message_delays
+        assert serial.objective == parallel.objective
+        assert serial.evaluations == parallel.evaluations
+
+    def test_mh_identical_serial_vs_jobs2(self, spec):
+        serial = make_strategy("MH").design(spec)
+        parallel = make_strategy("MH", jobs=2).design(spec)
+        assert serial.valid and parallel.valid
+        assert serial.mapping.as_dict() == parallel.mapping.as_dict()
+        assert serial.priorities == parallel.priorities
+        assert serial.objective == parallel.objective

@@ -1,0 +1,114 @@
+"""Tests for evaluation memoization: accounting, verdicts, equivalence."""
+
+import pytest
+
+from repro.core.initial_mapping import InitialMapper
+from repro.core.strategy import DesignEvaluator, make_strategy
+from repro.core.transformations import CandidateDesign, RemapProcess
+from repro.engine.cache import EvaluationCache
+from repro.sched.priorities import hcp_priorities
+
+
+@pytest.fixture(scope="module")
+def im_design(spec):
+    mapper = InitialMapper(spec.architecture)
+    mapping, _ = mapper.try_map_and_schedule(
+        spec.current, base=spec.base_schedule
+    )
+    return CandidateDesign(
+        mapping, hcp_priorities(spec.current, spec.architecture.bus)
+    )
+
+
+class TestEvaluationCache:
+    def test_miss_then_hit(self):
+        cache = EvaluationCache()
+        found, _ = cache.lookup(("a",))
+        assert not found
+        cache.store(("a",), "outcome")
+        found, outcome = cache.lookup(("a",))
+        assert found and outcome == "outcome"
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.entries) == (1, 1, 1)
+        assert stats.hit_rate == 0.5
+
+    def test_invalid_verdict_is_cached(self):
+        cache = EvaluationCache()
+        cache.store(("bad",), None)
+        found, outcome = cache.lookup(("bad",))
+        assert found and outcome is None
+
+    def test_lru_eviction(self):
+        cache = EvaluationCache(max_entries=2)
+        cache.store(("a",), 1)
+        cache.store(("b",), 2)
+        cache.lookup(("a",))  # refresh "a"; "b" becomes LRU
+        cache.store(("c",), 3)
+        assert cache.lookup(("a",))[0]
+        assert not cache.lookup(("b",))[0]
+        assert cache.lookup(("c",))[0]
+        assert len(cache) == 2
+
+    def test_bad_max_entries_rejected(self):
+        with pytest.raises(ValueError):
+            EvaluationCache(max_entries=0)
+
+
+class TestEngineCaching:
+    def test_repeat_evaluation_hits(self, spec, im_design):
+        with DesignEvaluator(spec) as evaluator:
+            first = evaluator.evaluate(im_design)
+            second = evaluator.evaluate(im_design)
+            assert first is second
+            assert evaluator.evaluations == 2
+            assert evaluator.cache_hits == 1
+            assert evaluator.cache_misses == 1
+
+    def test_copies_share_cache_entry(self, spec, im_design):
+        with DesignEvaluator(spec) as evaluator:
+            first = evaluator.evaluate(im_design)
+            second = evaluator.evaluate(im_design.copy())
+            assert first is second
+            assert evaluator.cache_hits == 1
+
+    def test_invalid_candidates_cached(self, spec, im_design):
+        # An overloaded single-node mapping that cannot meet deadlines
+        # still gets its (None) verdict memoized.
+        with DesignEvaluator(spec) as evaluator:
+            evaluator.evaluate(im_design)
+            move = None
+            for proc in spec.current.processes:
+                others = [
+                    n
+                    for n in proc.allowed_nodes
+                    if n != im_design.mapping.node_of(proc.id)
+                ]
+                if others:
+                    move = RemapProcess(proc.id, others[0])
+                    break
+            assert move is not None
+            mutated = move.apply(im_design)
+            a = evaluator.evaluate(mutated)
+            b = evaluator.evaluate(mutated)
+            assert a is b  # cached, whatever the verdict
+
+    def test_objectives_identical_cache_on_vs_off(self, spec):
+        on = make_strategy("MH", use_cache=True).design(spec)
+        off = make_strategy("MH", use_cache=False).design(spec)
+        assert on.valid and off.valid
+        assert on.objective == off.objective
+        assert on.mapping.as_dict() == off.mapping.as_dict()
+        assert on.priorities == off.priorities
+        assert on.message_delays == off.message_delays
+        assert off.cache_hits == 0 and off.cache_misses == 0
+
+    def test_result_surfaces_cache_counters(self, spec):
+        result = make_strategy("MH", use_cache=True).design(spec)
+        assert result.cache_misses > 0
+        assert result.evaluations >= result.cache_hits + result.cache_misses
+
+    def test_sa_counts_consistent(self, spec):
+        result = make_strategy("SA", iterations=40, seed=9).design(spec)
+        assert result.valid
+        assert result.evaluations >= result.cache_hits + result.cache_misses
+        assert result.cache_misses > 0

@@ -1,0 +1,62 @@
+"""Tests for the EvaluationEngine facade and strategy integration."""
+
+import pytest
+
+from repro.core.adhoc import AdHocStrategy
+from repro.core.initial_mapping import InitialMapper
+from repro.core.strategy import DesignEvaluator
+from repro.core.transformations import CandidateDesign
+from repro.engine import EvaluationEngine
+from repro.sched.priorities import hcp_priorities
+
+
+class TestEvaluationEngine:
+    def test_evaluate_counts(self, spec):
+        with EvaluationEngine(spec) as engine:
+            mapper = InitialMapper(spec.architecture)
+            mapping, _ = mapper.try_map_and_schedule(
+                spec.current, base=spec.base_schedule
+            )
+            design = CandidateDesign(
+                mapping, hcp_priorities(spec.current, spec.architecture.bus)
+            )
+            out = engine.evaluate(design)
+            assert out is not None and out.objective >= 0
+            assert engine.evaluations == 1
+            stats = engine.cache_stats()
+            assert (stats.hits, stats.misses) == (0, 1)
+
+    def test_cache_disabled_stats_zero(self, spec):
+        with EvaluationEngine(spec, use_cache=False) as engine:
+            stats = engine.cache_stats()
+            assert (stats.hits, stats.misses, stats.entries) == (0, 0, 0)
+
+    def test_price_matches_metrics_path(self, spec):
+        from repro.core.metrics import evaluate_design
+
+        mapper = InitialMapper(spec.architecture)
+        outcome = mapper.try_map_and_schedule(
+            spec.current, base=spec.base_schedule
+        )
+        assert outcome is not None
+        _, schedule = outcome
+        with EvaluationEngine(spec) as engine:
+            assert (
+                engine.price(schedule).objective
+                == evaluate_design(schedule, spec.future, spec.weights).objective
+            )
+
+    def test_facade_exposes_compiled(self, spec):
+        with DesignEvaluator(spec) as evaluator:
+            assert evaluator.compiled is evaluator.engine.compiled
+            assert evaluator.compiled.total_jobs > 0
+
+
+class TestAdHocOnEngine:
+    def test_ah_unchanged_by_engine_knobs(self, spec):
+        plain = AdHocStrategy().design(spec)
+        tuned = AdHocStrategy(use_cache=False, jobs=4).design(spec)
+        assert plain.valid and tuned.valid
+        assert plain.objective == tuned.objective
+        assert plain.mapping.as_dict() == tuned.mapping.as_dict()
+        assert plain.evaluations == tuned.evaluations == 1

@@ -14,6 +14,7 @@ from repro.experiments.fig_runtime import RuntimeRow, fig_runtime
 from repro.experiments.fig_runtime import render as render_runtime
 from repro.experiments.runner import (
     ExperimentConfig,
+    cache_statistics,
     mean,
     run_comparison,
 )
@@ -44,6 +45,14 @@ class TestRunner:
     def test_all_strategies_present(self, records):
         for record in records:
             assert set(record.results) == {"AH", "MH", "SA"}
+
+    def test_cache_statistics_derives_strategies(self, config):
+        subset = run_comparison(config, strategies=("MH",))
+        rows = cache_statistics(subset)
+        assert [row[0] for row in rows] == ["MH"]
+        name, evaluations, hits, misses, rate = rows[0]
+        assert evaluations >= hits + misses
+        assert 0.0 <= rate <= 1.0
 
     def test_objectives_finite_for_valid(self, records):
         for record in records:
