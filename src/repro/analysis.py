@@ -136,9 +136,7 @@ def analyze_design(
             )
 
     bus = schedule.bus
-    total_capacity = bus.rounds * sum(
-        slot.capacity for slot in bus.bus.slots
-    )
+    total_capacity = bus.bus.total_capacity_within(bus.horizon)
     bus_report = BusReport(
         round_length=bus.bus.round_length,
         rounds=bus.rounds,

@@ -111,8 +111,28 @@ class BatchEvaluator:
         self._closed = False
 
     # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(
+                "BatchEvaluator is closed; evaluation after close() would "
+                "have to respawn worker processes behind the caller's back "
+                "-- build a fresh engine instead"
+            )
+
     def evaluate_one(self, design: "CandidateDesign") -> Optional[EvaluatedDesign]:
-        """Serial evaluation of a single candidate (the engine hot path)."""
+        """Serial evaluation of a single candidate (the engine hot path).
+
+        Raises
+        ------
+        RuntimeError
+            If the evaluator has been closed.
+        """
+        self._ensure_open()
         return evaluate_candidate(
             self.compiled.spec, self.compiled, self._scheduler, design
         )
@@ -120,7 +140,14 @@ class BatchEvaluator:
     def evaluate_batch(
         self, designs: Sequence["CandidateDesign"]
     ) -> List[Optional[EvaluatedDesign]]:
-        """Score ``designs``, preserving input order exactly."""
+        """Score ``designs``, preserving input order exactly.
+
+        Raises
+        ------
+        RuntimeError
+            If the evaluator has been closed.
+        """
+        self._ensure_open()
         designs = list(designs)
         if not self._use_pool(len(designs)):
             return [self.evaluate_one(design) for design in designs]
@@ -144,9 +171,10 @@ class BatchEvaluator:
     def close(self) -> None:
         """Shut the worker pool down for good (idempotent).
 
-        Later batches fall back to serial evaluation instead of
-        silently respawning workers, so a closed evaluator never owns
-        untracked processes.
+        Closing is sticky: later ``evaluate_*`` calls raise instead of
+        silently recreating a pool (or degrading to serial), so a
+        closed evaluator never owns untracked processes and misuse is
+        loud rather than slow.
         """
         self._closed = True
         if self._executor is not None:
@@ -169,6 +197,7 @@ class BatchEvaluator:
         )
 
     def _ensure_executor(self) -> Executor:
+        self._ensure_open()
         if self._executor is None:
             self._executor = ProcessPoolExecutor(
                 max_workers=self.jobs,

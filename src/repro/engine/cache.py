@@ -13,6 +13,11 @@ pure waste.
 recompute -- keyed by :meth:`CompiledSpec.signature`.  Hit/miss
 counters feed the per-run statistics surfaced in
 :class:`repro.core.strategy.DesignResult` and the experiment reports.
+
+Accounting and LRU recency are atomic by construction: every hit goes
+through :meth:`lookup`, which counts it and moves the entry to the
+recent end in one step (``in`` is the accounting-free peek for callers
+that only plan work).
 """
 
 from __future__ import annotations
@@ -76,6 +81,14 @@ class EvaluationCache:
     def __len__(self) -> int:
         return len(self._store)
 
+    def __contains__(self, signature: Signature) -> bool:
+        """Pure membership peek: no counters, no recency update.
+
+        Lets the engine plan a batch (which signatures need solving)
+        without perturbing the accounting that :meth:`lookup` owns.
+        """
+        return signature in self._store
+
     def lookup(self, signature: Signature):
         """Return ``(found, outcome)``; counts the hit or miss.
 
@@ -90,16 +103,6 @@ class EvaluationCache:
         self.hits += 1
         self._store.move_to_end(signature)
         return True, value
-
-    def count_hit(self) -> None:
-        """Record a hit served outside the store.
-
-        Used by the engine for in-batch duplicates: the outcome is
-        shared from the first occurrence's evaluation without a
-        lookup, but it is a hit from the caller's perspective (served
-        without scheduling).  Keeps all counter mutation in this class.
-        """
-        self.hits += 1
 
     def store(self, signature: Signature, outcome) -> None:
         """Memoize one outcome (``None`` records an invalid candidate)."""

@@ -61,11 +61,44 @@ class CompiledSpec:
                     f"graph {graph.name!r} period {graph.period} does not "
                     f"divide the horizon {self.horizon}"
                 )
+        self._validate_architecture()
         self.job_table: JobTable = expand_jobs(spec.current, self.horizon)
         self.default_priorities: PriorityMap = hcp_priorities(
             spec.current, spec.architecture.bus
         )
         self._base_template: Optional[SystemSchedule] = spec.base_schedule
+
+    def _validate_architecture(self) -> None:
+        """Guard the spec against architecture/application mismatches.
+
+        Scenario families generate heterogeneous platform variants
+        (per-node speeds, variable-length TDMA slots); a WCET table
+        referencing a node the architecture does not have -- e.g. an
+        application generated for a different variant -- would
+        otherwise surface as a confusing mapping failure deep inside
+        the search.  The bus/node consistency itself is enforced by
+        :class:`~repro.model.architecture.Architecture`; this check
+        ties the *application* to the platform once per compilation.
+        """
+        architecture = self.spec.architecture
+        for process in self.spec.current.processes:
+            unknown = [n for n in process.wcet if n not in architecture]
+            if unknown:
+                raise SchedulingError(
+                    f"process {process.id!r} allows nodes "
+                    f"{sorted(unknown)} that the architecture does not "
+                    f"have (nodes: {architecture.node_ids}); was the "
+                    f"application generated for a different platform "
+                    f"variant?"
+                )
+        if self.spec.base_schedule is not None:
+            base = self.spec.base_schedule
+            if base.architecture.node_ids != architecture.node_ids:
+                raise SchedulingError(
+                    "base schedule was built for architecture nodes "
+                    f"{base.architecture.node_ids}, spec has "
+                    f"{architecture.node_ids}"
+                )
 
     # ------------------------------------------------------------------
     @property

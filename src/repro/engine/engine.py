@@ -73,7 +73,15 @@ class EvaluationEngine:
     # evaluation
     # ------------------------------------------------------------------
     def evaluate(self, design: "CandidateDesign") -> Optional[EvaluatedDesign]:
-        """Schedule and price one candidate; ``None`` when invalid."""
+        """Schedule and price one candidate; ``None`` when invalid.
+
+        Raises
+        ------
+        RuntimeError
+            If the engine has been closed (even for would-be cache
+            hits: a closed engine refuses all evaluation uniformly).
+        """
+        self._ensure_open()
         self.evaluations += 1
         if self.cache is None:
             return self.batch.evaluate_one(design)
@@ -95,38 +103,50 @@ class EvaluationEngine:
         evaluator -- in parallel when the problem and batch are large
         enough.
         """
+        self._ensure_open()
         designs = list(designs)
         self.evaluations += len(designs)
         if self.cache is None:
             return self.batch.evaluate_batch(designs)
 
-        results: List[Optional[EvaluatedDesign]] = [None] * len(designs)
         signatures = [self.compiled.signature(d) for d in designs]
+        # Plan: which signatures need solving?  A pure peek -- the
+        # accounting and recency updates happen below, in batch order.
         fresh_indices: List[int] = []
-        fresh_by_signature: dict = {}
+        fresh_signatures: set = set()
         for i, signature in enumerate(signatures):
-            if signature in fresh_by_signature:
-                # Duplicate within the batch: served without scheduling
-                # once the first occurrence is evaluated, so it counts
-                # as a hit (keeps evaluations == hits + misses).
-                self.cache.count_hit()
-                fresh_by_signature[signature].append(i)
-                continue
-            found, outcome = self.cache.lookup(signature)
-            if found:
-                results[i] = outcome
-            else:
+            if signature not in fresh_signatures and signature not in self.cache:
+                fresh_signatures.add(signature)
                 fresh_indices.append(i)
-                fresh_by_signature[signature] = [i]
-
+        outcome_by_signature: dict = {}
         if fresh_indices:
             outcomes = self.batch.evaluate_batch(
                 [designs[i] for i in fresh_indices]
             )
-            for i, outcome in zip(fresh_indices, outcomes):
-                self.cache.store(signatures[i], outcome)
-                for slot in fresh_by_signature[signatures[i]]:
-                    results[slot] = outcome
+            outcome_by_signature = {
+                signatures[i]: outcome
+                for i, outcome in zip(fresh_indices, outcomes)
+            }
+
+        # Commit in batch order so cache accounting *and* LRU recency
+        # are exactly those of a sequence of single evaluate() calls:
+        # first occurrence of a fresh signature = miss + store, every
+        # later use = hit + move-to-end.
+        results: List[Optional[EvaluatedDesign]] = [None] * len(designs)
+        for i, signature in enumerate(signatures):
+            found, outcome = self.cache.lookup(signature)
+            if found:
+                results[i] = outcome
+                continue
+            if signature in outcome_by_signature:
+                outcome = outcome_by_signature[signature]
+            else:
+                # The entry was evicted between its store and this use
+                # (cache bound smaller than the batch's working set);
+                # re-solve serially, exactly as single calls would.
+                outcome = self.batch.evaluate_one(designs[i])
+            self.cache.store(signature, outcome)
+            results[i] = outcome
         return results
 
     def price(self, schedule: "SystemSchedule") -> "DesignMetrics":
@@ -160,8 +180,26 @@ class EvaluationEngine:
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self.batch.closed
+
+    def _ensure_open(self) -> None:
+        if self.batch.closed:
+            raise RuntimeError(
+                "EvaluationEngine is closed; build a fresh engine instead "
+                "of evaluating through a closed one"
+            )
+
     def close(self) -> None:
-        """Release the worker pool; the engine stays usable serially."""
+        """Release the worker pool and retire the engine (idempotent).
+
+        A closed engine refuses further ``evaluate``/``evaluate_many``
+        calls (``RuntimeError``) instead of silently recreating worker
+        processes; accounting accessors stay readable so strategies can
+        record statistics after the search finished or failed.
+        """
         self.batch.close()
 
     def __enter__(self) -> "EvaluationEngine":

@@ -6,9 +6,18 @@ Usage::
     python -m repro.experiments fig-runtime --sizes 10 20 --seeds 2
     python -m repro.experiments fig-future --paper-scale
     python -m repro.experiments all
+    python -m repro.experiments scenarios list
+    python -m repro.experiments scenarios describe hetero-speed
+    python -m repro.experiments scenarios run pipeline --preset tiny --seed 3
+    python -m repro.experiments scenarios sweep --seeds 2
+    python -m repro.experiments scenarios smoke
 
 ``fig-quality`` and ``fig-runtime`` share their strategy runs when
-invoked through ``all``, so the comparison is executed once.
+invoked through ``all``, so the comparison is executed once.  The
+``scenarios`` subcommand exposes the scenario-diversity subsystem: the
+family registry (``list``/``describe``), single-family runs (``run``),
+the full family x strategy stress matrix (``sweep``) and the CI
+determinism checks (``smoke``).
 """
 
 from __future__ import annotations
@@ -23,10 +32,15 @@ from repro.experiments.fig_quality import fig_quality, render as render_quality
 from repro.experiments.fig_runtime import fig_runtime, render as render_runtime
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import (
+    DEFAULT_FAMILY_SA_ITERATIONS,
     ExperimentConfig,
     cache_statistics,
     run_comparison,
+    run_family_matrix,
+    run_family_smoke,
+    strategy_for_family,
 )
+from repro.gen import families
 
 
 def _build_config(args: argparse.Namespace) -> ExperimentConfig:
@@ -71,37 +85,294 @@ def _positive_int(value: str) -> int:
     return parsed
 
 
+# ----------------------------------------------------------------------
+# scenarios subcommand
+# ----------------------------------------------------------------------
+def _scenarios_list() -> str:
+    rows = []
+    for family in families.iter_families():
+        all_params = [family.params(p) for p in family.preset_names]
+        node_counts = sorted({p.n_nodes for p in all_params})
+        nodes = (
+            str(node_counts[0])
+            if len(node_counts) == 1
+            else f"{node_counts[0]}-{node_counts[-1]}"
+        )
+        shapes = "/".join(sorted({p.workload_shape for p in all_params}))
+        rows.append(
+            (
+                family.name,
+                " ".join(family.preset_names),
+                nodes,
+                shapes,
+                family.description,
+            )
+        )
+    return format_table(
+        ["family", "presets", "nodes", "shape", "description"],
+        rows,
+        title=f"Scenario families ({len(rows)} registered)",
+    )
+
+
+def _scenarios_describe(name: str) -> str:
+    return families.get_family(name).describe()
+
+
+def _scenarios_run(args: argparse.Namespace) -> int:
+    family = families.get_family(args.family)
+    scenario = family.build(args.preset, seed=args.seed)
+    if args.save:
+        from repro.serialize.scenario_codec import save_scenario
+
+        save_scenario(scenario, args.save)
+        print(f"scenario saved to {args.save}")
+    spec = scenario.spec()
+    rows = []
+    for name in args.strategies:
+        strategy = strategy_for_family(
+            name, args.seed, not args.no_cache, args.jobs, args.sa_iterations
+        )
+        result = strategy.design(spec)
+        rows.append(
+            (
+                name,
+                "yes" if result.valid else "NO",
+                result.objective,
+                result.runtime_seconds,
+                result.evaluations,
+                result.cache_hits,
+                result.cache_misses,
+            )
+        )
+    preset = args.preset if args.preset else family.smallest_preset
+    print(
+        format_table(
+            [
+                "strategy", "valid", "objective", "runtime s",
+                "evaluations", "cache hits", "cache misses",
+            ],
+            rows,
+            title=(
+                f"Family {family.name} preset {preset} seed {args.seed} "
+                f"(current: {scenario.current.process_count} processes)"
+            ),
+        )
+    )
+    return 0 if all(row[1] == "yes" for row in rows) else 1
+
+
+def _scenarios_sweep(args: argparse.Namespace) -> int:
+    records = run_family_matrix(
+        family_names=args.families,
+        preset=args.preset,
+        seeds=tuple(range(1, args.seeds + 1)),
+        strategies=tuple(args.strategies),
+        jobs=args.jobs,
+        sa_iterations=args.sa_iterations,
+        verbose=args.verbose,
+    )
+    rows = []
+    for record in records:
+        rows.append(
+            (
+                record.family,
+                record.preset,
+                record.seed,
+                record.strategy,
+                "on" if record.use_cache else "off",
+                "yes" if record.result.valid else "NO",
+                record.result.objective,
+                record.result.runtime_seconds,
+            )
+        )
+    print(
+        format_table(
+            [
+                "family", "preset", "seed", "strategy", "cache",
+                "valid", "objective", "runtime s",
+            ],
+            rows,
+            title="Scenario-family stress matrix",
+        )
+    )
+    if not records:
+        print("no runnable (family, seed) cells -- all skipped as "
+              "unschedulable")
+        return 1
+    return 0 if all(r.result.valid for r in records) else 1
+
+
+def _scenarios_smoke(args: argparse.Namespace) -> int:
+    results = run_family_smoke(
+        family_names=args.families,
+        seed=args.seed,
+        sa_iterations=args.sa_iterations,
+        verbose=args.verbose,
+    )
+    rows = []
+    for smoke in results:
+        objectives = " ".join(
+            f"{name}={value:.1f}" for name, value in smoke.objectives.items()
+        )
+        rows.append(
+            (
+                smoke.family,
+                smoke.preset,
+                "ok" if smoke.ok else "FAIL",
+                objectives or "-",
+                smoke.runtime_seconds,
+                "; ".join(smoke.failures) or "-",
+            )
+        )
+    print(
+        format_table(
+            ["family", "preset", "status", "objectives", "runtime s", "failures"],
+            rows,
+            title="Scenario-family smoke sweep (smallest preset per family)",
+        )
+    )
+    failed = [smoke.family for smoke in results if not smoke.ok]
+    if failed:
+        print(f"\nFAILED families: {', '.join(failed)}")
+        return 1
+    return 0
+
+
+def _handle_scenarios(args: argparse.Namespace) -> int:
+    if args.action == "list":
+        print(_scenarios_list())
+        return 0
+    if args.action == "describe":
+        print(_scenarios_describe(args.family))
+        return 0
+    if args.action == "run":
+        return _scenarios_run(args)
+    if args.action == "sweep":
+        return _scenarios_sweep(args)
+    return _scenarios_smoke(args)
+
+
+def _add_scenarios_parser(subparsers) -> None:
+    scen = subparsers.add_parser(
+        "scenarios",
+        help="scenario-diversity subsystem: family registry and sweeps",
+        description=(
+            "Browse, generate and sweep the registered scenario families."
+        ),
+    )
+    actions = scen.add_subparsers(dest="action", required=True, metavar="action")
+
+    actions.add_parser("list", help="list the registered families")
+
+    describe = actions.add_parser(
+        "describe", help="show one family's presets and parameters"
+    )
+    describe.add_argument("family", help="family name (see: scenarios list)")
+
+    run = actions.add_parser(
+        "run", help="run strategies on one generated family scenario"
+    )
+    run.add_argument("family", help="family name (see: scenarios list)")
+    run.add_argument("--preset", help="preset name (default: smallest)")
+    run.add_argument("--seed", type=int, default=1, help="scenario seed")
+    run.add_argument(
+        "--strategies", nargs="+", default=["AH", "MH", "SA"],
+        help="strategies to run",
+    )
+    run.add_argument(
+        "--jobs", type=_positive_int, default=1,
+        help="evaluation-engine worker processes",
+    )
+    run.add_argument(
+        "--sa-iterations", type=int, default=DEFAULT_FAMILY_SA_ITERATIONS,
+        help="simulated-annealing iterations",
+    )
+    run.add_argument(
+        "--no-cache", action="store_true", help="disable evaluation caching"
+    )
+    run.add_argument("--save", help="also save the scenario JSON to this path")
+
+    sweep = actions.add_parser(
+        "sweep",
+        help="stress matrix: every strategy x every family, cache on/off",
+    )
+    sweep.add_argument(
+        "--families", nargs="+", help="families to sweep (default: all)"
+    )
+    sweep.add_argument("--preset", help="preset per family (default: smallest)")
+    sweep.add_argument(
+        "--seeds", type=_positive_int, default=1,
+        help="number of scenario seeds per family",
+    )
+    sweep.add_argument(
+        "--strategies", nargs="+", default=["AH", "MH", "SA"],
+        help="strategies to run",
+    )
+    sweep.add_argument(
+        "--jobs", type=_positive_int, default=1,
+        help="evaluation-engine worker processes",
+    )
+    sweep.add_argument(
+        "--sa-iterations", type=int, default=DEFAULT_FAMILY_SA_ITERATIONS,
+        help="simulated-annealing iterations",
+    )
+    sweep.add_argument(
+        "-v", "--verbose", action="store_true", help="per-run progress"
+    )
+
+    smoke = actions.add_parser(
+        "smoke",
+        help=(
+            "CI checks: smallest preset per family must run AH/MH/SA to "
+            "valid, deterministic designs and round-trip the codec"
+        ),
+    )
+    smoke.add_argument(
+        "--families", nargs="+", help="families to check (default: all)"
+    )
+    smoke.add_argument("--seed", type=int, default=1, help="scenario seed")
+    smoke.add_argument(
+        "--sa-iterations", type=int, default=DEFAULT_FAMILY_SA_ITERATIONS,
+        help="simulated-annealing iterations",
+    )
+    smoke.add_argument(
+        "-v", "--verbose", action="store_true", help="per-family progress"
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Parse arguments, run the requested experiment(s), print tables."""
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description=(
-            "Regenerate the evaluation figures of Pop et al., DAC 2001."
+            "Regenerate the evaluation figures of Pop et al., DAC 2001, "
+            "and sweep the scenario-diversity families."
         ),
     )
-    parser.add_argument(
-        "figure",
-        choices=["fig-quality", "fig-runtime", "fig-future", "all"],
-        help="which figure to regenerate",
+    subparsers = parser.add_subparsers(
+        dest="command", required=True, metavar="command"
     )
-    parser.add_argument(
+
+    figure_options = argparse.ArgumentParser(add_help=False)
+    figure_options.add_argument(
         "--paper-scale",
         action="store_true",
         help="use the paper's workload sizes (slow: hours of SA)",
     )
-    parser.add_argument(
+    figure_options.add_argument(
         "--sizes", type=int, nargs="+", help="current-application sizes"
     )
-    parser.add_argument(
+    figure_options.add_argument(
         "--seeds", type=int, help="number of random seeds per size"
     )
-    parser.add_argument(
+    figure_options.add_argument(
         "--existing", type=int, help="existing-application size"
     )
-    parser.add_argument(
+    figure_options.add_argument(
         "--sa-iterations", type=int, help="simulated-annealing iterations"
     )
-    parser.add_argument(
+    figure_options.add_argument(
         "--jobs",
         type=_positive_int,
         help=(
@@ -109,23 +380,34 @@ def main(argv: Optional[List[str]] = None) -> int:
             "parallelism; results are identical to a serial run)"
         ),
     )
-    parser.add_argument(
+    figure_options.add_argument(
         "-v", "--verbose", action="store_true", help="per-scenario progress"
     )
-    args = parser.parse_args(argv)
-    config = _build_config(args)
+    for figure in ("fig-quality", "fig-runtime", "fig-future", "all"):
+        subparsers.add_parser(
+            figure,
+            parents=[figure_options],
+            help=f"regenerate {figure}" if figure != "all" else "everything",
+        )
 
-    if args.figure in ("fig-quality", "fig-runtime", "all"):
+    _add_scenarios_parser(subparsers)
+
+    args = parser.parse_args(argv)
+    if args.command == "scenarios":
+        return _handle_scenarios(args)
+
+    config = _build_config(args)
+    if args.command in ("fig-quality", "fig-runtime", "all"):
         records = run_comparison(config, verbose=args.verbose)
-        if args.figure in ("fig-quality", "all"):
+        if args.command in ("fig-quality", "all"):
             print(render_quality(fig_quality(config, records)))
             print()
-        if args.figure in ("fig-runtime", "all"):
+        if args.command in ("fig-runtime", "all"):
             print(render_runtime(fig_runtime(config, records)))
             print()
         print(render_cache_statistics(records))
         print()
-    if args.figure in ("fig-future", "all"):
+    if args.command in ("fig-future", "all"):
         print(render_future(fig_future(config, verbose=args.verbose)))
     return 0
 

@@ -4,10 +4,19 @@
 the same generated scenarios -- one scenario per (current-size, seed)
 pair -- and returns per-run records that the figure harnesses aggregate
 in their own ways (quality deviations, runtimes, future mappability).
+
+:func:`run_family_matrix` is the diversity analogue: it sweeps the
+scenario-family grid (every strategy x every registered family, seeded,
+cache on and off) the way :func:`run_comparison` sweeps
+``current_sizes``, and :func:`run_family_smoke` is the CI-facing subset
+(smallest preset per family, with determinism and codec round-trip
+checks).
 """
 
 from __future__ import annotations
 
+import json
+import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -15,6 +24,8 @@ from repro.core.metrics import ObjectiveWeights
 from repro.core.strategy import DesignResult, make_strategy
 from repro.engine.cache import CacheStats
 from repro.gen.scenario import Scenario, ScenarioParams, build_scenario
+from repro.gen import families as families_module
+from repro.serialize.scenario_codec import scenario_from_dict, scenario_to_dict
 from repro.utils.errors import MappingError
 
 
@@ -180,3 +191,215 @@ def mean(values: Sequence[float]) -> float:
     if not vals:
         return 0.0
     return sum(vals) / len(vals)
+
+
+# ----------------------------------------------------------------------
+# scenario-family stress matrix
+# ----------------------------------------------------------------------
+#: SA iteration budget for family sweeps; small by design -- the matrix
+#: is about breadth (every family x strategy x cache mode), not about
+#: squeezing the reference to its optimum.
+DEFAULT_FAMILY_SA_ITERATIONS = 150
+
+
+@dataclass
+class FamilyMatrixRecord:
+    """One strategy run on one family scenario in one cache mode."""
+
+    family: str
+    preset: str
+    seed: int
+    strategy: str
+    use_cache: bool
+    result: DesignResult
+
+
+@dataclass
+class FamilySmokeResult:
+    """Outcome of the CI smoke checks for one family.
+
+    ``failures`` is empty when the family passed: the scenario
+    round-trips through the JSON codec byte-identically, and every
+    strategy finds a valid design that is identical with the cache on,
+    off, and with two evaluation workers.
+    """
+
+    family: str
+    preset: str
+    seed: int
+    failures: List[str] = field(default_factory=list)
+    objectives: Dict[str, float] = field(default_factory=dict)
+    runtime_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def design_identity(result: DesignResult):
+    """Canonical identity of a design, for determinism comparisons.
+
+    Two runs are "the same design" when mapping, priorities, message
+    delays and objective all agree; invalid results are identified by
+    their (in)validity alone.
+    """
+    if not result.valid:
+        return ("invalid",)
+    return (
+        tuple(sorted(result.mapping.as_dict().items())),
+        tuple(sorted(result.priorities.items())),
+        tuple(sorted((result.message_delays or {}).items())),
+        result.objective,
+    )
+
+
+def strategy_for_family(
+    name: str, seed: int, use_cache: bool, jobs: int, sa_iterations: int
+):
+    """Instantiate a strategy for a family run (shared with the CLI)."""
+    if name.upper() == "SA":
+        return make_strategy(
+            "SA",
+            iterations=sa_iterations,
+            seed=seed * 7919 + 13,
+            use_cache=use_cache,
+            jobs=jobs,
+        )
+    return make_strategy(name, use_cache=use_cache, jobs=jobs)
+
+
+def run_family_matrix(
+    family_names: Optional[Sequence[str]] = None,
+    preset: Optional[str] = None,
+    seeds: Sequence[int] = (1,),
+    strategies: Sequence[str] = ("AH", "MH", "SA"),
+    cache_modes: Sequence[bool] = (True, False),
+    jobs: int = 1,
+    sa_iterations: int = DEFAULT_FAMILY_SA_ITERATIONS,
+    verbose: bool = False,
+) -> List[FamilyMatrixRecord]:
+    """The stress matrix: every strategy x every family, cache on/off.
+
+    Parameters
+    ----------
+    family_names:
+        Families to sweep; defaults to every registered family.
+    preset:
+        Preset name to use for each family; ``None`` uses each
+        family's smallest preset (presets are per-family, so a shared
+        name must exist in all swept families).
+    seeds:
+        Scenario seeds; each (family, seed) cell is generated once and
+        shared by all strategy/cache runs.
+    strategies, cache_modes, jobs, sa_iterations:
+        The strategy grid.  Results are deterministic for any cache
+        mode and job count by the evaluation-engine contract.
+    """
+    if family_names is None:
+        family_names = families_module.family_names()
+    records: List[FamilyMatrixRecord] = []
+    for name in family_names:
+        family = families_module.get_family(name)
+        preset_name = preset if preset is not None else family.smallest_preset
+        for seed in seeds:
+            try:
+                scenario = family.build(preset_name, seed=seed)
+            except MappingError:
+                if verbose:
+                    print(
+                        f"family={name} preset={preset_name} seed={seed}: "
+                        f"unschedulable, skipped"
+                    )
+                continue
+            spec = scenario.spec()
+            for strategy_name in strategies:
+                for use_cache in cache_modes:
+                    strategy = strategy_for_family(
+                        strategy_name, seed, use_cache, jobs, sa_iterations
+                    )
+                    result = strategy.design(spec)
+                    records.append(
+                        FamilyMatrixRecord(
+                            family=name,
+                            preset=preset_name,
+                            seed=seed,
+                            strategy=strategy_name,
+                            use_cache=use_cache,
+                            result=result,
+                        )
+                    )
+                    if verbose:
+                        print(
+                            f"family={name} preset={preset_name} "
+                            f"seed={seed} {strategy_name} "
+                            f"cache={'on' if use_cache else 'off'}: "
+                            f"objective={result.objective:.1f}"
+                        )
+    return records
+
+
+def run_family_smoke(
+    family_names: Optional[Sequence[str]] = None,
+    seed: int = 1,
+    strategies: Sequence[str] = ("AH", "MH", "SA"),
+    sa_iterations: int = DEFAULT_FAMILY_SA_ITERATIONS,
+    verbose: bool = False,
+) -> List[FamilySmokeResult]:
+    """CI smoke sweep: smallest preset per family, all checks.
+
+    Per family: (1) the scenario round-trips through the JSON codec
+    byte-identically; (2) every strategy finds a *valid* design;
+    (3) each strategy's design is identical with the cache on, with the
+    cache off, and with ``jobs=2`` -- the determinism contract new
+    families must not break.
+    """
+    if family_names is None:
+        family_names = families_module.family_names()
+    out: List[FamilySmokeResult] = []
+    for name in family_names:
+        family = families_module.get_family(name)
+        preset_name = family.smallest_preset
+        started = time.perf_counter()
+        smoke = FamilySmokeResult(family=name, preset=preset_name, seed=seed)
+        try:
+            scenario = family.build(preset_name, seed=seed)
+        except Exception as exc:  # noqa: BLE001 - reported, not raised
+            smoke.failures.append(f"build failed: {exc}")
+            smoke.runtime_seconds = time.perf_counter() - started
+            out.append(smoke)
+            continue
+
+        # Codec round trip must be byte-identical.
+        first = json.dumps(scenario_to_dict(scenario), sort_keys=True)
+        rebuilt = scenario_from_dict(json.loads(first))
+        second = json.dumps(scenario_to_dict(rebuilt), sort_keys=True)
+        if first != second:
+            smoke.failures.append("JSON round trip is not byte-identical")
+
+        spec = scenario.spec()
+        for strategy_name in strategies:
+            baseline = strategy_for_family(
+                strategy_name, seed, True, 1, sa_iterations
+            ).design(spec)
+            if not baseline.valid:
+                smoke.failures.append(f"{strategy_name}: no valid design")
+                continue
+            smoke.objectives[strategy_name] = baseline.objective
+            reference = design_identity(baseline)
+            for label, use_cache, jobs in (
+                ("cache off", False, 1),
+                ("jobs=2", True, 2),
+            ):
+                other = strategy_for_family(
+                    strategy_name, seed, use_cache, jobs, sa_iterations
+                ).design(spec)
+                if design_identity(other) != reference:
+                    smoke.failures.append(
+                        f"{strategy_name}: design differs with {label}"
+                    )
+        smoke.runtime_seconds = time.perf_counter() - started
+        if verbose:
+            status = "ok" if smoke.ok else "; ".join(smoke.failures)
+            print(f"family={name} preset={preset_name}: {status}")
+        out.append(smoke)
+    return out

@@ -5,22 +5,35 @@ architectures of ~10 nodes (existing applications of 400 processes,
 current applications of 40-320 processes, future applications of 80
 processes).  This subpackage provides the equivalent generators:
 
-* :mod:`~repro.gen.taskgraph` -- layered random DAGs with
-  heterogeneous per-node WCET tables and sized messages;
-* :mod:`~repro.gen.architecture_gen` -- platforms with a uniform TDMA
-  round;
+* :mod:`~repro.gen.taskgraph` -- layered random DAGs, pipeline chains
+  and fork--join graphs with heterogeneous per-node WCET tables and
+  sized messages;
+* :mod:`~repro.gen.architecture_gen` -- platforms with uniform or
+  weighted (variable-slot) TDMA rounds and optional per-node speeds;
 * :mod:`~repro.gen.scenario` -- full experiment scenarios: an existing
   application frozen into a base schedule, a current application to
   design, a future-family characterization consistent with the
   scenario's scale, and concrete future applications for the third
-  experiment.
+  experiment;
+* :mod:`~repro.gen.families` -- the scenario-diversity registry:
+  named families (heterogeneous speeds, weighted buses, pipeline /
+  fork--join / bursty workloads) with scale presets, addressable from
+  the CLI and the stress matrix.
 
 All generators are deterministic functions of their seed.
 """
 
-from repro.gen.taskgraph import GraphParams, random_process_graph
+from repro.gen.taskgraph import (
+    GRAPH_SHAPES,
+    GraphParams,
+    fork_join_process_graph,
+    make_process_graph,
+    pipeline_process_graph,
+    random_process_graph,
+)
 from repro.gen.architecture_gen import random_architecture
 from repro.gen.scenario import (
+    WORKLOAD_SHAPES,
     Scenario,
     ScenarioParams,
     build_scenario,
@@ -29,7 +42,12 @@ from repro.gen.scenario import (
 )
 
 __all__ = [
+    "GRAPH_SHAPES",
     "GraphParams",
+    "WORKLOAD_SHAPES",
+    "fork_join_process_graph",
+    "make_process_graph",
+    "pipeline_process_graph",
     "random_process_graph",
     "random_architecture",
     "Scenario",

@@ -1,37 +1,89 @@
-"""Random architecture generation.
+"""Architecture generation: node rosters and TDMA round layouts.
 
-Heterogeneity lives in the process WCET tables (per-graph node speed
-factors, see :mod:`repro.gen.taskgraph`), so the platform generator
-only has to produce the node roster and the TDMA round layout.
+The scenario-diversity subsystem generates three platform variants:
+
+* the paper's homogeneous platform (uniform slots, reference-speed
+  nodes) -- the default, unchanged from the seed implementation;
+* *heterogeneous-speed* platforms, where each node declares a relative
+  :attr:`~repro.model.architecture.Node.speed` that the workload
+  generators fold into per-process WCET tables;
+* *weighted-bus* platforms, where TDMA slot lengths and capacities
+  differ per node (e.g. a gateway node owning a long, fat slot).
+
+Per-process WCET tables remain the single source of truth for the
+schedulers; the architecture-level knobs only steer generation.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence, TypeVar, Union
 
 from repro.model.architecture import Architecture, Node
 from repro.tdma.bus import Slot, TdmaBus
+
+T = TypeVar("T", int, float)
+
+
+def _per_node(
+    label: str,
+    values: Optional[Sequence[T]],
+    n_nodes: int,
+    default: T,
+) -> List[T]:
+    """Expand an optional per-node parameter sequence, validating length."""
+    if values is None:
+        return [default] * n_nodes
+    out = list(values)
+    if len(out) != n_nodes:
+        raise ValueError(
+            f"{label} must provide one value per node "
+            f"({n_nodes}), got {len(out)}"
+        )
+    return out
 
 
 def random_architecture(
     n_nodes: int,
     slot_length: int = 4,
     slot_capacity: int = 16,
+    node_speeds: Optional[Sequence[float]] = None,
+    slot_lengths: Optional[Sequence[int]] = None,
+    slot_capacities: Optional[Sequence[int]] = None,
 ) -> Architecture:
-    """A platform of ``n_nodes`` nodes with a uniform TDMA round.
+    """A platform of ``n_nodes`` nodes with a TDMA round.
 
     Parameters
     ----------
     n_nodes:
         Number of processing nodes (the paper uses ~10).
     slot_length:
-        TDMA slot duration per node, in time units; the round length is
-        ``n_nodes * slot_length``.
+        Uniform TDMA slot duration per node, in time units; ignored for
+        nodes covered by ``slot_lengths``.
     slot_capacity:
-        Payload bytes per slot occurrence.
+        Uniform payload bytes per slot occurrence; ignored for nodes
+        covered by ``slot_capacities``.
+    node_speeds:
+        Optional relative speed per node (``1.0`` = reference); must
+        list one value per node when given.
+    slot_lengths, slot_capacities:
+        Optional per-node TDMA slot durations / payload capacities,
+        enabling variable-length rounds; must list one value per node
+        when given.  The round length becomes ``sum(slot_lengths)``.
     """
     if n_nodes <= 0:
         raise ValueError("n_nodes must be positive")
-    nodes = [Node(f"N{i}") for i in range(n_nodes)]
-    bus = TdmaBus([Slot(node.id, slot_length, slot_capacity) for node in nodes])
+    speeds = _per_node("node_speeds", node_speeds, n_nodes, 1.0)
+    lengths = _per_node("slot_lengths", slot_lengths, n_nodes, slot_length)
+    capacities = _per_node(
+        "slot_capacities", slot_capacities, n_nodes, slot_capacity
+    )
+    nodes = [
+        Node(f"N{i}", speed=float(speeds[i])) for i in range(n_nodes)
+    ]
+    bus = TdmaBus(
+        [
+            Slot(node.id, int(lengths[i]), int(capacities[i]))
+            for i, node in enumerate(nodes)
+        ]
+    )
     return Architecture(nodes, bus)

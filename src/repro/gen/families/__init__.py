@@ -1,0 +1,30 @@
+"""Scenario-diversity subsystem: named scenario families.
+
+Importing this package registers the built-in families; use
+:func:`family_names` / :func:`get_family` to address them and
+``python -m repro.experiments scenarios list`` to browse them.
+
+>>> from repro.gen import families
+>>> "hetero-speed" in families.family_names()
+True
+>>> scenario = families.get_family("hetero-speed").build("tiny", seed=1)
+"""
+
+from repro.gen.families.base import ScenarioFamily
+from repro.gen.families.registry import (
+    family_names,
+    get_family,
+    iter_families,
+    register_family,
+    unregister_family,
+)
+from repro.gen.families import builtin  # noqa: F401  (registers built-ins)
+
+__all__ = [
+    "ScenarioFamily",
+    "family_names",
+    "get_family",
+    "iter_families",
+    "register_family",
+    "unregister_family",
+]

@@ -1,0 +1,122 @@
+"""Scenario families: named, parameterized scenario generators.
+
+A :class:`ScenarioFamily` bundles a *shape* of scenario -- which
+platform variant and workload topology it exercises -- with an ordered
+set of named presets at increasing scale.  Families are what the
+experiment harnesses sweep to show that a conclusion holds across the
+input space rather than on one generator: the BBCPOP line of work on
+sparse relaxations and cohort-validation studies (EPI-VALID) both make
+the same methodological point -- vary the input family systematically,
+then measure.
+
+Every scenario a family builds is a deterministic function of
+``(params, seed)``, so family sweeps are exactly as reproducible as the
+paper's original experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional
+
+from repro.gen.scenario import Scenario, ScenarioParams, build_scenario
+from repro.utils.errors import InvalidModelError
+
+
+@dataclass(frozen=True)
+class ScenarioFamily:
+    """One named scenario family with scale presets.
+
+    Attributes
+    ----------
+    name:
+        Registry key (kebab-case, e.g. ``"hetero-speed"``).
+    description:
+        One-line summary shown by ``scenarios list``.
+    presets:
+        Named :class:`~repro.gen.scenario.ScenarioParams`, ordered from
+        smallest to largest scale.  The first preset is the *smoke*
+        preset: CI runs every strategy on it, so it must stay small and
+        schedulable.
+    default_seed:
+        Seed used when the caller does not pick one.
+    """
+
+    name: str
+    description: str
+    presets: Mapping[str, ScenarioParams]
+    default_seed: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise InvalidModelError("scenario family name must be non-empty")
+        if not self.presets:
+            raise InvalidModelError(
+                f"scenario family {self.name!r} needs at least one preset"
+            )
+        for preset in self.presets:
+            if not preset:
+                raise InvalidModelError(
+                    f"scenario family {self.name!r} has an unnamed preset"
+                )
+        # Freeze the mapping so a family is safely shareable.
+        object.__setattr__(self, "presets", dict(self.presets))
+
+    # ------------------------------------------------------------------
+    @property
+    def preset_names(self) -> List[str]:
+        """Preset names, smallest scale first."""
+        return list(self.presets)
+
+    @property
+    def smallest_preset(self) -> str:
+        """The smoke-test preset (first in declaration order)."""
+        return next(iter(self.presets))
+
+    def params(self, preset: Optional[str] = None) -> ScenarioParams:
+        """The parameters of ``preset`` (default: smallest)."""
+        if preset is None:
+            preset = self.smallest_preset
+        try:
+            return self.presets[preset]
+        except KeyError:
+            raise InvalidModelError(
+                f"scenario family {self.name!r} has no preset {preset!r}; "
+                f"available: {self.preset_names}"
+            ) from None
+
+    def build(
+        self, preset: Optional[str] = None, seed: Optional[int] = None
+    ) -> Scenario:
+        """Generate the scenario of ``(preset, seed)`` deterministically."""
+        if seed is None:
+            seed = self.default_seed
+        return build_scenario(self.params(preset), seed=seed)
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary (``scenarios describe``)."""
+        lines = [f"family {self.name}: {self.description}"]
+        for preset_name, params in self.presets.items():
+            traits = [
+                f"nodes={params.n_nodes}",
+                f"hyperperiod={params.hyperperiod}",
+                f"existing={params.n_existing}",
+                f"current={params.n_current}",
+                f"shape={params.workload_shape}",
+            ]
+            if params.node_speeds:
+                traits.append(
+                    "speeds=" + "/".join(f"{s:g}" for s in params.node_speeds)
+                )
+            if params.slot_lengths:
+                traits.append(
+                    "slots=" + "/".join(str(l) for l in params.slot_lengths)
+                )
+            if params.slot_capacities:
+                traits.append(
+                    "slotcap="
+                    + "/".join(str(c) for c in params.slot_capacities)
+                )
+            lines.append(f"  preset {preset_name}: " + ", ".join(traits))
+        lines.append(f"  default seed: {self.default_seed}")
+        return "\n".join(lines)

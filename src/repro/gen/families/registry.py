@@ -1,0 +1,66 @@
+"""The scenario-family registry.
+
+Families register once at import time (see
+:mod:`repro.gen.families.builtin`) and are addressed by name from the
+CLI (``scenarios list|describe|run``), the stress matrix
+(:func:`repro.experiments.runner.run_family_matrix`) and tests.
+Registration order is preserved -- it is the order listings display.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.gen.families.base import ScenarioFamily
+from repro.utils.errors import InvalidModelError
+
+_REGISTRY: Dict[str, ScenarioFamily] = {}
+
+
+def register_family(
+    family: ScenarioFamily, replace: bool = False
+) -> ScenarioFamily:
+    """Add ``family`` to the registry (returns it, for decorator-style use).
+
+    Raises
+    ------
+    repro.utils.errors.InvalidModelError
+        On duplicate names, unless ``replace`` is True.
+    """
+    if family.name in _REGISTRY and not replace:
+        raise InvalidModelError(
+            f"scenario family {family.name!r} is already registered"
+        )
+    _REGISTRY[family.name] = family
+    return family
+
+
+def unregister_family(name: str) -> None:
+    """Remove a family (primarily for tests registering throwaways)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_family(name: str) -> ScenarioFamily:
+    """Look up a family by name.
+
+    Raises
+    ------
+    repro.utils.errors.InvalidModelError
+        For unknown names, listing what is available.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise InvalidModelError(
+            f"unknown scenario family {name!r}; available: {family_names()}"
+        ) from None
+
+
+def family_names() -> List[str]:
+    """Registered family names, in registration order."""
+    return list(_REGISTRY)
+
+
+def iter_families() -> List[ScenarioFamily]:
+    """All registered families, in registration order."""
+    return list(_REGISTRY.values())

@@ -33,7 +33,13 @@ from repro.core.initial_mapping import InitialMapper
 from repro.core.metrics import ObjectiveWeights
 from repro.core.strategy import DesignSpec
 from repro.gen.architecture_gen import random_architecture
-from repro.gen.taskgraph import GraphParams, random_process_graph, scale_graph_wcets
+from repro.gen.taskgraph import (
+    GRAPH_SHAPES,
+    GraphParams,
+    make_process_graph,
+    random_process_graph,
+    scale_graph_wcets,
+)
 from repro.model.application import Application
 from repro.model.architecture import Architecture
 from repro.sched.schedule import SystemSchedule
@@ -41,13 +47,23 @@ from repro.utils.errors import MappingError
 from repro.utils.rng import SeedLike, make_rng, spawn_rngs
 
 
+#: Workload shapes a scenario may request: the graph-level shapes of
+#: :data:`repro.gen.taskgraph.GRAPH_SHAPES` plus ``bursty`` (layered
+#: topology, burst-periodic release pattern handled here).
+WORKLOAD_SHAPES: Tuple[str, ...] = tuple(sorted(GRAPH_SHAPES)) + ("bursty",)
+
+
 @dataclass(frozen=True)
 class ScenarioParams:
     """Parameters of a generated scenario.
 
-    Defaults are laptop-scale; the experiment harnesses scale
-    ``n_existing`` / ``n_current`` per figure.  The paper's scale is
-    ``n_nodes=10, n_existing=400, n_current in {40..320}``.
+    Defaults are laptop-scale and reproduce the paper's single scenario
+    shape (homogeneous nodes, uniform TDMA slots, layered graphs); the
+    experiment harnesses scale ``n_existing`` / ``n_current`` per
+    figure.  The paper's scale is ``n_nodes=10, n_existing=400,
+    n_current in {40..320}``.  The diversity knobs (``node_speeds``,
+    ``slot_lengths``, ``slot_capacities``, ``workload_shape``) are what
+    the scenario families of :mod:`repro.gen.families` vary.
     """
 
     n_nodes: int = 6
@@ -65,15 +81,41 @@ class ScenarioParams:
     rho_proc: float = 1.30
     rho_bus: float = 0.50
     max_base_attempts: int = 5
+    #: Relative node speeds, one per node; empty = homogeneous (1.0).
+    node_speeds: Tuple[float, ...] = ()
+    #: Per-node TDMA slot lengths; empty = uniform ``slot_length``.
+    slot_lengths: Tuple[int, ...] = ()
+    #: Per-node TDMA slot capacities; empty = uniform ``slot_capacity``.
+    slot_capacities: Tuple[int, ...] = ()
+    #: Workload shape; one of :data:`WORKLOAD_SHAPES`.
+    workload_shape: str = "layered"
+    #: ``bursty`` shape only: fraction of graphs released at the
+    #: shortest period (the burst); the rest get the longest period.
+    burst_fraction: float = 0.75
 
     def __post_init__(self) -> None:
         if self.n_nodes <= 0:
             raise ValueError("n_nodes must be positive")
-        round_length = self.n_nodes * self.slot_length
-        if self.hyperperiod % round_length != 0:
+        for label, values in (
+            ("node_speeds", self.node_speeds),
+            ("slot_lengths", self.slot_lengths),
+            ("slot_capacities", self.slot_capacities),
+        ):
+            if values and len(values) != self.n_nodes:
+                raise ValueError(
+                    f"{label} must list one value per node "
+                    f"({self.n_nodes}), got {len(values)}"
+                )
+        if any(s <= 0 for s in self.node_speeds):
+            raise ValueError("node_speeds must be positive")
+        if any(l <= 0 for l in self.slot_lengths):
+            raise ValueError("slot_lengths must be positive")
+        if any(c <= 0 for c in self.slot_capacities):
+            raise ValueError("slot_capacities must be positive")
+        if self.hyperperiod % self.round_length != 0:
             raise ValueError(
                 f"hyperperiod {self.hyperperiod} must be a multiple of the "
-                f"TDMA round length {round_length}"
+                f"TDMA round length {self.round_length}"
             )
         for d in self.period_divisors:
             if self.hyperperiod % d != 0:
@@ -86,11 +128,36 @@ class ScenarioParams:
             raise ValueError("existing_utilization must be in (0, 1)")
         if not 0 < self.current_utilization < 1:
             raise ValueError("current_utilization must be in (0, 1)")
+        if self.workload_shape not in WORKLOAD_SHAPES:
+            raise ValueError(
+                f"unknown workload shape {self.workload_shape!r}; choose "
+                f"from {sorted(WORKLOAD_SHAPES)}"
+            )
+        if not 0.0 <= self.burst_fraction <= 1.0:
+            raise ValueError("burst_fraction must be within [0, 1]")
 
     @property
     def t_min(self) -> int:
         """Smallest expected future period."""
         return self.hyperperiod // self.t_min_divisor
+
+    @property
+    def round_length(self) -> int:
+        """The TDMA round length implied by the slot parameters."""
+        if self.slot_lengths:
+            return sum(self.slot_lengths)
+        return self.n_nodes * self.slot_length
+
+    def build_architecture(self) -> Architecture:
+        """The platform these parameters describe."""
+        return random_architecture(
+            self.n_nodes,
+            self.slot_length,
+            self.slot_capacity,
+            node_speeds=self.node_speeds or None,
+            slot_lengths=self.slot_lengths or None,
+            slot_capacities=self.slot_capacities or None,
+        )
 
 
 @dataclass
@@ -131,12 +198,39 @@ def generate_application(
 
     Processes are dealt into graphs of ``params.graph_size_range``
     processes with harmonic periods drawn from
-    ``hyperperiod / params.period_divisors``; WCETs are rescaled toward
+    ``hyperperiod / params.period_divisors``; the graph topology
+    follows ``params.workload_shape``; WCETs are rescaled toward
     ``target_utilization`` of the platform.
+
+    Raises
+    ------
+    repro.utils.errors.MappingError
+        On degenerate inputs: a non-positive process count, a target
+        utilization outside ``(0, 1)``, or a generated workload with
+        zero demand -- cases where the rescaling division would be
+        meaningless or explode.
     """
+    if n_processes <= 0:
+        raise MappingError(
+            f"cannot generate application {name!r} with "
+            f"{n_processes} processes; n_processes must be positive"
+        )
+    if not 0.0 < target_utilization < 1.0:
+        raise MappingError(
+            f"target utilization for application {name!r} must be in "
+            f"(0, 1), got {target_utilization}; a zero target collapses "
+            f"every WCET and a full platform cannot host frozen + "
+            f"current demand"
+        )
     gen = make_rng(rng)
     app = Application(name)
+    shape = params.workload_shape
+    graph_shape = "layered" if shape == "bursty" else shape
     lo, hi = params.graph_size_range
+    if shape == "bursty":
+        # Bursts are small: deal graph sizes from the lower half of the
+        # configured range so each burst releases many small graphs.
+        hi = max(lo, (lo + hi) // 2)
     remaining = n_processes
     raw_graphs = []
     index = 0
@@ -146,11 +240,24 @@ def generate_application(
         # Avoid a trailing degenerate 1-process graph when possible.
         if 0 < remaining - size < lo and remaining <= hi + lo:
             size = remaining
-        divisor = int(
-            params.period_divisors[int(gen.integers(len(params.period_divisors)))]
-        )
+        if shape == "bursty":
+            # Burst-periodic release: most graphs arrive at the
+            # shortest configured period, the rest form the
+            # long-period background load.
+            divisor = (
+                max(params.period_divisors)
+                if gen.random() < params.burst_fraction
+                else min(params.period_divisors)
+            )
+        else:
+            divisor = int(
+                params.period_divisors[
+                    int(gen.integers(len(params.period_divisors)))
+                ]
+            )
         period = params.hyperperiod // divisor
-        graph = random_process_graph(
+        graph = make_process_graph(
+            graph_shape,
             name=f"g{index}",
             n_processes=size,
             period=period,
@@ -169,8 +276,15 @@ def generate_application(
     for graph in raw_graphs:
         instances = horizon // graph.period
         raw_demand += instances * sum(p.average_wcet for p in graph.processes)
+    if raw_demand <= 0.0:
+        raise MappingError(
+            f"generated workload for application {name!r} has zero "
+            f"demand within the hyperperiod {horizon} (are all graph "
+            f"periods longer than the horizon?); cannot rescale toward "
+            f"utilization {target_utilization}"
+        )
     capacity = len(architecture) * horizon
-    factor = target_utilization * capacity / max(raw_demand, 1.0)
+    factor = target_utilization * capacity / raw_demand
 
     for graph in raw_graphs:
         cp = graph.critical_path_length()
@@ -242,13 +356,17 @@ def _future_characterization(
     """
     t_min = params.t_min
     free_share = 1.0 - params.existing_utilization - params.current_utilization
+    if free_share <= 0.0:
+        raise MappingError(
+            f"existing ({params.existing_utilization}) plus current "
+            f"({params.current_utilization}) utilization leaves no free "
+            f"capacity for future applications; lower one of them below "
+            f"a combined 1.0"
+        )
     free_per_window = free_share * len(architecture) * t_min
     t_need = max(1, round(params.rho_proc * free_per_window))
 
-    round_length = architecture.bus.round_length
-    bus_capacity_per_window = (t_min // round_length) * sum(
-        slot.capacity for slot in architecture.bus.slots
-    )
+    bus_capacity_per_window = architecture.bus.total_capacity_within(t_min)
     b_need = max(1, round(params.rho_bus * bus_capacity_per_window))
 
     mean_wcet = float(
@@ -291,9 +409,7 @@ def build_scenario(params: ScenarioParams, seed: int = 0) -> Scenario:
     repro.utils.errors.MappingError
         When no schedulable existing application was found.
     """
-    architecture = random_architecture(
-        params.n_nodes, params.slot_length, params.slot_capacity
-    )
+    architecture = params.build_architecture()
     existing_rngs = spawn_rngs(seed, params.max_base_attempts)
     current_rng, future_rng = spawn_rngs(seed + 1_000_003, 2)
 

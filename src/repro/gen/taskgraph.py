@@ -1,15 +1,29 @@
-"""Random process-graph generation (TGFF-style layered DAGs).
+"""Random process-graph generation: layered DAGs plus shaped workloads.
 
-Graphs are built in layers: processes are dealt into ``depth`` layers,
-and every process in layer ``i > 0`` receives at least one edge from an
-earlier layer, which guarantees a connected-ish DAG with controllable
-depth -- the structure TGFF (Task Graphs For Free) produces and the
-co-synthesis literature, including the paper, evaluates on.
+The default generator builds TGFF-style *layered* DAGs: processes are
+dealt into ``depth`` layers, and every process in layer ``i > 0``
+receives at least one edge from an earlier layer, which guarantees a
+connected-ish DAG with controllable depth -- the structure TGFF (Task
+Graphs For Free) produces and the co-synthesis literature, including
+the paper, evaluates on.
 
-WCET heterogeneity follows the paper's platform model: each process
-gets a base execution time, and each allowed node executes it at a
-node-specific speed factor; a random subset of nodes is allowed per
-process (always at least one).
+Two further *workload shapes* reuse the same process machinery with
+deterministic topologies (see :data:`GRAPH_SHAPES` and
+:func:`make_process_graph`):
+
+* ``pipeline`` -- a single chain ``P0 -> P1 -> ... -> Pn``, the
+  streaming/signal-processing workload where every process has exactly
+  one predecessor;
+* ``forkjoin`` -- a source process fans out into parallel branch
+  chains that join in a sink, the data-parallel workload whose
+  schedulability hinges on the join synchronization.
+
+WCET heterogeneity composes two sources: each graph draws a random
+per-node speed factor (the paper's model), and each
+:class:`~repro.model.architecture.Node` contributes its declared
+``speed`` (architecture-level heterogeneity; the default ``1.0`` is a
+no-op).  A random subset of nodes is allowed per process (always at
+least one).
 """
 
 from __future__ import annotations
@@ -59,12 +73,125 @@ class GraphParams:
 def _node_speed_factors(
     architecture: Architecture, params: GraphParams, rng: np.random.Generator
 ) -> Dict[str, float]:
-    """Per-node speed factors drawn once per graph."""
+    """Per-node WCET scale factors drawn once per graph.
+
+    The random per-graph factor (``het_range``) is divided by the
+    node's declared :attr:`~repro.model.architecture.Node.speed`, so a
+    node twice as fast runs the same base WCET in half the time.  The
+    homogeneous default (``speed == 1.0``) divides by one exactly and
+    reproduces the historical factors bit-for-bit.
+    """
     lo, hi = params.het_range
     return {
-        node_id: float(rng.uniform(lo, hi))
+        node_id: float(rng.uniform(lo, hi)) / architecture.speed_of(node_id)
         for node_id in architecture.node_ids
     }
+
+
+def _add_random_processes(
+    graph: ProcessGraph,
+    prefix: str,
+    n_processes: int,
+    architecture: Architecture,
+    params: GraphParams,
+    gen: np.random.Generator,
+    wcet_sampler: Optional[Callable[[np.random.Generator], int]],
+    speed: Dict[str, float],
+) -> None:
+    """Deal ``n_processes`` heterogeneous-WCET processes into ``graph``.
+
+    Shared by every workload shape; the draw order (WCET, first allowed
+    node, per-node membership) is part of the seeded-reproducibility
+    contract and must not change.
+    """
+    node_ids = architecture.node_ids
+    lo_w, hi_w = params.wcet_range
+    if wcet_sampler is None:
+        wcet_sampler = lambda g: int(g.integers(lo_w, hi_w + 1))
+    for i in range(n_processes):
+        base = int(wcet_sampler(gen))
+        if base <= 0:
+            raise ValueError("wcet_sampler must return positive values")
+        # Guarantee at least one allowed node, then add others randomly.
+        first = node_ids[int(gen.integers(len(node_ids)))]
+        allowed = {first}
+        for node_id in node_ids:
+            if node_id != first and gen.random() < params.allowed_node_prob:
+                allowed.add(node_id)
+        wcet = {
+            node_id: max(1, round(base * speed[node_id]))
+            for node_id in sorted(allowed)
+        }
+        graph.add_process(Process(f"{prefix}.P{i}", wcet))
+
+
+def _shaped_graph_base(
+    name: str,
+    n_processes: int,
+    period: int,
+    architecture: Architecture,
+    rng: SeedLike,
+    params: Optional[GraphParams],
+    deadline: Optional[int],
+    id_prefix: Optional[str],
+    wcet_sampler: Optional[Callable[[np.random.Generator], int]],
+    msg_size_sampler: Optional[Callable[[np.random.Generator], int]],
+) -> Tuple[
+    np.random.Generator, GraphParams, ProcessGraph, Callable[[int, int], None]
+]:
+    """Shared setup of every shape generator: processes, no edges yet.
+
+    Validates the count, normalizes rng/params/prefix, draws the speed
+    factors and the processes, and returns ``(gen, params, graph,
+    add_edge)`` for the shape to lay its topology with.  Keeping this
+    in one place keeps the draw order -- part of the
+    seeded-reproducibility contract -- identical across shapes by
+    construction.
+    """
+    if n_processes <= 0:
+        raise ValueError("n_processes must be positive")
+    gen = make_rng(rng)
+    if params is None:
+        params = GraphParams()
+    prefix = id_prefix if id_prefix is not None else name
+    graph = ProcessGraph(name, period, deadline)
+    speed = _node_speed_factors(architecture, params, gen)
+    _add_random_processes(
+        graph, prefix, n_processes, architecture, params, gen,
+        wcet_sampler, speed,
+    )
+    add_edge = _message_adder(graph, prefix, params, gen, msg_size_sampler)
+    return gen, params, graph, add_edge
+
+
+def _message_adder(
+    graph: ProcessGraph,
+    prefix: str,
+    params: GraphParams,
+    gen: np.random.Generator,
+    msg_size_sampler: Optional[Callable[[np.random.Generator], int]],
+) -> Callable[[int, int], None]:
+    """A closure adding one sized message per (src, dst) process pair."""
+    lo_m, hi_m = params.msg_size_range
+    if msg_size_sampler is None:
+        msg_size_sampler = lambda g: int(g.integers(lo_m, hi_m + 1))
+    counter = {"n": 0}
+
+    def add_edge(src_idx: int, dst_idx: int) -> None:
+        size = int(msg_size_sampler(gen))
+        if size <= 0:
+            raise ValueError("msg_size_sampler must return positive values")
+        graph.add_message(
+            Message(
+                f"{prefix}.m{counter['n']}",
+                f"{prefix}.P{src_idx}",
+                f"{prefix}.P{dst_idx}",
+                size,
+            )
+        )
+        counter["n"] += 1
+
+    return add_edge
 
 
 def random_process_graph(
@@ -107,36 +234,10 @@ def random_process_graph(
         Optional override drawing message sizes; defaults to uniform
         over ``params.msg_size_range``.
     """
-    if n_processes <= 0:
-        raise ValueError("n_processes must be positive")
-    gen = make_rng(rng)
-    if params is None:
-        params = GraphParams()
-    prefix = id_prefix if id_prefix is not None else name
-
-    graph = ProcessGraph(name, period, deadline)
-    speed = _node_speed_factors(architecture, params, gen)
-    node_ids = architecture.node_ids
-
-    # --- processes with heterogeneous WCET tables -----------------------
-    lo_w, hi_w = params.wcet_range
-    if wcet_sampler is None:
-        wcet_sampler = lambda g: int(g.integers(lo_w, hi_w + 1))
-    for i in range(n_processes):
-        base = int(wcet_sampler(gen))
-        if base <= 0:
-            raise ValueError("wcet_sampler must return positive values")
-        # Guarantee at least one allowed node, then add others randomly.
-        first = node_ids[int(gen.integers(len(node_ids)))]
-        allowed = {first}
-        for node_id in node_ids:
-            if node_id != first and gen.random() < params.allowed_node_prob:
-                allowed.add(node_id)
-        wcet = {
-            node_id: max(1, round(base * speed[node_id]))
-            for node_id in sorted(allowed)
-        }
-        graph.add_process(Process(f"{prefix}.P{i}", wcet))
+    gen, params, graph, add_edge = _shaped_graph_base(
+        name, n_processes, period, architecture, rng, params, deadline,
+        id_prefix, wcet_sampler, msg_size_sampler,
+    )
 
     # --- layered DAG edges ----------------------------------------------
     depth = int(min(params.max_depth, max(1, round(np.sqrt(n_processes)))))
@@ -144,26 +245,6 @@ def random_process_graph(
     # Layer 0 must be populated so sources exist.
     layer_of[0] = 0
     order = sorted(range(n_processes), key=lambda i: (layer_of[i], i))
-
-    lo_m, hi_m = params.msg_size_range
-    if msg_size_sampler is None:
-        msg_size_sampler = lambda g: int(g.integers(lo_m, hi_m + 1))
-    msg_count = 0
-
-    def add_edge(src_idx: int, dst_idx: int) -> None:
-        nonlocal msg_count
-        size = int(msg_size_sampler(gen))
-        if size <= 0:
-            raise ValueError("msg_size_sampler must return positive values")
-        graph.add_message(
-            Message(
-                f"{prefix}.m{msg_count}",
-                f"{prefix}.P{src_idx}",
-                f"{prefix}.P{dst_idx}",
-                size,
-            )
-        )
-        msg_count += 1
 
     for pos, idx in enumerate(order):
         if layer_of[idx] == 0 or pos == 0:
@@ -181,6 +262,107 @@ def random_process_graph(
 
     graph.validate()
     return graph
+
+
+def pipeline_process_graph(
+    name: str,
+    n_processes: int,
+    period: int,
+    architecture: Architecture,
+    rng: SeedLike = None,
+    params: Optional[GraphParams] = None,
+    deadline: Optional[int] = None,
+    id_prefix: Optional[str] = None,
+    wcet_sampler: Optional[Callable[[np.random.Generator], int]] = None,
+    msg_size_sampler: Optional[Callable[[np.random.Generator], int]] = None,
+) -> ProcessGraph:
+    """A pipeline chain ``P0 -> P1 -> ... -> P(n-1)``.
+
+    Processes and message sizes are drawn exactly like the layered
+    generator's; only the topology is fixed.  Pipelines maximize the
+    (communication-inclusive) critical path for a given process count,
+    which stresses message scheduling on the TDMA bus far harder than
+    layered DAGs of the same size.
+    """
+    _, _, graph, add_edge = _shaped_graph_base(
+        name, n_processes, period, architecture, rng, params, deadline,
+        id_prefix, wcet_sampler, msg_size_sampler,
+    )
+    for i in range(1, n_processes):
+        add_edge(i - 1, i)
+    graph.validate()
+    return graph
+
+
+def fork_join_process_graph(
+    name: str,
+    n_processes: int,
+    period: int,
+    architecture: Architecture,
+    rng: SeedLike = None,
+    params: Optional[GraphParams] = None,
+    deadline: Optional[int] = None,
+    id_prefix: Optional[str] = None,
+    wcet_sampler: Optional[Callable[[np.random.Generator], int]] = None,
+    msg_size_sampler: Optional[Callable[[np.random.Generator], int]] = None,
+) -> ProcessGraph:
+    """A fork--join graph: source -> parallel branch chains -> sink.
+
+    ``P0`` fans out to roughly ``sqrt(n - 2)`` branches (at least two),
+    the interior processes are dealt round-robin into branch chains,
+    and every branch tail joins into ``P(n-1)``.  Graphs with fewer
+    than four processes degenerate to a chain.  The join makes the
+    sink's start time the maximum over all branch finish times -- the
+    synchronization pattern data-parallel workloads exhibit.
+    """
+    _, _, graph, add_edge = _shaped_graph_base(
+        name, n_processes, period, architecture, rng, params, deadline,
+        id_prefix, wcet_sampler, msg_size_sampler,
+    )
+    if n_processes < 4:
+        for i in range(1, n_processes):
+            add_edge(i - 1, i)
+    else:
+        interior = n_processes - 2
+        n_branches = max(2, min(interior, int(round(np.sqrt(interior)))))
+        sink = n_processes - 1
+        branches: List[List[int]] = [[] for _ in range(n_branches)]
+        for pos in range(interior):
+            branches[pos % n_branches].append(pos + 1)
+        for chain in branches:
+            add_edge(0, chain[0])
+            for a, b in zip(chain, chain[1:]):
+                add_edge(a, b)
+            add_edge(chain[-1], sink)
+    graph.validate()
+    return graph
+
+
+#: Workload shapes understood by :func:`make_process_graph` (scenario
+#: families select among them; ``bursty`` reuses the layered topology
+#: with burst-periodic release, handled in :mod:`repro.gen.scenario`).
+GRAPH_SHAPES: Dict[str, Callable[..., ProcessGraph]] = {
+    "layered": random_process_graph,
+    "pipeline": pipeline_process_graph,
+    "forkjoin": fork_join_process_graph,
+}
+
+
+def make_process_graph(shape: str, *args, **kwargs) -> ProcessGraph:
+    """Generate one process graph of the given workload ``shape``.
+
+    All arguments beyond ``shape`` are forwarded to the shape's
+    generator; every shape shares :func:`random_process_graph`'s
+    signature.
+    """
+    try:
+        generator = GRAPH_SHAPES[shape]
+    except KeyError:
+        raise ValueError(
+            f"unknown graph shape {shape!r}; choose from "
+            f"{sorted(GRAPH_SHAPES)}"
+        ) from None
+    return generator(*args, **kwargs)
 
 
 def scale_graph_wcets(graph: ProcessGraph, factor: float) -> ProcessGraph:

@@ -31,15 +31,27 @@ class Node:
         Free-form descriptor of the node class (``"cpu"``, ``"asic"``,
         ...); informational only -- mapping restrictions come from
         process WCET tables.
+    speed:
+        Relative processing speed of the node; ``1.0`` is the reference
+        speed.  A process of base execution time ``w`` runs in roughly
+        ``w / speed`` time units on this node.  The workload generators
+        fold the speed into the per-process WCET tables, so scheduling
+        and evaluation never consult it directly -- it is the declared
+        source of architecture-level heterogeneity.
     """
 
     id: str
     name: str = ""
     kind: str = "cpu"
+    speed: float = 1.0
 
     def __post_init__(self) -> None:
         if not self.id:
             raise InvalidModelError("node id must be non-empty")
+        if not self.speed > 0 or self.speed != self.speed:
+            raise InvalidModelError(
+                f"node {self.id!r} speed must be positive, got {self.speed}"
+            )
         if not self.name:
             object.__setattr__(self, "name", self.id)
 
@@ -107,6 +119,15 @@ class Architecture:
             return self._nodes[node_id]
         except KeyError:
             raise InvalidModelError(f"unknown node {node_id!r}") from None
+
+    def speed_of(self, node_id: str) -> float:
+        """The relative processing speed of ``node_id``."""
+        return self.node(node_id).speed
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        """Whether any node deviates from the reference speed."""
+        return any(node.speed != 1.0 for node in self._nodes.values())
 
     def __len__(self) -> int:
         return len(self._nodes)

@@ -93,7 +93,12 @@ def architecture_to_dict(arch: Architecture) -> Dict[str, Any]:
     return {
         "kind": "architecture",
         "nodes": [
-            {"id": node.id, "name": node.name, "node_kind": node.kind}
+            {
+                "id": node.id,
+                "name": node.name,
+                "node_kind": node.kind,
+                "speed": node.speed,
+            }
             for node in arch.nodes
         ],
         "bus": [
@@ -111,7 +116,12 @@ def architecture_from_dict(payload: Dict[str, Any]) -> Architecture:
     """Rebuild an architecture (bus slot order preserved)."""
     _expect_kind(payload, "architecture")
     nodes = [
-        Node(nd["id"], nd.get("name", ""), nd.get("node_kind", "cpu"))
+        Node(
+            nd["id"],
+            nd.get("name", ""),
+            nd.get("node_kind", "cpu"),
+            nd.get("speed", 1.0),
+        )
         for nd in payload["nodes"]
     ]
     bus = TdmaBus(

@@ -45,8 +45,15 @@ def scenario_params_from_dict(payload: Dict[str, Any]) -> ScenarioParams:
     data.pop("kind")
     graph_params = data.pop("graph_params")
     # JSON turns tuples into lists; restore the tuple-typed fields.
-    for key in ("period_divisors", "graph_size_range"):
-        data[key] = tuple(data[key])
+    for key in (
+        "period_divisors",
+        "graph_size_range",
+        "node_speeds",
+        "slot_lengths",
+        "slot_capacities",
+    ):
+        if key in data:
+            data[key] = tuple(data[key])
     for key in ("wcet_range", "msg_size_range", "het_range"):
         graph_params[key] = tuple(graph_params[key])
     return ScenarioParams(graph_params=GraphParams(**graph_params), **data)

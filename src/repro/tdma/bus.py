@@ -160,29 +160,58 @@ class TdmaBus:
         return -(-(instant - offset) // self._round_length)
 
     def rounds_within(self, horizon: int) -> int:
-        """Number of complete rounds inside ``[0, horizon)``.
+        """Number of *complete* rounds inside ``[0, horizon)``.
 
-        The static cyclic schedule only uses slot occurrences that end
-        at or before the horizon; generators pick horizons that are
-        multiples of the round length so no capacity is wasted.
+        A round ending exactly at ``horizon`` counts.  When the horizon
+        is not a multiple of the round length, slots early in the final
+        partial round may still fit entirely before the horizon -- use
+        :meth:`occurrence_count_within` / :meth:`occurrences_within` for
+        per-slot accounting that includes them.
         """
         if horizon < 0:
             raise ValueError("horizon must be non-negative")
         return horizon // self._round_length
 
+    def occurrence_count_within(self, node_id: str, horizon: int) -> int:
+        """Occurrences of ``node_id``'s slot ending at or before ``horizon``.
+
+        The boundary rule matches :meth:`first_occurrence_not_before`:
+        an occurrence whose window ends exactly at ``horizon`` is usable
+        and counts.  For horizons that are multiples of the round length
+        this equals :meth:`rounds_within`; otherwise slots early in the
+        final partial round contribute one extra occurrence each.
+        """
+        if horizon < 0:
+            raise ValueError("horizon must be non-negative")
+        idx = self.slot_index(node_id)
+        end_of_first = self._offsets[idx] + self._slots[idx].length
+        if horizon < end_of_first:
+            return 0
+        return (horizon - end_of_first) // self._round_length + 1
+
     def occurrences_within(self, node_id: str, horizon: int) -> List[Interval]:
-        """All occurrences of ``node_id``'s slot fully inside the horizon."""
-        out: List[Interval] = []
-        for r in range(self.rounds_within(horizon)):
-            window = self.occurrence_window(node_id, r)
-            if window.end <= horizon:
-                out.append(window)
-        return out
+        """All occurrences of ``node_id``'s slot fully inside the horizon.
+
+        Includes occurrences in a final partial round whose windows end
+        at or before ``horizon`` -- consistent with
+        :meth:`occurrence_count_within` and
+        :meth:`first_occurrence_not_before`.
+        """
+        return [
+            self.occurrence_window(node_id, r)
+            for r in range(self.occurrence_count_within(node_id, horizon))
+        ]
 
     def total_capacity_within(self, horizon: int) -> int:
-        """Total payload bytes the bus can carry inside ``[0, horizon)``."""
-        rounds = self.rounds_within(horizon)
-        return rounds * sum(slot.capacity for slot in self._slots)
+        """Total payload bytes the bus can carry inside ``[0, horizon)``.
+
+        Counts every slot occurrence ending at or before the horizon,
+        including those in a final partial round.
+        """
+        return sum(
+            self.occurrence_count_within(slot.node_id, horizon) * slot.capacity
+            for slot in self._slots
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         body = ", ".join(

@@ -65,6 +65,12 @@ class BusSchedule:
         self.bus = bus
         self.horizon = horizon
         self._rounds = bus.rounds_within(horizon)
+        # Usable occurrences per node: windows ending at or before the
+        # horizon, including slots early in a final partial round.
+        self._occurrence_counts: Dict[str, int] = {
+            node_id: bus.occurrence_count_within(node_id, horizon)
+            for node_id in bus.node_ids()
+        }
         # used bytes per (node_id, round_index)
         self._used: Dict[Tuple[str, int], int] = {}
         # entries per (node_id, round_index)
@@ -79,6 +85,11 @@ class BusSchedule:
     def rounds(self) -> int:
         """Number of complete rounds inside the horizon."""
         return self._rounds
+
+    def occurrence_count(self, node_id: str) -> int:
+        """Usable occurrences of ``node_id``'s slot inside the horizon."""
+        self.bus.slot_of(node_id)  # raises for unknown nodes
+        return self._occurrence_counts[node_id]
 
     def used_bytes(self, node_id: str, round_index: int) -> int:
         """Bytes already consumed in the given slot occurrence."""
@@ -107,10 +118,11 @@ class BusSchedule:
 
     def _check_occurrence(self, node_id: str, round_index: int) -> None:
         self.bus.slot_of(node_id)  # raises for unknown nodes
-        if not 0 <= round_index < self._rounds:
+        count = self._occurrence_counts[node_id]
+        if not 0 <= round_index < count:
             raise SchedulingError(
                 f"round index {round_index} outside horizon "
-                f"(have {self._rounds} rounds)"
+                f"(slot of {node_id!r} has {count} usable occurrences)"
             )
 
     # ------------------------------------------------------------------
@@ -129,10 +141,8 @@ class BusSchedule:
         if size > slot.capacity:
             return None
         r = self.bus.first_occurrence_not_before(node_id, ready)
-        while r < self._rounds:
-            window = self.bus.occurrence_window(node_id, r)
-            if window.end > self.horizon:
-                return None
+        count = self._occurrence_counts[node_id]
+        while r < count:
             if self.free_bytes(node_id, r) >= size:
                 return r
             r += 1
@@ -223,18 +233,15 @@ class BusSchedule:
         """
         out: List[Tuple[Interval, int]] = []
         round_length = self.bus.round_length
-        slot_meta = [
-            (slot, self.bus.slot_offset(slot.node_id))
-            for slot in self.bus.slots
-        ]
-        for r in range(self._rounds):
-            base = r * round_length
-            for slot, offset in slot_meta:
+        for slot in self.bus.slots:
+            offset = self.bus.slot_offset(slot.node_id)
+            for r in range(self._occurrence_counts[slot.node_id]):
                 used = self._used.get((slot.node_id, r), 0)
-                start = base + offset
+                start = r * round_length + offset
                 out.append(
                     (Interval(start, start + slot.length), slot.capacity - used)
                 )
+        out.sort(key=lambda item: item[0].start)
         return out
 
     def free_bytes_within(self, window: Interval) -> int:
@@ -257,7 +264,7 @@ class BusSchedule:
             # r*L + offset + length <= window.end.
             r_lo = max(0, -(-(window.start - offset) // round_length))
             r_hi = min(
-                self._rounds - 1,
+                self._occurrence_counts[slot.node_id] - 1,
                 (window.end - offset - slot.length) // round_length,
             )
             if r_hi >= r_lo:
@@ -270,7 +277,7 @@ class BusSchedule:
 
     def total_free_bytes(self) -> int:
         """Residual capacity summed over the whole horizon."""
-        capacity = self._rounds * sum(s.capacity for s in self.bus.slots)
+        capacity = self.bus.total_capacity_within(self.horizon)
         return capacity - sum(self._used.values())
 
     def copy(self) -> "BusSchedule":

@@ -75,11 +75,62 @@ class TestBatchEvaluator:
         evaluator.evaluate_batch(designs[:3])
         evaluator.close()
         evaluator.close()
-        # A closed evaluator keeps working serially and must never
-        # respawn worker processes behind the caller's back.
-        assert not evaluator._use_pool(len(designs))
-        assert len(evaluator.evaluate_batch(designs)) == len(designs)
+        assert evaluator.closed
         assert evaluator._executor is None
+
+    def test_closed_evaluator_refuses_evaluation(self, spec, neighbourhood):
+        _, designs = neighbourhood
+        evaluator = BatchEvaluator(
+            CompiledSpec(spec), jobs=2, parallel_threshold=0
+        )
+        evaluator.close()
+        # A closed evaluator must refuse instead of silently recreating
+        # a pool (or quietly degrading to serial evaluation).
+        with pytest.raises(RuntimeError):
+            evaluator.evaluate_batch(designs)
+        with pytest.raises(RuntimeError):
+            evaluator.evaluate_one(designs[0])
+        assert evaluator._executor is None
+
+    def test_closed_engine_refuses_evaluation(self, spec, neighbourhood):
+        _, designs = neighbourhood
+        evaluator = DesignEvaluator(spec)
+        evaluator.evaluate(designs[0])
+        evaluator.close()
+        assert evaluator.engine.closed
+        with pytest.raises(RuntimeError):
+            evaluator.evaluate(designs[0])
+        with pytest.raises(RuntimeError):
+            evaluator.evaluate_many(designs)
+        # Accounting stays readable after close (strategies record
+        # statistics once the search has finished or failed).
+        assert evaluator.evaluations == 1
+
+    def test_pool_released_when_strategy_raises_mid_search(
+        self, spec, monkeypatch
+    ):
+        """A strategy failing mid-search must still shut its pool down."""
+        import repro.core.mapping_heuristic as mh_module
+
+        captured = {}
+        original = DesignEvaluator
+
+        class CapturingEvaluator(original):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                captured["evaluator"] = self
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("mid-search failure")
+
+        monkeypatch.setattr(mh_module, "DesignEvaluator", CapturingEvaluator)
+        monkeypatch.setattr(mh_module, "steepest_descent", boom)
+        strategy = make_strategy("MH", jobs=2)
+        with pytest.raises(RuntimeError, match="mid-search failure"):
+            strategy.design(spec)
+        evaluator = captured["evaluator"]
+        assert evaluator.engine.closed
+        assert evaluator.engine.batch._executor is None
 
 
 class TestEvaluateMany:

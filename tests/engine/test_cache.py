@@ -53,6 +53,20 @@ class TestEvaluationCache:
         with pytest.raises(ValueError):
             EvaluationCache(max_entries=0)
 
+    def test_contains_is_accounting_free(self):
+        """The membership peek must not perturb counters or recency."""
+        cache = EvaluationCache(max_entries=2)
+        cache.store(("a",), 1)
+        cache.store(("b",), 2)
+        assert ("a",) in cache
+        assert ("missing",) not in cache
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (0, 0)
+        # "a" was peeked but not used: it is still the LRU entry.
+        cache.store(("c",), 3)
+        assert not cache.lookup(("a",))[0]
+        assert cache.lookup(("b",))[0]
+
 
 class TestEngineCaching:
     def test_repeat_evaluation_hits(self, spec, im_design):
@@ -91,6 +105,59 @@ class TestEngineCaching:
             a = evaluator.evaluate(mutated)
             b = evaluator.evaluate(mutated)
             assert a is b  # cached, whatever the verdict
+
+    def test_batch_duplicate_hits_keep_lru_order(self, spec, im_design):
+        """Regression: in-batch duplicates must refresh recency, so the
+        duplicated entry survives eviction over an older distinct one."""
+        move = None
+        for proc in spec.current.processes:
+            others = [
+                n
+                for n in proc.allowed_nodes
+                if n != im_design.mapping.node_of(proc.id)
+            ]
+            if others:
+                move = RemapProcess(proc.id, others[0])
+                break
+        assert move is not None
+        other = move.apply(im_design)
+        with DesignEvaluator(spec, max_cache_entries=2) as evaluator:
+            # Batch: [A, B, A] -> stores A then B, then the duplicate
+            # hit on A makes B the least recently used entry.
+            evaluator.evaluate_many([im_design, other, im_design])
+            assert evaluator.cache_misses == 2
+            assert evaluator.cache_hits == 1
+            cache = evaluator.engine.cache
+            sig_a = evaluator.compiled.signature(im_design)
+            sig_b = evaluator.compiled.signature(other)
+            assert list(cache._store) == [sig_b, sig_a]
+
+    def test_batch_accounting_matches_serial_lru_order(self, spec, im_design):
+        """[A, A, B] must leave LRU order [A, B] -- exactly what three
+        single evaluate() calls produce (A last used before B's store)."""
+        move = None
+        for proc in spec.current.processes:
+            others = [
+                n
+                for n in proc.allowed_nodes
+                if n != im_design.mapping.node_of(proc.id)
+            ]
+            if others:
+                move = RemapProcess(proc.id, others[0])
+                break
+        assert move is not None
+        other = move.apply(im_design)
+        with DesignEvaluator(spec, max_cache_entries=2) as batched:
+            batched.evaluate_many([im_design, im_design.copy(), other])
+            batch_order = list(batched.engine.cache._store)
+            batch_stats = (batched.cache_hits, batched.cache_misses)
+        with DesignEvaluator(spec, max_cache_entries=2) as serial:
+            for design in (im_design, im_design.copy(), other):
+                serial.evaluate(design)
+            serial_order = list(serial.engine.cache._store)
+            serial_stats = (serial.cache_hits, serial.cache_misses)
+        assert batch_order == serial_order
+        assert batch_stats == serial_stats == (1, 2)
 
     def test_objectives_identical_cache_on_vs_off(self, spec):
         on = make_strategy("MH", use_cache=True).design(spec)

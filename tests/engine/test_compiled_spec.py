@@ -196,3 +196,42 @@ class TestSignature:
         a = CandidateDesign(mapping, dict(priorities))
         b = CandidateDesign(mapping.copy(), dict(priorities), {msg.id: 1})
         assert compiled.signature(a) != compiled.signature(b)
+
+
+class TestArchitectureValidation:
+    """Compilation must reject application/platform-variant mismatches."""
+
+    def test_wcet_table_with_unknown_node_rejected(self, spec):
+        from repro.core.strategy import DesignSpec
+        from repro.gen.architecture_gen import random_architecture
+        from repro.model.application import Application
+        from repro.model.process_graph import Process, ProcessGraph
+
+        graph = ProcessGraph("g0", spec.effective_horizon())
+        graph.add_process(Process("x.P0", {"N0": 5, "N9": 3}))
+        other = Application("x", [graph])
+        smaller = random_architecture(2)  # has N0, N1 -- no N9
+        bad = DesignSpec(
+            architecture=smaller,
+            current=other,
+            future=spec.future,
+        )
+        with pytest.raises(SchedulingError, match="N9"):
+            CompiledSpec(bad)
+
+    def test_base_schedule_from_other_platform_rejected(self, spec):
+        from dataclasses import replace as dc_replace
+
+        from repro.gen.architecture_gen import random_architecture
+
+        grown = random_architecture(
+            len(spec.architecture) + 1,
+            slot_length=spec.architecture.bus.slots[0].length,
+            slot_capacity=spec.architecture.bus.slots[0].capacity,
+        )
+        bad = dc_replace(spec, architecture=grown)
+        with pytest.raises(SchedulingError, match="architecture"):
+            CompiledSpec(bad)
+
+    def test_matching_variant_compiles(self, spec):
+        assert CompiledSpec(spec).total_jobs > 0

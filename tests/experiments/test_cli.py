@@ -62,3 +62,86 @@ class TestCli:
             ]
         )
         assert "size=5" in capsys.readouterr().out
+
+
+class TestScenariosCli:
+    def test_list_shows_at_least_five_families(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        from repro.gen import families
+
+        names = families.family_names()
+        assert len(names) >= 5
+        for name in names:
+            assert name in out
+
+    def test_describe_family(self, capsys):
+        assert main(["scenarios", "describe", "hetero-speed"]) == 0
+        out = capsys.readouterr().out
+        assert "hetero-speed" in out
+        assert "tiny" in out
+
+    def test_describe_unknown_family_raises(self):
+        from repro.utils.errors import InvalidModelError
+
+        with pytest.raises(InvalidModelError):
+            main(["scenarios", "describe", "no-such-family"])
+
+    def test_run_family(self, capsys):
+        code = main(
+            [
+                "scenarios", "run", "bursty",
+                "--seed", "2",
+                "--sa-iterations", "30",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bursty" in out
+        for strategy in ("AH", "MH", "SA"):
+            assert strategy in out
+
+    def test_run_can_save_scenario(self, capsys, tmp_path):
+        from repro.serialize.scenario_codec import load_scenario
+
+        path = tmp_path / "scenario.json"
+        code = main(
+            [
+                "scenarios", "run", "uniform-baseline",
+                "--strategies", "AH",
+                "--save", str(path),
+            ]
+        )
+        assert code == 0
+        scenario = load_scenario(path)
+        assert scenario.params.n_current == 5
+
+    def test_sweep_prints_matrix(self, capsys):
+        code = main(
+            [
+                "scenarios", "sweep",
+                "--families", "uniform-baseline",
+                "--strategies", "AH", "MH",
+                "--sa-iterations", "20",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stress matrix" in out
+        assert "off" in out and "on" in out
+
+    def test_smoke_single_family(self, capsys):
+        code = main(
+            [
+                "scenarios", "smoke",
+                "--families", "forkjoin",
+                "--sa-iterations", "30",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "forkjoin" in out and "ok" in out
+
+    def test_scenarios_requires_action(self):
+        with pytest.raises(SystemExit):
+            main(["scenarios"])

@@ -1,0 +1,197 @@
+"""Tests for the scenario-diversity subsystem (families + registry)."""
+
+import json
+
+import pytest
+
+from repro.gen import families
+from repro.gen.families import ScenarioFamily
+from repro.gen.scenario import ScenarioParams
+from repro.serialize.scenario_codec import scenario_from_dict, scenario_to_dict
+from repro.utils.errors import InvalidModelError
+
+SMOKE_SEED = 1
+
+
+@pytest.fixture(scope="module")
+def tiny_scenarios():
+    """Smallest-preset scenario per family, built once for the module."""
+    return {
+        family.name: family.build(family.smallest_preset, seed=SMOKE_SEED)
+        for family in families.iter_families()
+    }
+
+
+class TestRegistry:
+    def test_at_least_five_families(self):
+        assert len(families.family_names()) >= 5
+
+    def test_expected_families_present(self):
+        names = families.family_names()
+        for expected in (
+            "uniform-baseline",
+            "hetero-speed",
+            "weighted-bus",
+            "pipeline",
+            "forkjoin",
+            "bursty",
+        ):
+            assert expected in names
+
+    def test_unknown_family_rejected_with_listing(self):
+        with pytest.raises(InvalidModelError, match="available"):
+            families.get_family("no-such-family")
+
+    def test_duplicate_registration_rejected(self):
+        throwaway = ScenarioFamily(
+            name="throwaway-family",
+            description="test",
+            presets={"tiny": ScenarioParams(n_existing=5, n_current=3)},
+        )
+        families.register_family(throwaway)
+        try:
+            with pytest.raises(InvalidModelError):
+                families.register_family(throwaway)
+            families.register_family(throwaway, replace=True)
+        finally:
+            families.unregister_family("throwaway-family")
+        assert "throwaway-family" not in families.family_names()
+
+    def test_family_requires_presets(self):
+        with pytest.raises(InvalidModelError):
+            ScenarioFamily(name="empty", description="x", presets={})
+
+
+class TestFamilyApi:
+    def test_smallest_preset_is_first(self):
+        for family in families.iter_families():
+            assert family.smallest_preset == family.preset_names[0]
+
+    def test_unknown_preset_rejected(self):
+        family = families.get_family("uniform-baseline")
+        with pytest.raises(InvalidModelError, match="available"):
+            family.params("gigantic")
+
+    def test_params_are_scenario_params(self):
+        for family in families.iter_families():
+            for preset in family.preset_names:
+                assert isinstance(family.params(preset), ScenarioParams)
+
+    def test_describe_mentions_every_preset(self):
+        for family in families.iter_families():
+            text = family.describe()
+            assert family.name in text
+            for preset in family.preset_names:
+                assert preset in text
+
+    def test_build_deterministic(self):
+        family = families.get_family("hetero-speed")
+        a = family.build("tiny", seed=7)
+        b = family.build("tiny", seed=7)
+        assert a.future == b.future
+        assert [p.wcet for p in a.current.processes] == [
+            p.wcet for p in b.current.processes
+        ]
+
+
+class TestFamilyTraits:
+    """Each family must actually exhibit the diversity it claims."""
+
+    def test_hetero_speed_architecture(self, tiny_scenarios):
+        arch = tiny_scenarios["hetero-speed"].architecture
+        assert arch.is_heterogeneous
+        speeds = [node.speed for node in arch.nodes]
+        assert min(speeds) < 1.0 < max(speeds)
+
+    def test_uniform_baseline_is_homogeneous(self, tiny_scenarios):
+        arch = tiny_scenarios["uniform-baseline"].architecture
+        assert not arch.is_heterogeneous
+        assert len({s.length for s in arch.bus.slots}) == 1
+
+    def test_hetero_speed_biases_wcet_tables(self, tiny_scenarios):
+        """Across both applications, the fastest node's WCETs must be
+        systematically lower than the slowest node's."""
+        scenario = tiny_scenarios["hetero-speed"]
+        arch = scenario.architecture
+        slowest = min(arch.nodes, key=lambda n: n.speed).id
+        fastest = max(arch.nodes, key=lambda n: n.speed).id
+        slow_w, fast_w = [], []
+        for app in (scenario.existing, scenario.current):
+            for proc in app.processes:
+                if slowest in proc.wcet and fastest in proc.wcet:
+                    slow_w.append(proc.wcet[slowest])
+                    fast_w.append(proc.wcet[fastest])
+        assert slow_w, "no process allows both extreme nodes"
+        assert sum(fast_w) < sum(slow_w)
+
+    def test_weighted_bus_slots_vary(self, tiny_scenarios):
+        bus = tiny_scenarios["weighted-bus"].architecture.bus
+        assert len({s.length for s in bus.slots}) > 1
+        assert len({s.capacity for s in bus.slots}) > 1
+
+    def test_pipeline_graphs_are_chains(self, tiny_scenarios):
+        scenario = tiny_scenarios["pipeline"]
+        for graph in scenario.current.graphs:
+            assert len(graph.messages) == len(graph.processes) - 1
+            for proc in graph.processes:
+                assert len(graph.predecessors(proc.id)) <= 1
+                assert len(graph.successors(proc.id)) <= 1
+
+    def test_forkjoin_graphs_fork_and_join(self, tiny_scenarios):
+        scenario = tiny_scenarios["forkjoin"]
+        saw_fork = False
+        for app in (scenario.existing, scenario.current):
+            for graph in app.graphs:
+                if len(graph.processes) < 4:
+                    continue
+                fan_out = max(
+                    len(graph.successors(p.id)) for p in graph.processes
+                )
+                fan_in = max(
+                    len(graph.predecessors(p.id)) for p in graph.processes
+                )
+                assert fan_out >= 2 and fan_in >= 2
+                saw_fork = True
+        assert saw_fork, "no graph was large enough to fork"
+
+    def test_bursty_concentrates_on_shortest_period(self, tiny_scenarios):
+        scenario = tiny_scenarios["bursty"]
+        params = scenario.params
+        shortest = params.hyperperiod // max(params.period_divisors)
+        periods = [g.period for g in scenario.existing.graphs] + [
+            g.period for g in scenario.current.graphs
+        ]
+        burst = sum(1 for p in periods if p == shortest)
+        assert burst >= len(periods) / 2
+        assert set(periods) <= {
+            shortest, params.hyperperiod // min(params.period_divisors)
+        }
+
+    def test_hetero_mixed_combines_axes(self, tiny_scenarios):
+        scenario = tiny_scenarios["hetero-mixed"]
+        assert scenario.architecture.is_heterogeneous
+        assert len({s.length for s in scenario.architecture.bus.slots}) > 1
+        assert scenario.params.workload_shape == "pipeline"
+
+
+class TestCodecRoundTrip:
+    def test_every_family_round_trips_byte_identically(self, tiny_scenarios):
+        for name, scenario in tiny_scenarios.items():
+            first = json.dumps(
+                scenario_to_dict(scenario), sort_keys=True, indent=2
+            )
+            rebuilt = scenario_from_dict(json.loads(first))
+            second = json.dumps(
+                scenario_to_dict(rebuilt), sort_keys=True, indent=2
+            )
+            assert first == second, f"family {name} does not round-trip"
+
+    def test_round_trip_preserves_diversity_params(self, tiny_scenarios):
+        scenario = tiny_scenarios["hetero-mixed"]
+        rebuilt = scenario_from_dict(scenario_to_dict(scenario))
+        assert rebuilt.params == scenario.params
+        assert rebuilt.params.node_speeds == scenario.params.node_speeds
+        assert rebuilt.params.slot_lengths == scenario.params.slot_lengths
+        assert [n.speed for n in rebuilt.architecture.nodes] == [
+            n.speed for n in scenario.architecture.nodes
+        ]

@@ -9,6 +9,7 @@ from repro.gen.scenario import (
     generate_application,
     generate_future_application,
 )
+from repro.utils.errors import MappingError
 
 
 class TestArchitectureGen:
@@ -42,6 +43,105 @@ class TestScenarioParams:
             ScenarioParams(existing_utilization=0.0)
         with pytest.raises(ValueError):
             ScenarioParams(current_utilization=1.0)
+
+    def test_per_node_sequences_must_match_node_count(self):
+        with pytest.raises(ValueError, match="node_speeds"):
+            ScenarioParams(n_nodes=3, node_speeds=(1.0, 2.0))
+        with pytest.raises(ValueError, match="slot_lengths"):
+            ScenarioParams(n_nodes=3, slot_lengths=(4, 4))
+        with pytest.raises(ValueError, match="slot_capacities"):
+            ScenarioParams(n_nodes=3, slot_capacities=(16,))
+
+    def test_per_node_values_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ScenarioParams(n_nodes=2, hyperperiod=4800,
+                           node_speeds=(1.0, 0.0))
+        with pytest.raises(ValueError):
+            ScenarioParams(n_nodes=2, hyperperiod=4800,
+                           slot_lengths=(4, -4))
+
+    def test_variable_slots_set_round_length(self):
+        p = ScenarioParams(n_nodes=3, hyperperiod=2400,
+                           slot_lengths=(2, 4, 6))
+        assert p.round_length == 12
+        with pytest.raises(ValueError, match="round length"):
+            ScenarioParams(n_nodes=3, hyperperiod=2400,
+                           slot_lengths=(3, 4, 6))
+
+    def test_unknown_workload_shape_rejected(self):
+        with pytest.raises(ValueError, match="workload shape"):
+            ScenarioParams(workload_shape="spiral")
+
+    def test_build_architecture_applies_diversity(self):
+        p = ScenarioParams(
+            n_nodes=2,
+            hyperperiod=4800,
+            node_speeds=(0.5, 1.5),
+            slot_lengths=(2, 6),
+            slot_capacities=(8, 24),
+        )
+        arch = p.build_architecture()
+        assert [n.speed for n in arch.nodes] == [0.5, 1.5]
+        assert [s.length for s in arch.bus.slots] == [2, 6]
+        assert [s.capacity for s in arch.bus.slots] == [8, 24]
+
+
+class TestDegenerateInputs:
+    """Utilization rescaling must fail loudly, never divide by zero."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        params = ScenarioParams(n_nodes=4, hyperperiod=2400)
+        arch = random_architecture(4, params.slot_length, params.slot_capacity)
+        return params, arch
+
+    def test_zero_process_count_rejected(self, setup):
+        params, arch = setup
+        with pytest.raises(MappingError, match="n_processes"):
+            generate_application("a", 0, 0.3, arch, params, rng=0)
+
+    def test_negative_process_count_rejected(self, setup):
+        params, arch = setup
+        with pytest.raises(MappingError, match="n_processes"):
+            generate_application("a", -5, 0.3, arch, params, rng=0)
+
+    def test_zero_utilization_rejected(self, setup):
+        params, arch = setup
+        with pytest.raises(MappingError, match="utilization"):
+            generate_application("a", 10, 0.0, arch, params, rng=0)
+
+    def test_full_utilization_rejected(self, setup):
+        params, arch = setup
+        with pytest.raises(MappingError, match="utilization"):
+            generate_application("a", 10, 1.0, arch, params, rng=0)
+
+    def test_overcommitted_scenario_raises_mapping_error(self):
+        # existing + current utilization >= 1 leaves no future slack;
+        # the builder must say so instead of emitting garbage.
+        params = ScenarioParams(
+            n_nodes=3, hyperperiod=2400, n_existing=6, n_current=4,
+            existing_utilization=0.6, current_utilization=0.5,
+        )
+        with pytest.raises(MappingError, match="free capacity"):
+            build_scenario(params, seed=0)
+
+    def test_single_node_architecture_buildable(self):
+        # One node, no inter-node messages: still a valid scenario.
+        params = ScenarioParams(
+            n_nodes=1, hyperperiod=2400, n_existing=6, n_current=3,
+            existing_utilization=0.4, current_utilization=0.2,
+        )
+        scenario = build_scenario(params, seed=1)
+        assert len(scenario.architecture) == 1
+        assert scenario.current.process_count == 3
+
+    def test_near_zero_utilization_still_defined(self, setup):
+        params, arch = setup
+        app = generate_application("a", 8, 1e-6, arch, params, rng=0)
+        # WCETs clamp at 1; the application stays valid.
+        assert all(
+            w >= 1 for p in app.processes for w in p.wcet.values()
+        )
 
 
 class TestGenerateApplication:

@@ -130,3 +130,93 @@ class TestScaling:
         g = random_process_graph("g", 4, 100, arch, rng=0)
         with pytest.raises(ValueError):
             scale_graph_wcets(g, 0)
+
+
+class TestShapedGraphs:
+    """The pipeline / fork-join shape generators."""
+
+    @pytest.fixture(scope="class")
+    def arch(self):
+        return random_architecture(4)
+
+    def test_pipeline_is_a_chain(self, arch):
+        from repro.gen.taskgraph import pipeline_process_graph
+
+        g = pipeline_process_graph("g", 8, 100, arch, rng=0)
+        assert len(g) == 8
+        assert len(g.messages) == 7
+        nxg = g.as_networkx()
+        assert nx.is_directed_acyclic_graph(nxg)
+        for proc in g.processes:
+            assert len(g.predecessors(proc.id)) <= 1
+            assert len(g.successors(proc.id)) <= 1
+        # One source, one sink, fully connected.
+        sources = [p for p in g.processes if not g.predecessors(p.id)]
+        sinks = [p for p in g.processes if not g.successors(p.id)]
+        assert len(sources) == 1 and len(sinks) == 1
+
+    def test_pipeline_single_process(self, arch):
+        from repro.gen.taskgraph import pipeline_process_graph
+
+        g = pipeline_process_graph("g", 1, 100, arch, rng=0)
+        assert len(g) == 1 and not g.messages
+
+    def test_forkjoin_structure(self, arch):
+        from repro.gen.taskgraph import fork_join_process_graph
+
+        g = fork_join_process_graph("g", 10, 100, arch, rng=0)
+        assert len(g) == 10
+        assert nx.is_directed_acyclic_graph(g.as_networkx())
+        source = "g.P0"
+        sink = "g.P9"
+        assert len(g.successors(source)) >= 2
+        assert len(g.predecessors(sink)) >= 2
+        # Every interior process lies on a source->sink branch.
+        for proc in g.processes:
+            if proc.id in (source, sink):
+                continue
+            assert g.predecessors(proc.id) and g.successors(proc.id)
+
+    def test_forkjoin_small_degenerates_to_chain(self, arch):
+        from repro.gen.taskgraph import fork_join_process_graph
+
+        g = fork_join_process_graph("g", 3, 100, arch, rng=0)
+        assert len(g.messages) == 2
+
+    def test_shape_dispatch(self, arch):
+        from repro.gen.taskgraph import GRAPH_SHAPES, make_process_graph
+
+        assert set(GRAPH_SHAPES) == {"layered", "pipeline", "forkjoin"}
+        g = make_process_graph("pipeline", "g", 4, 100, arch, rng=0)
+        assert len(g.messages) == 3
+        with pytest.raises(ValueError, match="unknown graph shape"):
+            make_process_graph("moebius", "g", 4, 100, arch, rng=0)
+
+    def test_shapes_deterministic(self, arch):
+        from repro.gen.taskgraph import fork_join_process_graph
+
+        a = fork_join_process_graph("g", 9, 100, arch, rng=5)
+        b = fork_join_process_graph("g", 9, 100, arch, rng=5)
+        assert [p.wcet for p in a.processes] == [p.wcet for p in b.processes]
+        assert [(m.src, m.dst, m.size) for m in a.messages] == [
+            (m.src, m.dst, m.size) for m in b.messages
+        ]
+
+
+class TestNodeSpeedScaling:
+    """Architecture-level node speeds fold into the WCET tables."""
+
+    def test_fast_node_gets_smaller_wcets(self):
+        slow_fast = random_architecture(2, node_speeds=(0.5, 2.0))
+        params = GraphParams(allowed_node_prob=1.0, het_range=(1.0, 1.0))
+        g = random_process_graph("g", 30, 100, slow_fast, rng=0, params=params)
+        for proc in g.processes:
+            if "N0" in proc.wcet and "N1" in proc.wcet:
+                assert proc.wcet["N0"] >= proc.wcet["N1"]
+
+    def test_reference_speed_reproduces_homogeneous_draws(self):
+        plain = random_architecture(3)
+        explicit = random_architecture(3, node_speeds=(1.0, 1.0, 1.0))
+        a = random_process_graph("g", 10, 100, plain, rng=4)
+        b = random_process_graph("g", 10, 100, explicit, rng=4)
+        assert [p.wcet for p in a.processes] == [p.wcet for p in b.processes]

@@ -22,6 +22,22 @@ class TestNode:
         with pytest.raises(InvalidModelError):
             Node("")
 
+    def test_default_speed_is_reference(self):
+        assert Node("N1").speed == 1.0
+
+    def test_custom_speed(self):
+        assert Node("N1", speed=1.5).speed == 1.5
+
+    def test_non_positive_speed_rejected(self):
+        with pytest.raises(InvalidModelError):
+            Node("N1", speed=0.0)
+        with pytest.raises(InvalidModelError):
+            Node("N1", speed=-2.0)
+
+    def test_nan_speed_rejected(self):
+        with pytest.raises(InvalidModelError):
+            Node("N1", speed=float("nan"))
+
 
 class TestArchitecture:
     def test_default_uniform_bus(self):
@@ -65,3 +81,20 @@ class TestArchitecture:
         arch = Architecture([Node("A")])
         with pytest.raises(InvalidModelError):
             arch.node("Z")
+
+
+class TestHeterogeneity:
+    def test_homogeneous_by_default(self):
+        arch = Architecture([Node("A"), Node("B")])
+        assert not arch.is_heterogeneous
+        assert arch.speed_of("A") == 1.0
+
+    def test_heterogeneous_when_any_speed_differs(self):
+        arch = Architecture([Node("A"), Node("B", speed=2.0)])
+        assert arch.is_heterogeneous
+        assert arch.speed_of("B") == 2.0
+
+    def test_speed_of_unknown_node_rejected(self):
+        arch = Architecture([Node("A")])
+        with pytest.raises(InvalidModelError):
+            arch.speed_of("Z")

@@ -116,6 +116,24 @@ class TestTiming:
     def test_total_capacity_within(self, bus):
         assert bus.total_capacity_within(24) == 2 * (4 + 8 + 12)
 
+    def test_occurrences_include_final_partial_round(self, bus):
+        # Horizon 14 covers one complete round plus N1's slot of the
+        # second round ([12, 14) ends exactly at the horizon).
+        assert bus.rounds_within(14) == 1
+        assert bus.occurrences_within("N1", 14) == [
+            Interval(0, 2),
+            Interval(12, 14),
+        ]
+        assert bus.occurrences_within("N2", 14) == [Interval(2, 6)]
+        assert bus.total_capacity_within(14) == (4 + 8 + 12) + 4
+
+    def test_window_ending_exactly_at_horizon_counts(self, bus):
+        # N3's slot is [6, 12); a horizon of exactly 12 keeps it.
+        assert bus.occurrence_count_within("N3", 12) == 1
+        assert bus.occurrence_count_within("N3", 11) == 0
+        assert bus.occurrence_count_within("N1", 2) == 1
+        assert bus.occurrence_count_within("N1", 1) == 0
+
     @given(ready=st.integers(0, 400))
     def test_first_occurrence_is_earliest(self, ready):
         """The returned occurrence starts at or after ready; the one
@@ -130,3 +148,63 @@ class TestTiming:
         if r > 0:
             prev = local_bus.occurrence_window("N2", r - 1)
             assert prev.start < ready
+
+
+def _boundary_bus() -> TdmaBus:
+    """Unequal slots so partial-round boundaries are interesting."""
+    return TdmaBus([Slot("N1", 2, 4), Slot("N2", 4, 8), Slot("N3", 6, 12)])
+
+
+class TestBoundaryProperties:
+    """Horizon-boundary audit: occurrence accounting must agree with
+    occurrence windows and with first_occurrence_not_before everywhere,
+    including horizons landing exactly on round/slot boundaries."""
+
+    @given(horizon=st.integers(0, 400))
+    def test_count_matches_enumerated_windows(self, horizon):
+        bus = _boundary_bus()
+        for node_id in bus.node_ids():
+            occ = bus.occurrences_within(node_id, horizon)
+            assert len(occ) == bus.occurrence_count_within(node_id, horizon)
+            # Every listed window ends at or before the horizon; the
+            # next one (if enumerated) would end strictly after it.
+            assert all(w.end <= horizon for w in occ)
+            nxt = bus.occurrence_window(node_id, len(occ))
+            assert nxt.end > horizon
+
+    @given(round_index=st.integers(0, 30))
+    def test_window_end_boundary_is_inclusive(self, round_index):
+        """A slot window ending exactly at the horizon counts, and the
+        same occurrence is reachable via first_occurrence_not_before."""
+        bus = _boundary_bus()
+        for node_id in bus.node_ids():
+            window = bus.occurrence_window(node_id, round_index)
+            count_at_end = bus.occurrence_count_within(node_id, window.end)
+            assert count_at_end == round_index + 1
+            assert bus.occurrence_count_within(
+                node_id, window.end - 1
+            ) == round_index
+            assert bus.first_occurrence_not_before(
+                node_id, window.start
+            ) == round_index
+
+    @given(horizon=st.integers(0, 400))
+    def test_capacity_matches_per_slot_counts(self, horizon):
+        bus = _boundary_bus()
+        expected = sum(
+            bus.occurrence_count_within(s.node_id, horizon) * s.capacity
+            for s in bus.slots
+        )
+        assert bus.total_capacity_within(horizon) == expected
+
+    @given(horizon=st.integers(12, 400))
+    def test_round_multiple_horizons_unchanged(self, horizon):
+        """For horizons that are multiples of the round length the
+        per-slot accounting degenerates to complete-round counting --
+        the invariant every generated scenario relies on."""
+        bus = _boundary_bus()
+        horizon -= horizon % bus.round_length
+        rounds = bus.rounds_within(horizon)
+        for node_id in bus.node_ids():
+            assert bus.occurrence_count_within(node_id, horizon) == rounds
+        assert bus.total_capacity_within(horizon) == rounds * (4 + 8 + 12)

@@ -184,3 +184,47 @@ class TestCopy:
         sched.place("m1", 0, "N1", 0, 2, frozen=True)
         clone = sched.copy()
         assert clone.occupancy_of("m1", 0).frozen
+
+
+class TestPartialRoundOccurrences:
+    """The final partial round's early slots are usable capacity:
+    occurrence accounting is per-slot, not per-complete-round."""
+
+    @pytest.fixture
+    def partial(self, bus) -> BusSchedule:
+        # Horizon 8 = one complete round plus N1's slot [6, 8).
+        return BusSchedule(bus, horizon=8)
+
+    def test_occurrence_counts(self, partial):
+        assert partial.rounds == 1
+        assert partial.occurrence_count("N1") == 2
+        assert partial.occurrence_count("N2") == 1
+
+    def test_place_in_partial_round(self, partial):
+        occ = partial.place("m1", 0, "N1", 1, 2)
+        assert partial.used_bytes("N1", 1) == 2
+        assert partial.arrival_time(occ) == 8  # ends exactly at horizon
+
+    def test_partial_round_rejects_uncovered_slot(self, partial):
+        with pytest.raises(SchedulingError):
+            partial.place("m1", 0, "N2", 1, 2)
+
+    def test_earliest_fit_uses_partial_round(self, partial):
+        partial.place("m1", 0, "N1", 0, 4)  # round 0 full
+        assert partial.earliest_round_with_room("N1", 2, 0) == 1
+        assert partial.earliest_round_with_room("N2", 2, 3) is None
+
+    def test_total_free_bytes_counts_partial_round(self, partial):
+        assert partial.total_free_bytes() == (4 + 8) + 4
+
+    def test_residuals_ordered_and_complete(self, partial):
+        windows = [w for w, _ in partial.residuals()]
+        assert windows == sorted(windows, key=lambda w: w.start)
+        assert windows[-1] == Interval(6, 8)
+        assert len(windows) == 3
+
+    def test_copy_preserves_occurrence_counts(self, partial):
+        partial.place("m1", 0, "N1", 1, 1)
+        clone = partial.copy()
+        assert clone.occurrence_count("N1") == 2
+        assert clone.used_bytes("N1", 1) == 1
