@@ -5,6 +5,13 @@ The benchmarks double as the figure-regeneration harness: each
 attaches the figure's data points (deviations, mapped percentages) as
 ``extra_info`` so they appear in the pytest-benchmark report.
 
+Every *timed* benchmark run additionally writes
+``benchmarks/BENCH_engine.json``: one machine-readable record per
+benchmark (median wall time, scenario size and delta on/off taken from
+``extra_info``), so the performance trajectory is tracked across PRs
+as data instead of living only in prose.  ``--benchmark-disable``
+smoke runs leave the file untouched.
+
 Scale: laptop defaults (a few minutes for the whole directory).  The
 paper-scale run is driven through the CLI instead
 (``python -m repro.experiments all --paper-scale``).
@@ -12,10 +19,62 @@ paper-scale run is driven through the CLI instead
 
 from __future__ import annotations
 
+import json
+import platform
+from pathlib import Path
+
 import pytest
 
 from repro.experiments.runner import ExperimentConfig
 from repro.gen.scenario import Scenario, ScenarioParams, build_scenario
+
+#: Where the machine-readable benchmark results land (committed, so
+#: the perf trajectory across PRs is diffable).
+BENCH_RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_engine.json"
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Persist per-bench medians to ``BENCH_engine.json`` after timed runs."""
+    benchmark_session = getattr(session.config, "_benchmarksession", None)
+    if benchmark_session is None:
+        return
+    rows = []
+    for bench in benchmark_session.benchmarks:
+        stats = getattr(bench, "stats", None)
+        if stats is None:  # --benchmark-disable / skipped
+            continue
+        if hasattr(stats, "stats"):  # Metadata wrapper on some versions
+            stats = stats.stats
+        rows.append(
+            {
+                "name": bench.fullname,
+                "median_seconds": stats.median,
+                "mean_seconds": stats.mean,
+                "rounds": stats.rounds,
+                "extra_info": dict(bench.extra_info),
+            }
+        )
+    if not rows:
+        return
+    # Merge by benchmark name: a partial run (one bench file, or an
+    # aborted session) updates only the rows it actually timed and
+    # keeps every other file's trajectory data intact.
+    merged = {}
+    if BENCH_RESULTS_PATH.exists():
+        try:
+            previous = json.loads(BENCH_RESULTS_PATH.read_text())
+            merged = {row["name"]: row for row in previous.get("results", ())}
+        except (ValueError, KeyError, TypeError):
+            merged = {}
+    merged.update({row["name"]: row for row in rows})
+    payload = {
+        "schema": 1,
+        "python": platform.python_version(),
+        "results": sorted(merged.values(), key=lambda row: row["name"]),
+    }
+    BENCH_RESULTS_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
 
 #: Current-application sizes benchmarked per figure (paper: 40..320).
 BENCH_SIZES = (8, 16, 24)

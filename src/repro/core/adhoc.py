@@ -29,21 +29,22 @@ from repro.core.strategy import (
 class AdHocStrategy:
     """Validity-only design: Initial Mapping with no optimization.
 
-    ``use_cache`` and ``jobs`` exist so every strategy shares one
-    construction signature (the experiment runner passes them
-    uniformly); AH performs a single evaluation, so neither changes
-    its behavior.
+    ``use_cache``, ``jobs`` and ``use_delta`` exist so every strategy
+    shares one construction signature (the experiment runner passes
+    them uniformly); AH performs a single evaluation, so none of them
+    changes its behavior.
     """
 
     use_cache: bool = True
     jobs: int = 1
+    use_delta: bool = True
 
     name = "AH"
 
     @timed
     def design(self, spec: DesignSpec) -> DesignResult:
         """Run IM once and report its design as-is."""
-        with DesignEvaluator(spec, use_cache=False) as evaluator:
+        with DesignEvaluator(spec, use_cache=False, use_delta=False) as evaluator:
             mapper = InitialMapper(spec.architecture)
             outcome = mapper.try_map_and_schedule(
                 spec.current,

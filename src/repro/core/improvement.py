@@ -161,15 +161,16 @@ def best_improving_move(
 ) -> Optional[EvaluatedDesign]:
     """Exactly evaluate every move; return the steepest improvement.
 
-    The whole neighbourhood is scored in one :meth:`evaluate_many`
-    batch -- cached outcomes are served directly and the remainder is
-    evaluated in parallel when the evaluator runs with ``jobs > 1``.
-    The winner scan walks the results in move order, so serial,
-    cached and parallel runs pick the identical move.
+    The whole neighbourhood is scored in one :meth:`evaluate_moves`
+    batch against the shared parent ``best`` -- cached outcomes are
+    served directly, the remainder is rescheduled incrementally from
+    the parent's checkpoints (or cold with ``--no-delta``), in
+    parallel when the evaluator runs with ``jobs > 1``.  The winner
+    scan walks the results in move order, so serial, cached, delta and
+    parallel runs pick the identical move.
     """
-    candidates = [move.apply(best.design) for move in moves]
     winner: Optional[EvaluatedDesign] = None
-    for evaluated in evaluator.evaluate_many(candidates):
+    for evaluated in evaluator.evaluate_moves(best, moves):
         if evaluated is None:
             continue
         target = winner.objective if winner is not None else best.objective

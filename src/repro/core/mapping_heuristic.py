@@ -68,6 +68,10 @@ class MappingHeuristic:
         ``1`` stays serial.  Results are identical for any value.
     max_cache_entries:
         LRU bound of the engine's cache (``None`` = unbounded).
+    use_delta:
+        Evaluate each neighbourhood through the incremental kernel
+        (children rescheduled from the current design's checkpoints).
+        Results are identical with it off.
     """
 
     pool_size: int = 8
@@ -77,6 +81,7 @@ class MappingHeuristic:
     use_cache: bool = True
     jobs: int = 1
     max_cache_entries: Optional[int] = DEFAULT_MAX_ENTRIES
+    use_delta: bool = True
 
     name = "MH"
 
@@ -88,6 +93,7 @@ class MappingHeuristic:
             use_cache=self.use_cache,
             jobs=self.jobs,
             max_cache_entries=self.max_cache_entries,
+            use_delta=self.use_delta,
         ) as evaluator:
             return self._design(spec, evaluator)
 

@@ -104,6 +104,7 @@ def design_with_modifications(
     horizon: Optional[int] = None,
     max_modified: Optional[int] = None,
     jobs: int = 1,
+    use_delta: bool = True,
     **strategy_kwargs,
 ) -> ModificationResult:
     """Design ``current``, modifying existing applications only if needed.
@@ -133,6 +134,12 @@ def design_with_modifications(
         Worker processes for the strategy's evaluation engine; each
         subset attempt redesigns a larger movable application, which is
         exactly where parallel batch evaluation pays off.
+    use_delta:
+        Incremental (move-aware) evaluation inside each subset
+        attempt's strategy run; the movable application only grows
+        with ``k``, so the delta kernel's checkpoint resumes pay off
+        more the deeper the greedy search goes.  Results are identical
+        with it off.
     strategy_kwargs:
         Forwarded to the strategy constructor (e.g. SA iterations).
 
@@ -152,6 +159,7 @@ def design_with_modifications(
     if max_modified is None:
         max_modified = len(existing)
     strategy_kwargs.setdefault("jobs", jobs)
+    strategy_kwargs.setdefault("use_delta", use_delta)
 
     by_cost = sorted(existing, key=lambda e: (e.modification_cost, e.name))
     mapper = InitialMapper(architecture)

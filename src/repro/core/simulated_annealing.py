@@ -78,6 +78,11 @@ class SimulatedAnnealing:
         are identical for any value.
     max_cache_entries:
         LRU bound of the engine's cache (``None`` = unbounded).
+    use_delta:
+        Serve each proposed move through the incremental evaluation
+        kernel (reschedule from the current state's checkpoints); the
+        walk threads the accepted state as the parent of the next
+        proposal.  Results are identical with it off.
     """
 
     iterations: int = 1500
@@ -90,6 +95,7 @@ class SimulatedAnnealing:
     use_cache: bool = True
     jobs: int = 1
     max_cache_entries: Optional[int] = DEFAULT_MAX_ENTRIES
+    use_delta: bool = True
 
     name = "SA"
 
@@ -102,6 +108,7 @@ class SimulatedAnnealing:
             use_cache=self.use_cache,
             jobs=self.jobs,
             max_cache_entries=self.max_cache_entries,
+            use_delta=self.use_delta,
         ) as evaluator:
             return self._design(spec, evaluator)
 
@@ -146,7 +153,7 @@ class SimulatedAnnealing:
             move = self._random_move(spec, current, rng)
             if move is None:
                 break
-            proposal = evaluator.evaluate(move.apply(current.design))
+            proposal = evaluator.evaluate_move(current, move)
             if proposal is not None and self._accept(
                 proposal.objective - current.objective, temperature, rng
             ):
@@ -199,7 +206,7 @@ class SimulatedAnnealing:
             move = self._random_move(spec, current, rng)
             if move is None:
                 break
-            proposal = evaluator.evaluate(move.apply(current.design))
+            proposal = evaluator.evaluate_move(current, move)
             if proposal is None:
                 continue
             deltas.append(abs(proposal.objective - current.objective))

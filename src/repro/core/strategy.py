@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.future import FutureCharacterization
 from repro.core.metrics import DesignMetrics, ObjectiveWeights
 from repro.engine.cache import DEFAULT_MAX_ENTRIES, CacheStats
+from repro.engine.delta import DeltaStats
 from repro.engine.engine import EvaluationEngine
 from repro.engine.evaluation import EvaluatedDesign
 from repro.model.application import Application
@@ -97,6 +98,8 @@ class DesignResult:
     evaluations: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    delta_hits: int = 0
+    delta_fallbacks: int = 0
 
     @property
     def objective(self) -> float:
@@ -110,6 +113,8 @@ class DesignResult:
         self.evaluations = evaluator.evaluations
         self.cache_hits = evaluator.cache_hits
         self.cache_misses = evaluator.cache_misses
+        self.delta_hits = evaluator.delta_hits
+        self.delta_fallbacks = evaluator.delta_fallbacks
         return self
 
 
@@ -133,6 +138,9 @@ class DesignEvaluator:
         LRU bound of the engine's cache (``None`` = unbounded).
     parallel_threshold:
         Minimum problem size (expanded jobs) before the pool engages.
+    use_delta:
+        Enable the incremental (move-aware) evaluation kernel; results
+        are bit-identical either way (the ``--no-delta`` escape hatch).
     """
 
     def __init__(
@@ -142,6 +150,7 @@ class DesignEvaluator:
         jobs: int = 1,
         max_cache_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
         parallel_threshold: Optional[int] = None,
+        use_delta: bool = True,
     ):
         self.spec = spec
         self.engine = EvaluationEngine(
@@ -150,6 +159,7 @@ class DesignEvaluator:
             jobs=jobs,
             max_cache_entries=max_cache_entries,
             parallel_threshold=parallel_threshold,
+            use_delta=use_delta,
         )
 
     def evaluate(self, design: "CandidateDesign") -> Optional[EvaluatedDesign]:
@@ -161,6 +171,16 @@ class DesignEvaluator:
     ) -> List[Optional[EvaluatedDesign]]:
         """Score a batch of candidates, preserving input order."""
         return self.engine.evaluate_many(designs)
+
+    def evaluate_move(self, parent: EvaluatedDesign, move) -> Optional[EvaluatedDesign]:
+        """Score the child one ``move`` away from ``parent`` (delta path)."""
+        return self.engine.evaluate_move(parent, move)
+
+    def evaluate_moves(
+        self, parent: EvaluatedDesign, moves: Sequence
+    ) -> List[Optional[EvaluatedDesign]]:
+        """Score a parent's move neighbourhood, preserving input order."""
+        return self.engine.evaluate_moves(parent, moves)
 
     @property
     def compiled(self):
@@ -179,8 +199,19 @@ class DesignEvaluator:
     def cache_misses(self) -> int:
         return self.engine.cache_misses
 
+    @property
+    def delta_hits(self) -> int:
+        return self.engine.delta_hits
+
+    @property
+    def delta_fallbacks(self) -> int:
+        return self.engine.delta_fallbacks
+
     def cache_stats(self) -> CacheStats:
         return self.engine.cache_stats()
+
+    def delta_stats(self) -> DeltaStats:
+        return self.engine.delta_stats()
 
     def close(self) -> None:
         """Release the engine's worker pool (idempotent)."""

@@ -25,15 +25,55 @@ three concrete transformations:
 Every transformation is pure: ``apply`` returns fresh copies and leaves
 the input design untouched, so strategies can fan out many moves from
 one base design.
+
+Every transformation also declares its **footprint**: the dirty set of
+processes, nodes and messages whose scheduling decisions the move can
+affect directly.  The incremental evaluation kernel
+(:mod:`repro.engine.delta`) turns a footprint into the earliest point
+where a child schedule can diverge from its parent, and reschedules
+only from there.  Footprints are *direct* dirty sets -- ripple effects
+(a displaced process freeing a gap another process then takes) are
+handled by the divergence/resume machinery, not declared here.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Union
+from typing import Dict, FrozenSet, Iterable, List, Union
 
 from repro.model.mapping import Mapping
 from repro.sched.priorities import PriorityMap
+
+
+@dataclass(frozen=True)
+class MoveFootprint:
+    """The dirty set one transformation can affect directly.
+
+    Attributes
+    ----------
+    processes:
+        Processes whose *pop-time* behavior changes: their own
+        placement (node, WCET) or the delivery of a message they send.
+        The child schedule cannot diverge from the parent before the
+        first pop of one of these processes' instances.
+    reprioritized:
+        Processes whose ready-heap key changes.  Divergence can start
+        as soon as one of their instances sits in the ready heap and
+        the new key would win (or lose) a pop it previously lost (or
+        won).
+    nodes:
+        Nodes whose timeline the move touches directly (the remap's
+        source/target, the priority swap's node, the delayed message's
+        sender).  Diagnostic: the full dirty-node set of a child is
+        only known after rescheduling, because displaced work ripples.
+    messages:
+        Messages whose bus placement the move changes directly.
+    """
+
+    processes: FrozenSet[str] = frozenset()
+    reprioritized: FrozenSet[str] = frozenset()
+    nodes: FrozenSet[str] = frozenset()
+    messages: FrozenSet[str] = frozenset()
 
 
 @dataclass
@@ -76,6 +116,35 @@ class RemapProcess:
         out.mapping.assign(self.process_id, self.node_id)
         return out
 
+    def footprint(self, design: CandidateDesign) -> MoveFootprint:
+        """Dirty set: the process, affected deliveries, both nodes.
+
+        Besides the remapped process itself, a *predecessor* is
+        placement-dirty when the delivery of its message into the
+        process changes: the delivery happens while the predecessor's
+        job is popped, and its shape depends only on whether sender and
+        receiver share a node (the bus slot is the *sender's*).  A
+        sender mapped to neither the old nor the new node keeps an
+        identical delivery -- same slot, same ready time -- and stays
+        clean.
+        """
+        mapping = design.mapping
+        graph = mapping.application.graph_of(self.process_id)
+        in_messages = graph.in_messages(self.process_id)
+        out_messages = graph.out_messages(self.process_id)
+        old_node = mapping.node_of(self.process_id)
+        dirty = [self.process_id]
+        dirty_messages = [msg.id for msg in out_messages]
+        for msg in in_messages:
+            if mapping.node_of(msg.src) in (old_node, self.node_id):
+                dirty.append(msg.src)
+                dirty_messages.append(msg.id)
+        return MoveFootprint(
+            processes=frozenset(dirty),
+            nodes=frozenset([old_node, self.node_id]),
+            messages=frozenset(dirty_messages),
+        )
+
     def describe(self) -> str:
         return f"remap {self.process_id} -> {self.node_id}"
 
@@ -95,6 +164,18 @@ class SwapPriorities:
         out.priorities[self.first] = b
         out.priorities[self.second] = a
         return out
+
+    def footprint(self, design: CandidateDesign) -> MoveFootprint:
+        """Dirty set: only the two re-keyed processes (and their nodes)."""
+        return MoveFootprint(
+            reprioritized=frozenset([self.first, self.second]),
+            nodes=frozenset(
+                [
+                    design.mapping.node_of(self.first),
+                    design.mapping.node_of(self.second),
+                ]
+            ),
+        )
 
     def describe(self) -> str:
         return f"swap priority {self.first} <-> {self.second}"
@@ -122,6 +203,15 @@ class DelayMessage:
         else:
             out.message_delays[self.message_id] = new
         return out
+
+    def footprint(self, design: CandidateDesign) -> MoveFootprint:
+        """Dirty set: the sender (deliveries happen at its pop) + slot."""
+        message = design.mapping.application.message(self.message_id)
+        return MoveFootprint(
+            processes=frozenset([message.src]),
+            nodes=frozenset([design.mapping.node_of(message.src)]),
+            messages=frozenset([self.message_id]),
+        )
 
     def describe(self) -> str:
         sign = "+" if self.delta >= 0 else ""

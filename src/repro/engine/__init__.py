@@ -12,6 +12,9 @@ This package separates problem *construction* from repeated *solving*:
   outcomes with hit/miss accounting;
 * :mod:`~repro.engine.batch` -- :class:`BatchEvaluator`, process-pool
   scoring of candidate batches with deterministic ordering;
+* :mod:`~repro.engine.delta` -- :class:`DeltaEvaluator`, the move-aware
+  incremental kernel: reschedule a one-move child from its parent's
+  trace checkpoints, bit-identical to a cold evaluation;
 * :mod:`~repro.engine.engine` -- :class:`EvaluationEngine`, the facade
   composing the above; every strategy's inner loop.
 
@@ -22,6 +25,7 @@ engine contracts.
 from repro.engine.batch import BatchEvaluator
 from repro.engine.cache import CacheStats, EvaluationCache
 from repro.engine.compiled_spec import CompiledSpec
+from repro.engine.delta import DeltaEvaluator, DeltaStats
 from repro.engine.engine import EvaluationEngine
 from repro.engine.evaluation import EvaluatedDesign, evaluate_candidate
 
@@ -29,6 +33,8 @@ __all__ = [
     "BatchEvaluator",
     "CacheStats",
     "CompiledSpec",
+    "DeltaEvaluator",
+    "DeltaStats",
     "EvaluatedDesign",
     "EvaluationCache",
     "EvaluationEngine",

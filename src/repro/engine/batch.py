@@ -8,25 +8,35 @@ a ``concurrent.futures`` process pool for large scenarios and falls
 back to serial evaluation for small ones, where the fork/pickle
 overhead would dominate.
 
-Determinism: results are returned in input order (``executor.map``
-preserves it) and each worker runs the same pure
-:func:`repro.engine.evaluation.evaluate_candidate`, so a parallel run
-produces exactly the results of a serial run -- seeded experiments stay
-reproducible under ``--jobs N``.
+Since the incremental-evaluation refactor the evaluator also speaks a
+*move* wire format: a neighbourhood is one parent design plus a list of
+transformations, so a chunk ships the parent payload once and
+``(parent signature, move)`` per candidate instead of a full candidate
+payload each.  Workers keep the last few parents resident (keyed by
+signature, with their scheduling traces), delta-evaluate each move from
+the resident parent, and cold-evaluate the parent exactly once when it
+is not resident yet.
+
+Determinism: results are returned in input order and each worker runs
+the same pure evaluation primitives, so a parallel run produces exactly
+the results of a serial run -- seeded experiments stay reproducible
+under ``--jobs N``.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from concurrent.futures import Executor, ProcessPoolExecutor
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
-from repro.engine.compiled_spec import CompiledSpec
+from repro.engine.compiled_spec import CompiledSpec, Signature
+from repro.engine.delta import DeltaEvaluator
 from repro.engine.evaluation import EvaluatedDesign, evaluate_candidate
 from repro.sched.list_scheduler import ListScheduler
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.strategy import DesignSpec
-    from repro.core.transformations import CandidateDesign
+    from repro.core.transformations import CandidateDesign, Transformation
 
 #: Compiled specs below this many expanded jobs are evaluated serially:
 #: the problem is too small for process spin-up and pickling to pay off.
@@ -35,22 +45,50 @@ DEFAULT_PARALLEL_THRESHOLD = 96
 #: Minimum batch size worth fanning out.
 MIN_PARALLEL_BATCH = 2
 
-#: Per-worker state: ``(spec, compiled, scheduler)``, built once by the
-#: pool initializer so each worker compiles the problem exactly once.
+#: How many chunks each worker should receive for load balancing.
+CHUNKS_PER_WORKER = 4
+
+#: Parents each worker keeps resident for delta evaluation.
+WORKER_PARENT_CAPACITY = 8
+
+#: Per-worker state: ``(spec, compiled, scheduler, delta, parents)``,
+#: built once by the pool initializer so each worker compiles the
+#: problem exactly once.  ``parents`` is the LRU of resident parents.
 _WORKER_STATE: Optional[Tuple] = None
 
 #: Wire form of one candidate: ``(assignment, priorities, delays)``.
 Payload = Tuple[dict, dict, dict]
 
+#: Wire form of one move chunk: the shared parent (signature + payload,
+#: shipped once per chunk) and the per-candidate moves.
+MoveChunk = Tuple[Signature, Payload, Tuple["Transformation", ...]]
 
-def _init_worker(spec: "DesignSpec") -> None:
+
+def dispatch_chunksize(
+    n_items: int, jobs: int, chunks_per_worker: int = CHUNKS_PER_WORKER
+) -> int:
+    """Chunk size that keeps every worker busy on any batch size.
+
+    Aims for ``chunks_per_worker`` chunks per worker (load balancing
+    against uneven item costs) while capping each chunk at a fair
+    ``ceil(n / jobs)`` share, so no single dispatch can hand one worker
+    (nearly) the whole batch when ``n_items`` is barely above the
+    parallel threshold.
+    """
+    if n_items <= 0 or jobs <= 1:
+        return 1
+    fair_share = -(-n_items // jobs)
+    balanced = n_items // (jobs * chunks_per_worker)
+    return max(1, min(fair_share, balanced))
+
+
+def _init_worker(spec: "DesignSpec", use_delta: bool) -> None:
     """Process-pool initializer: compile the spec once per worker."""
     global _WORKER_STATE
-    _WORKER_STATE = (
-        spec,
-        CompiledSpec(spec),
-        ListScheduler(spec.architecture),
-    )
+    compiled = CompiledSpec(spec)
+    scheduler = ListScheduler(spec.architecture)
+    delta = DeltaEvaluator(compiled, scheduler) if use_delta else None
+    _WORKER_STATE = (spec, compiled, scheduler, delta, OrderedDict())
 
 
 def _evaluate_payload(payload: Payload) -> Optional[EvaluatedDesign]:
@@ -59,14 +97,93 @@ def _evaluate_payload(payload: Payload) -> Optional[EvaluatedDesign]:
     from repro.model.mapping import Mapping
 
     assert _WORKER_STATE is not None, "worker initializer did not run"
-    spec, compiled, scheduler = _WORKER_STATE
+    spec, compiled, scheduler, delta, _ = _WORKER_STATE
     assignment, priorities, delays = payload
     design = CandidateDesign(
         Mapping(spec.current, spec.architecture, assignment),
         dict(priorities),
         dict(delays),
     )
-    return evaluate_candidate(spec, compiled, scheduler, design)
+    return evaluate_candidate(
+        spec, compiled, scheduler, design, record_trace=delta is not None
+    )
+
+
+def _resident_parent(
+    signature: Signature, payload: Payload
+) -> Optional[EvaluatedDesign]:
+    """Fetch (or cold-build once) the chunk's parent in this worker."""
+    from repro.core.transformations import CandidateDesign
+    from repro.model.mapping import Mapping
+
+    spec, compiled, scheduler, delta, parents = _WORKER_STATE
+    parent = parents.get(signature)
+    if parent is not None:
+        parents.move_to_end(signature)
+        return parent
+    assignment, priorities, delays = payload
+    design = CandidateDesign(
+        Mapping(spec.current, spec.architecture, assignment),
+        dict(priorities),
+        dict(delays),
+    )
+    parent = evaluate_candidate(
+        spec, compiled, scheduler, design, record_trace=True
+    )
+    parents[signature] = parent
+    if len(parents) > WORKER_PARENT_CAPACITY:
+        parents.popitem(last=False)
+    return parent
+
+
+def _evaluate_move_chunk(
+    chunk: MoveChunk,
+) -> Tuple[List[Optional[EvaluatedDesign]], int, int]:
+    """Worker-side evaluation of one move chunk.
+
+    Returns the outcomes in move order plus the worker's delta
+    hit/fallback counts for this chunk.
+    """
+    assert _WORKER_STATE is not None, "worker initializer did not run"
+    spec, compiled, scheduler, delta, _ = _WORKER_STATE
+    signature, payload, moves = chunk
+    parent = _resident_parent(signature, payload)
+    outcomes: List[Optional[EvaluatedDesign]] = []
+    hits = 0
+    fallbacks = 0
+    for move in moves:
+        if parent is None or delta is None:
+            # The parent itself is invalid (strategies never send such
+            # parents; defensive) -- evaluate the child cold.
+            child = move.apply(_payload_design(payload))
+            outcomes.append(
+                evaluate_candidate(
+                    spec, compiled, scheduler, child, record_trace=True
+                )
+            )
+            fallbacks += 1
+            continue
+        outcome, used = delta.evaluate_move(parent, move)
+        outcomes.append(outcome)
+        if used:
+            hits += 1
+        else:
+            fallbacks += 1
+    return outcomes, hits, fallbacks
+
+
+def _payload_design(payload: Payload) -> "CandidateDesign":
+    """Rebuild a candidate design from its wire form."""
+    from repro.core.transformations import CandidateDesign
+    from repro.model.mapping import Mapping
+
+    spec = _WORKER_STATE[0]
+    assignment, priorities, delays = payload
+    return CandidateDesign(
+        Mapping(spec.current, spec.architecture, assignment),
+        dict(priorities),
+        dict(delays),
+    )
 
 
 def _to_payload(design: "CandidateDesign") -> Payload:
@@ -91,6 +208,10 @@ class BatchEvaluator:
         Minimum :attr:`CompiledSpec.total_jobs` for the process pool to
         engage; smaller problems always evaluate serially.  Tests force
         the pool with ``parallel_threshold=0``.
+    use_delta:
+        Enable the incremental (move-aware) evaluation path and trace
+        recording on cold evaluations.  Off, every evaluation is a full
+        rescheduling and the move APIs degrade to candidate batches.
     """
 
     def __init__(
@@ -98,6 +219,7 @@ class BatchEvaluator:
         compiled: CompiledSpec,
         jobs: int = 1,
         parallel_threshold: Optional[int] = None,
+        use_delta: bool = True,
     ):
         self.compiled = compiled
         self.jobs = max(1, int(jobs))
@@ -107,6 +229,11 @@ class BatchEvaluator:
             else parallel_threshold
         )
         self._scheduler = ListScheduler(compiled.architecture)
+        self.delta: Optional[DeltaEvaluator] = (
+            DeltaEvaluator(compiled, self._scheduler) if use_delta else None
+        )
+        self.delta_hits = 0
+        self.delta_fallbacks = 0
         self._executor: Optional[Executor] = None
         self._closed = False
 
@@ -125,7 +252,10 @@ class BatchEvaluator:
             )
 
     def evaluate_one(self, design: "CandidateDesign") -> Optional[EvaluatedDesign]:
-        """Serial evaluation of a single candidate (the engine hot path).
+        """Serial full evaluation of a single candidate.
+
+        In delta mode the outcome carries its scheduling trace and
+        metric memo so it can parent later incremental evaluations.
 
         Raises
         ------
@@ -134,8 +264,36 @@ class BatchEvaluator:
         """
         self._ensure_open()
         return evaluate_candidate(
-            self.compiled.spec, self.compiled, self._scheduler, design
+            self.compiled.spec,
+            self.compiled,
+            self._scheduler,
+            design,
+            record_trace=self.delta is not None,
         )
+
+    def evaluate_move_one(
+        self,
+        parent: Optional[EvaluatedDesign],
+        move: "Transformation",
+        child: "CandidateDesign",
+    ) -> Optional[EvaluatedDesign]:
+        """Serial evaluation of one move (the delta engine hot path).
+
+        Falls back to :meth:`evaluate_one` -- counting a delta fallback
+        -- when the incremental path cannot run.
+        """
+        self._ensure_open()
+        if self.delta is None:
+            return self.evaluate_one(child)
+        if parent is None or parent.trace is None:
+            self.delta_fallbacks += 1
+            return self.evaluate_one(child)
+        outcome, used = self.delta.evaluate_move(parent, move, child)
+        if used:
+            self.delta_hits += 1
+        else:
+            self.delta_fallbacks += 1
+        return outcome
 
     def evaluate_batch(
         self, designs: Sequence["CandidateDesign"]
@@ -153,19 +311,60 @@ class BatchEvaluator:
             return [self.evaluate_one(design) for design in designs]
         executor = self._ensure_executor()
         payloads = [_to_payload(design) for design in designs]
-        chunksize = max(1, len(payloads) // (self.jobs * 4))
+        chunksize = dispatch_chunksize(len(payloads), self.jobs)
         outcomes = list(
             executor.map(_evaluate_payload, payloads, chunksize=chunksize)
         )
-        # Workers rebuild the candidate from its wire form, so their
-        # results reference private Application/Architecture/Mapping
-        # copies.  Reattach the caller's original design: only the
-        # schedule and metrics are worth keeping from the worker, and
-        # downstream consumers (cache, DesignResult) keep referencing
-        # the one true model object graph.
-        for design, outcome in zip(designs, outcomes):
-            if outcome is not None:
-                outcome.design = design
+        self._reattach(designs, outcomes)
+        return outcomes
+
+    def evaluate_moves(
+        self,
+        parent: Optional[EvaluatedDesign],
+        moves: Sequence["Transformation"],
+        children: Sequence["CandidateDesign"],
+    ) -> List[Optional[EvaluatedDesign]]:
+        """Score one parent's moves, preserving input order exactly.
+
+        ``children`` must be ``[move.apply(parent.design)]`` in move
+        order (the engine already materializes them for cache keying).
+        The pool path ships the parent once per chunk and only
+        ``(signature, move)`` per candidate; each worker keeps recent
+        parents resident and replays moves incrementally against them.
+
+        Raises
+        ------
+        RuntimeError
+            If the evaluator has been closed.
+        """
+        self._ensure_open()
+        moves = list(moves)
+        children = list(children)
+        if self.delta is None or parent is None or parent.trace is None:
+            if self.delta is not None:
+                self.delta_fallbacks += len(moves)
+            return self.evaluate_batch(children)
+        if not self._use_pool(len(moves)):
+            return [
+                self.evaluate_move_one(parent, move, child)
+                for move, child in zip(moves, children)
+            ]
+        executor = self._ensure_executor()
+        signature = self.compiled.signature(parent.design)
+        payload = _to_payload(parent.design)
+        chunksize = dispatch_chunksize(len(moves), self.jobs)
+        chunks: List[MoveChunk] = [
+            (signature, payload, tuple(moves[i : i + chunksize]))
+            for i in range(0, len(moves), chunksize)
+        ]
+        outcomes: List[Optional[EvaluatedDesign]] = []
+        for chunk_outcomes, hits, fallbacks in executor.map(
+            _evaluate_move_chunk, chunks
+        ):
+            outcomes.extend(chunk_outcomes)
+            self.delta_hits += hits
+            self.delta_fallbacks += fallbacks
+        self._reattach(children, outcomes)
         return outcomes
 
     def close(self) -> None:
@@ -188,6 +387,23 @@ class BatchEvaluator:
         self.close()
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _reattach(
+        designs: Sequence["CandidateDesign"],
+        outcomes: Sequence[Optional[EvaluatedDesign]],
+    ) -> None:
+        """Point worker results back at the caller's design objects.
+
+        Workers rebuild candidates from their wire form, so their
+        results reference private Application/Architecture/Mapping
+        copies.  Only the schedule, metrics and delta attachments are
+        worth keeping from the worker; downstream consumers (cache,
+        DesignResult) keep referencing the one true model object graph.
+        """
+        for design, outcome in zip(designs, outcomes):
+            if outcome is not None:
+                outcome.design = design
+
     def _use_pool(self, batch_size: int) -> bool:
         return (
             not self._closed
@@ -202,6 +418,6 @@ class BatchEvaluator:
             self._executor = ProcessPoolExecutor(
                 max_workers=self.jobs,
                 initializer=_init_worker,
-                initargs=(self.compiled.spec,),
+                initargs=(self.compiled.spec, self.delta is not None),
             )
         return self._executor

@@ -114,6 +114,16 @@ class CompiledSpec:
         """Process instances one candidate evaluation has to place."""
         return len(self.job_table)
 
+    @property
+    def base_template(self) -> Optional[SystemSchedule]:
+        """The frozen base schedule (``None`` for green-field designs).
+
+        Read-only by contract: the delta evaluator copies individual
+        node states and the bus out of it when reconstructing a child
+        schedule at a checkpoint.
+        """
+        return self._base_template
+
     def validate_against(
         self,
         application,

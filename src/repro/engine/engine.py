@@ -22,12 +22,13 @@ from typing import TYPE_CHECKING, List, Optional, Sequence
 from repro.engine.batch import BatchEvaluator
 from repro.engine.cache import DEFAULT_MAX_ENTRIES, CacheStats, EvaluationCache
 from repro.engine.compiled_spec import CompiledSpec
+from repro.engine.delta import DeltaStats
 from repro.engine.evaluation import EvaluatedDesign
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.metrics import DesignMetrics
     from repro.core.strategy import DesignSpec
-    from repro.core.transformations import CandidateDesign
+    from repro.core.transformations import CandidateDesign, Transformation
     from repro.sched.schedule import SystemSchedule
 
 
@@ -49,6 +50,12 @@ class EvaluationEngine:
     parallel_threshold:
         Forwarded to :class:`BatchEvaluator`; minimum problem size (in
         expanded jobs) for the process pool to engage.
+    use_delta:
+        Enable the incremental (move-aware) evaluation kernel: cold
+        evaluations record scheduling traces, and the ``evaluate_move``
+        / ``evaluate_moves`` APIs reschedule children from their
+        parent's checkpoints.  Results are bit-identical either way;
+        this is the CLI's ``--no-delta`` escape hatch.
     """
 
     def __init__(
@@ -58,6 +65,7 @@ class EvaluationEngine:
         jobs: int = 1,
         max_cache_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
         parallel_threshold: Optional[int] = None,
+        use_delta: bool = True,
     ):
         self.spec = spec
         self.compiled = CompiledSpec(spec)
@@ -65,8 +73,12 @@ class EvaluationEngine:
             EvaluationCache(max_cache_entries) if use_cache else None
         )
         self.batch = BatchEvaluator(
-            self.compiled, jobs=jobs, parallel_threshold=parallel_threshold
+            self.compiled,
+            jobs=jobs,
+            parallel_threshold=parallel_threshold,
+            use_delta=use_delta,
         )
+        self.use_delta = use_delta
         self.evaluations = 0
 
     # ------------------------------------------------------------------
@@ -108,10 +120,33 @@ class EvaluationEngine:
         self.evaluations += len(designs)
         if self.cache is None:
             return self.batch.evaluate_batch(designs)
+        return self._cached_batch(
+            [self.compiled.signature(d) for d in designs],
+            solve_fresh=lambda indices: self.batch.evaluate_batch(
+                [designs[i] for i in indices]
+            ),
+            solve_one=lambda i: self.batch.evaluate_one(designs[i]),
+        )
 
-        signatures = [self.compiled.signature(d) for d in designs]
-        # Plan: which signatures need solving?  A pure peek -- the
-        # accounting and recency updates happen below, in batch order.
+    def _cached_batch(
+        self,
+        signatures: List,
+        solve_fresh,
+        solve_one,
+    ) -> List[Optional[EvaluatedDesign]]:
+        """Cache plan/commit shared by :meth:`evaluate_many` and
+        :meth:`evaluate_moves`.
+
+        Plan with a pure peek which signatures need solving
+        (deduplicated within the batch), solve them through
+        ``solve_fresh(indices)``, then commit in batch order so cache
+        accounting *and* LRU recency are exactly those of a sequence of
+        single evaluations: first occurrence of a fresh signature =
+        miss + store, every later use = hit + move-to-end.  An entry
+        evicted between its store and a later use (cache bound smaller
+        than the batch's working set) is re-solved serially via
+        ``solve_one(i)``, exactly as single calls would.
+        """
         fresh_indices: List[int] = []
         fresh_signatures: set = set()
         for i, signature in enumerate(signatures):
@@ -120,19 +155,13 @@ class EvaluationEngine:
                 fresh_indices.append(i)
         outcome_by_signature: dict = {}
         if fresh_indices:
-            outcomes = self.batch.evaluate_batch(
-                [designs[i] for i in fresh_indices]
-            )
+            outcomes = solve_fresh(fresh_indices)
             outcome_by_signature = {
                 signatures[i]: outcome
                 for i, outcome in zip(fresh_indices, outcomes)
             }
 
-        # Commit in batch order so cache accounting *and* LRU recency
-        # are exactly those of a sequence of single evaluate() calls:
-        # first occurrence of a fresh signature = miss + store, every
-        # later use = hit + move-to-end.
-        results: List[Optional[EvaluatedDesign]] = [None] * len(designs)
+        results: List[Optional[EvaluatedDesign]] = [None] * len(signatures)
         for i, signature in enumerate(signatures):
             found, outcome = self.cache.lookup(signature)
             if found:
@@ -141,13 +170,73 @@ class EvaluationEngine:
             if signature in outcome_by_signature:
                 outcome = outcome_by_signature[signature]
             else:
-                # The entry was evicted between its store and this use
-                # (cache bound smaller than the batch's working set);
-                # re-solve serially, exactly as single calls would.
-                outcome = self.batch.evaluate_one(designs[i])
+                outcome = solve_one(i)
             self.cache.store(signature, outcome)
             results[i] = outcome
         return results
+
+    def evaluate_move(
+        self, parent: EvaluatedDesign, move: "Transformation"
+    ) -> Optional[EvaluatedDesign]:
+        """Schedule and price the child of ``(parent, move)``.
+
+        Exactly :meth:`evaluate` of ``move.apply(parent.design)`` --
+        same outcome, same cache accounting -- but served through the
+        incremental kernel when the engine runs in delta mode: the
+        child is rescheduled from the parent's earliest dirty event
+        instead of from scratch.  A parent without a trace (delta off,
+        or from a non-traced source) falls back to a cold evaluation.
+
+        Raises
+        ------
+        RuntimeError
+            If the engine has been closed.
+        """
+        self._ensure_open()
+        self.evaluations += 1
+        child = move.apply(parent.design)
+        if self.cache is None:
+            return self.batch.evaluate_move_one(parent, move, child)
+        signature = self.compiled.signature(child)
+        found, outcome = self.cache.lookup(signature)
+        if found:
+            return outcome
+        outcome = self.batch.evaluate_move_one(parent, move, child)
+        self.cache.store(signature, outcome)
+        return outcome
+
+    def evaluate_moves(
+        self,
+        parent: EvaluatedDesign,
+        moves: Sequence["Transformation"],
+    ) -> List[Optional[EvaluatedDesign]]:
+        """Score one parent's whole move neighbourhood, in input order.
+
+        The move-aware sibling of :meth:`evaluate_many`: cached
+        outcomes are served without scheduling, and the remaining
+        misses (deduplicated within the batch) are rescheduled from the
+        parent's checkpoints -- in parallel when the problem and batch
+        are large enough, shipping ``(parent signature, move)`` per
+        candidate on the wire.  Cache accounting is exactly that of a
+        sequence of single :meth:`evaluate_move` calls.
+        """
+        self._ensure_open()
+        moves = list(moves)
+        self.evaluations += len(moves)
+        children = [move.apply(parent.design) for move in moves]
+        if self.cache is None:
+            return self.batch.evaluate_moves(parent, moves, children)
+        return self._cached_batch(
+            [self.compiled.signature(child) for child in children],
+            solve_fresh=lambda indices: self.batch.evaluate_moves(
+                parent,
+                [moves[i] for i in indices],
+                [children[i] for i in indices],
+            ),
+            solve_one=lambda i: self.batch.evaluate_move_one(
+                parent, moves[i], children[i]
+            ),
+        )
 
     def price(self, schedule: "SystemSchedule") -> "DesignMetrics":
         """Metric evaluation of an already-built schedule.
@@ -176,6 +265,18 @@ class EvaluationEngine:
         if self.cache is None:
             return CacheStats(0, 0, 0)
         return self.cache.stats()
+
+    @property
+    def delta_hits(self) -> int:
+        return self.batch.delta_hits
+
+    @property
+    def delta_fallbacks(self) -> int:
+        return self.batch.delta_fallbacks
+
+    def delta_stats(self) -> DeltaStats:
+        """Delta hit/fallback accounting (zeros when delta is off)."""
+        return DeltaStats(self.batch.delta_hits, self.batch.delta_fallbacks)
 
     # ------------------------------------------------------------------
     # lifecycle

@@ -19,9 +19,10 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from repro.sched.schedule import SystemSchedule
+from repro.sched.trace import ScheduleTrace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.core.metrics import DesignMetrics
+    from repro.core.metrics import DesignMetrics, MetricsMemo
     from repro.core.strategy import DesignSpec
     from repro.core.transformations import CandidateDesign
     from repro.engine.compiled_spec import CompiledSpec
@@ -32,11 +33,20 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 @dataclass
 class EvaluatedDesign:
-    """A valid candidate design with its schedule and metric values."""
+    """A valid candidate design with its schedule and metric values.
+
+    ``trace`` and ``memo`` are the incremental-evaluation attachments
+    (present only when the engine runs in delta mode): the scheduling
+    decision sequence and the per-resource metric inputs that let a
+    *child* design -- one move away -- be evaluated from this design's
+    checkpoints instead of from scratch.
+    """
 
     design: "CandidateDesign"
     schedule: SystemSchedule
     metrics: "DesignMetrics"
+    trace: Optional[ScheduleTrace] = None
+    memo: Optional["MetricsMemo"] = None
 
     @property
     def objective(self) -> float:
@@ -56,14 +66,17 @@ def evaluate_candidate(
     compiled: "CompiledSpec",
     scheduler: "ListScheduler",
     design: "CandidateDesign",
+    record_trace: bool = False,
 ) -> Optional[EvaluatedDesign]:
     """Schedule and price one candidate; ``None`` when it is invalid.
 
     Deterministic: equal ``(spec, design)`` always produce the same
     outcome, which both the evaluation cache and the batch evaluator
-    rely on.
+    rely on.  With ``record_trace`` the outcome additionally carries
+    the pass trace and metric memo, making it usable as the parent of
+    delta evaluations; the metric *values* are identical either way.
     """
-    from repro.core.metrics import evaluate_design
+    from repro.core.metrics import evaluate_design_delta
 
     result = scheduler.try_schedule(
         spec.current,
@@ -71,8 +84,15 @@ def evaluate_candidate(
         priorities=design.priorities,
         message_delays=design.message_delays,
         compiled=compiled,
+        record_trace=record_trace,
     )
     if not result.success:
         return None
-    metrics = evaluate_design(result.schedule, spec.future, spec.weights)
-    return EvaluatedDesign(design, result.schedule, metrics)
+    metrics, memo = evaluate_design_delta(
+        result.schedule, spec.future, spec.weights
+    )
+    if not record_trace:
+        return EvaluatedDesign(design, result.schedule, metrics)
+    return EvaluatedDesign(
+        design, result.schedule, metrics, trace=result.trace, memo=memo
+    )

@@ -35,6 +35,7 @@ from repro.experiments.runner import (
     DEFAULT_FAMILY_SA_ITERATIONS,
     ExperimentConfig,
     cache_statistics,
+    delta_statistics,
     run_comparison,
     run_family_matrix,
     run_family_smoke,
@@ -58,6 +59,8 @@ def _build_config(args: argparse.Namespace) -> ExperimentConfig:
         overrides["sa_iterations"] = args.sa_iterations
     if args.jobs is not None:
         overrides["jobs"] = args.jobs
+    if args.no_delta:
+        overrides["use_delta"] = False
     if overrides:
         config = replace(config, **overrides)
     return config
@@ -65,12 +68,28 @@ def _build_config(args: argparse.Namespace) -> ExperimentConfig:
 
 def render_cache_statistics(records) -> str:
     """The per-run evaluation-engine statistics table."""
+    delta_rows = {
+        name: (hits, fallbacks, rate)
+        for name, hits, fallbacks, rate in delta_statistics(records)
+    }
     rows = [
-        (name, evals, hits, misses, f"{rate * 100.0:.1f}%")
+        (
+            name,
+            evals,
+            hits,
+            misses,
+            f"{rate * 100.0:.1f}%",
+            delta_rows[name][0],
+            delta_rows[name][1],
+            f"{delta_rows[name][2] * 100.0:.1f}%",
+        )
         for name, evals, hits, misses, rate in cache_statistics(records)
     ]
     return format_table(
-        ["strategy", "evaluations", "cache hits", "cache misses", "hit rate"],
+        [
+            "strategy", "evaluations", "cache hits", "cache misses",
+            "hit rate", "delta hits", "delta fallbacks", "delta rate",
+        ],
         rows,
         title="Evaluation engine statistics (all runs)",
     )
@@ -131,7 +150,12 @@ def _scenarios_run(args: argparse.Namespace) -> int:
     rows = []
     for name in args.strategies:
         strategy = strategy_for_family(
-            name, args.seed, not args.no_cache, args.jobs, args.sa_iterations
+            name,
+            args.seed,
+            not args.no_cache,
+            args.jobs,
+            args.sa_iterations,
+            not args.no_delta,
         )
         result = strategy.design(spec)
         rows.append(
@@ -143,6 +167,8 @@ def _scenarios_run(args: argparse.Namespace) -> int:
                 result.evaluations,
                 result.cache_hits,
                 result.cache_misses,
+                result.delta_hits,
+                result.delta_fallbacks,
             )
         )
     preset = args.preset if args.preset else family.smallest_preset
@@ -151,6 +177,7 @@ def _scenarios_run(args: argparse.Namespace) -> int:
             [
                 "strategy", "valid", "objective", "runtime s",
                 "evaluations", "cache hits", "cache misses",
+                "delta hits", "delta fallbacks",
             ],
             rows,
             title=(
@@ -170,6 +197,7 @@ def _scenarios_sweep(args: argparse.Namespace) -> int:
         strategies=tuple(args.strategies),
         jobs=args.jobs,
         sa_iterations=args.sa_iterations,
+        use_delta=not args.no_delta,
         verbose=args.verbose,
     )
     rows = []
@@ -291,6 +319,11 @@ def _add_scenarios_parser(subparsers) -> None:
     run.add_argument(
         "--no-cache", action="store_true", help="disable evaluation caching"
     )
+    run.add_argument(
+        "--no-delta",
+        action="store_true",
+        help="disable incremental (move-aware) evaluation",
+    )
     run.add_argument("--save", help="also save the scenario JSON to this path")
 
     sweep = actions.add_parser(
@@ -316,6 +349,11 @@ def _add_scenarios_parser(subparsers) -> None:
     sweep.add_argument(
         "--sa-iterations", type=int, default=DEFAULT_FAMILY_SA_ITERATIONS,
         help="simulated-annealing iterations",
+    )
+    sweep.add_argument(
+        "--no-delta",
+        action="store_true",
+        help="disable incremental (move-aware) evaluation",
     )
     sweep.add_argument(
         "-v", "--verbose", action="store_true", help="per-run progress"
@@ -378,6 +416,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         help=(
             "worker processes per strategy run (evaluation-engine batch "
             "parallelism; results are identical to a serial run)"
+        ),
+    )
+    figure_options.add_argument(
+        "--no-delta",
+        action="store_true",
+        help=(
+            "disable incremental (move-aware) evaluation; every candidate "
+            "is rescheduled from scratch (results are identical)"
         ),
     )
     figure_options.add_argument(

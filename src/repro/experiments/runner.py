@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.metrics import ObjectiveWeights
 from repro.core.strategy import DesignResult, make_strategy
 from repro.engine.cache import CacheStats
+from repro.engine.delta import DeltaStats
 from repro.gen.scenario import Scenario, ScenarioParams, build_scenario
 from repro.gen import families as families_module
 from repro.serialize.scenario_codec import scenario_from_dict, scenario_to_dict
@@ -45,6 +46,9 @@ class ExperimentConfig:
     #: Worker processes per strategy run (the evaluation engine's batch
     #: evaluator); ``1`` stays serial.  Results are identical either way.
     jobs: int = 1
+    #: Incremental (move-aware) evaluation; the CLI's ``--no-delta``
+    #: escape hatch sets this False.  Results are identical either way.
+    use_delta: bool = True
     scenario_params: ScenarioParams = field(default_factory=ScenarioParams)
     weights: ObjectiveWeights = field(default_factory=ObjectiveWeights)
     # fig-future only.  ``n_future_processes=None`` sizes each future
@@ -152,8 +156,9 @@ def _build(name: str, config: ExperimentConfig, seed: int):
             iterations=config.sa_iterations,
             seed=seed * 7919 + 13,
             jobs=config.jobs,
+            use_delta=config.use_delta,
         )
-    return make_strategy(name, jobs=config.jobs)
+    return make_strategy(name, jobs=config.jobs, use_delta=config.use_delta)
 
 
 def cache_statistics(
@@ -182,6 +187,33 @@ def cache_statistics(
         misses = sum(r.cache_misses for r in results)
         rate = CacheStats(hits, misses, 0).hit_rate
         rows.append((name, evaluations, hits, misses, rate))
+    return rows
+
+
+def delta_statistics(
+    records: Sequence[ComparisonRecord],
+    strategies: Optional[Sequence[str]] = None,
+) -> List[Tuple[str, int, int, float]]:
+    """Per-strategy incremental-evaluation totals across all runs.
+
+    Returns ``(strategy, delta_hits, delta_fallbacks, hit_rate)`` rows,
+    the delta counterpart of :func:`cache_statistics`; all zeros for a
+    strategy when the runs used ``--no-delta``.
+    """
+    if strategies is None:
+        seen: List[str] = []
+        for record in records:
+            for name in record.results:
+                if name not in seen:
+                    seen.append(name)
+        strategies = seen
+    rows: List[Tuple[str, int, int, float]] = []
+    for name in strategies:
+        results = [r.results[name] for r in records if name in r.results]
+        hits = sum(r.delta_hits for r in results)
+        fallbacks = sum(r.delta_fallbacks for r in results)
+        stats = DeltaStats(hits, fallbacks)
+        rows.append((name, hits, fallbacks, stats.hit_rate))
     return rows
 
 
@@ -254,7 +286,12 @@ def design_identity(result: DesignResult):
 
 
 def strategy_for_family(
-    name: str, seed: int, use_cache: bool, jobs: int, sa_iterations: int
+    name: str,
+    seed: int,
+    use_cache: bool,
+    jobs: int,
+    sa_iterations: int,
+    use_delta: bool = True,
 ):
     """Instantiate a strategy for a family run (shared with the CLI)."""
     if name.upper() == "SA":
@@ -264,8 +301,11 @@ def strategy_for_family(
             seed=seed * 7919 + 13,
             use_cache=use_cache,
             jobs=jobs,
+            use_delta=use_delta,
         )
-    return make_strategy(name, use_cache=use_cache, jobs=jobs)
+    return make_strategy(
+        name, use_cache=use_cache, jobs=jobs, use_delta=use_delta
+    )
 
 
 def run_family_matrix(
@@ -276,6 +316,7 @@ def run_family_matrix(
     cache_modes: Sequence[bool] = (True, False),
     jobs: int = 1,
     sa_iterations: int = DEFAULT_FAMILY_SA_ITERATIONS,
+    use_delta: bool = True,
     verbose: bool = False,
 ) -> List[FamilyMatrixRecord]:
     """The stress matrix: every strategy x every family, cache on/off.
@@ -315,7 +356,12 @@ def run_family_matrix(
             for strategy_name in strategies:
                 for use_cache in cache_modes:
                     strategy = strategy_for_family(
-                        strategy_name, seed, use_cache, jobs, sa_iterations
+                        strategy_name,
+                        seed,
+                        use_cache,
+                        jobs,
+                        sa_iterations,
+                        use_delta,
                     )
                     result = strategy.design(spec)
                     records.append(
@@ -350,8 +396,9 @@ def run_family_smoke(
     Per family: (1) the scenario round-trips through the JSON codec
     byte-identically; (2) every strategy finds a *valid* design;
     (3) each strategy's design is identical with the cache on, with the
-    cache off, and with ``jobs=2`` -- the determinism contract new
-    families must not break.
+    cache off, with ``jobs=2`` and with incremental evaluation off
+    (``--no-delta``) -- the determinism contract new families must not
+    break.
     """
     if family_names is None:
         family_names = families_module.family_names()
@@ -386,12 +433,18 @@ def run_family_smoke(
                 continue
             smoke.objectives[strategy_name] = baseline.objective
             reference = design_identity(baseline)
-            for label, use_cache, jobs in (
-                ("cache off", False, 1),
-                ("jobs=2", True, 2),
+            for label, use_cache, jobs, use_delta in (
+                ("cache off", False, 1, True),
+                ("jobs=2", True, 2, True),
+                ("delta off", True, 1, False),
             ):
                 other = strategy_for_family(
-                    strategy_name, seed, use_cache, jobs, sa_iterations
+                    strategy_name,
+                    seed,
+                    use_cache,
+                    jobs,
+                    sa_iterations,
+                    use_delta,
                 ).design(spec)
                 if design_identity(other) != reference:
                     smoke.failures.append(

@@ -49,6 +49,10 @@ class JobTable:
     sources:
         Jobs with no predecessors (the initial ready set), in insertion
         order.
+    release_template:
+        Per-job release times; the seed of every pass's earliest-start
+        map.  Schedulers must not mutate it; take
+        :meth:`fresh_earliest`.
     """
 
     horizon: int
@@ -56,10 +60,19 @@ class JobTable:
     preds_template: Dict[JobKey, int]
     succ_edges: Dict[JobKey, List[JobKey]]
     sources: Tuple[JobKey, ...]
+    release_template: Dict[JobKey, int]
 
     def fresh_preds(self) -> Dict[JobKey, int]:
         """A mutable copy of the predecessor counts for one pass."""
         return dict(self.preds_template)
+
+    def fresh_earliest(self) -> Dict[JobKey, int]:
+        """A mutable earliest-start map seeded with the release times.
+
+        The list scheduler raises these bounds as message arrivals
+        resolve; every pass (cold or resumed) starts from this map.
+        """
+        return dict(self.release_template)
 
     def __len__(self) -> int:
         return len(self.jobs)
@@ -98,4 +111,5 @@ def expand_jobs(application: Application, horizon: int) -> JobTable:
         preds_template=preds_template,
         succ_edges=succ_edges,
         sources=tuple(sources),
+        release_template={key: job.release for key, job in jobs.items()},
     )

@@ -12,6 +12,15 @@ slot end).
 Existing applications appear as frozen reservations in the *base
 schedule*; the scheduler simply cannot use their time, which enforces
 the paper's requirement (a) structurally.
+
+The pass itself is a *resumable core*: :meth:`ListScheduler.run_pass`
+takes explicit loop state (schedule, earliest-start constraints,
+predecessor counts, ready heap, pop count) and runs the algorithm to
+completion.  ``try_schedule`` builds that state from scratch; the delta
+evaluator (:mod:`repro.engine.delta`) rebuilds it at an arbitrary
+checkpoint of a parent run's :class:`~repro.sched.trace.ScheduleTrace`
+and resumes from there -- both paths execute the identical loop, which
+is what makes incremental evaluation bit-identical to cold evaluation.
 """
 
 from __future__ import annotations
@@ -23,9 +32,10 @@ from typing import TYPE_CHECKING, Dict, List, Mapping as TMapping, Optional, Tup
 from repro.model.application import Application
 from repro.model.mapping import Mapping
 from repro.model.architecture import Architecture
-from repro.sched.jobs import Job, expand_jobs
+from repro.sched.jobs import Job, JobKey, JobTable, expand_jobs
 from repro.sched.priorities import PriorityMap, hcp_priorities
 from repro.sched.schedule import SystemSchedule
+from repro.sched.trace import HeapKey, MessageEvent, ScheduleTrace
 from repro.utils.errors import SchedulingError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine -> sched)
@@ -50,6 +60,11 @@ class ScheduleResult:
         Number of process instances successfully placed.
     total_jobs:
         Number of process instances that had to be placed.
+    trace:
+        The pass's :class:`~repro.sched.trace.ScheduleTrace` when trace
+        recording was requested and the pass succeeded; ``None``
+        otherwise (failed passes have no complete decision sequence to
+        resume from).
     """
 
     schedule: SystemSchedule
@@ -57,6 +72,7 @@ class ScheduleResult:
     failure_reason: Optional[str] = None
     scheduled_jobs: int = 0
     total_jobs: int = 0
+    trace: Optional[ScheduleTrace] = None
 
 
 class ListScheduler:
@@ -111,6 +127,7 @@ class ListScheduler:
         frozen: bool = False,
         message_delays: Optional[TMapping[str, int]] = None,
         compiled: Optional["CompiledSpec"] = None,
+        record_trace: bool = False,
     ) -> ScheduleResult:
         """Like :meth:`schedule` but reports failure instead of raising.
 
@@ -145,6 +162,10 @@ class ListScheduler:
             the precomputed job table, base-schedule template and
             default priorities are reused instead of re-derived -- the
             per-candidate fast path of the evaluation engine.
+        record_trace:
+            When True, successful passes carry a
+            :class:`~repro.sched.trace.ScheduleTrace` in the result so
+            they can serve as parents of incremental evaluations.
         """
         mapping.validate_complete()
         if message_delays is None:
@@ -163,22 +184,68 @@ class ListScheduler:
 
         jobs = table.jobs
         preds_left = table.fresh_preds()
-        total_jobs = len(jobs)
+        earliest = table.fresh_earliest()
 
-        # Earliest-start constraint accumulated per job: release time,
-        # raised by message arrivals as predecessors complete.
-        earliest: Dict[Tuple[str, int], int] = {
-            key: job.release for key, job in jobs.items()
-        }
-        finish: Dict[Tuple[str, int], int] = {}
-
-        ready: List[Tuple[float, int, str, int]] = []
+        trace = ScheduleTrace(schedule.horizon) if record_trace else None
+        ready: List[HeapKey] = []
         for key in table.sources:
             heapq.heappush(ready, self._heap_key(jobs[key], priorities))
+            if trace is not None:
+                trace.mark_source(key)
 
-        scheduled = 0
+        return self.run_pass(
+            application,
+            mapping,
+            priorities,
+            message_delays,
+            schedule,
+            table,
+            earliest,
+            preds_left,
+            ready,
+            scheduled=0,
+            frozen=frozen,
+            trace=trace,
+        )
+
+    def run_pass(
+        self,
+        application: Application,
+        mapping: Mapping,
+        priorities: TMapping[str, float],
+        message_delays: TMapping[str, int],
+        schedule: SystemSchedule,
+        table: JobTable,
+        earliest: Dict[JobKey, int],
+        preds_left: Dict[JobKey, int],
+        ready: List[HeapKey],
+        scheduled: int,
+        frozen: bool = False,
+        trace: Optional[ScheduleTrace] = None,
+    ) -> ScheduleResult:
+        """The resumable scheduling core: run the pass loop to the end.
+
+        The caller owns the loop state and may hand over a *partial*
+        pass: ``schedule`` already holding the placements of the first
+        ``scheduled`` pops, ``earliest``/``preds_left`` reflecting the
+        message deliveries performed so far, and ``ready`` the heap
+        content at that point (a valid heap, e.g. via ``heapify``).
+        ``try_schedule`` calls this with fresh state; the delta
+        evaluator calls it with state reconstructed at a checkpoint of
+        a parent trace.  Both runs execute this exact loop, so a
+        resumed pass is indistinguishable from a cold one.
+
+        When ``trace`` is given it must already contain the decision
+        prefix matching ``scheduled`` (empty for a cold pass); the loop
+        appends every further decision to it and attaches it to
+        successful results.
+        """
+        jobs = table.jobs
+        total_jobs = len(jobs)
+
         while ready:
-            _, _, pid, instance = heapq.heappop(ready)
+            popped = heapq.heappop(ready)
+            _, _, pid, instance = popped
             key = (pid, instance)
             job = jobs[key]
             node_id = mapping.node_of(pid)
@@ -205,14 +272,17 @@ class ListScheduler:
                     total_jobs,
                 )
             schedule.place_process(pid, instance, node_id, start, wcet, frozen)
-            finish[key] = end
             scheduled += 1
 
             # Resolve outgoing messages and release successors.
             graph = application.graph_of(pid)
+            message_events: Optional[List[MessageEvent]] = (
+                [] if trace is not None else None
+            )
+            bus_touched = False
             for msg in graph.out_messages(pid):
                 succ_key = (msg.dst, instance)
-                arrival = self._deliver_message(
+                arrival, round_index = self._deliver_message(
                     schedule,
                     mapping,
                     msg,
@@ -230,12 +300,39 @@ class ListScheduler:
                         scheduled,
                         total_jobs,
                     )
-                earliest[succ_key] = max(earliest[succ_key], arrival)
+                if arrival > earliest[succ_key]:
+                    earliest[succ_key] = arrival
                 preds_left[succ_key] -= 1
                 if preds_left[succ_key] == 0:
                     heapq.heappush(
                         ready, self._heap_key(jobs[succ_key], priorities)
                     )
+                    if trace is not None:
+                        trace.mark_ready(succ_key)
+                if message_events is not None:
+                    if round_index is not None:
+                        bus_touched = True
+                    message_events.append(
+                        MessageEvent(
+                            msg.id,
+                            instance,
+                            mapping.node_of(msg.src),
+                            round_index,
+                            arrival,
+                            msg.size,
+                            succ_key,
+                        )
+                    )
+            if trace is not None:
+                trace.record_event(
+                    key,
+                    node_id,
+                    start,
+                    end,
+                    popped,
+                    tuple(message_events),
+                    bus_touched,
+                )
 
         if scheduled != total_jobs:
             # Unreachable with a DAG, kept as a defensive invariant.
@@ -246,7 +343,7 @@ class ListScheduler:
                 scheduled,
                 total_jobs,
             )
-        return ScheduleResult(schedule, True, None, scheduled, total_jobs)
+        return ScheduleResult(schedule, True, None, scheduled, total_jobs, trace)
 
     # ------------------------------------------------------------------
     # internals
@@ -298,6 +395,11 @@ class ListScheduler:
             job.instance,
         )
 
+    @staticmethod
+    def heap_key(job: Job, priorities: TMapping[str, float]) -> HeapKey:
+        """Public alias of the ready-heap key (used by delta resume)."""
+        return ListScheduler._heap_key(job, priorities)
+
     def _deliver_message(
         self,
         schedule: SystemSchedule,
@@ -307,19 +409,20 @@ class ListScheduler:
         sender_finish: int,
         frozen: bool,
         delay_rounds: int = 0,
-    ) -> Optional[int]:
-        """Schedule one message instance; return its arrival time.
+    ) -> Tuple[Optional[int], Optional[int]]:
+        """Schedule one message instance; return ``(arrival, round)``.
 
-        Intra-node messages arrive instantly at the sender's finish.
-        Inter-node messages are packed into the earliest slot occurrence
-        of the sender's node -- skipping ``delay_rounds`` feasible
-        occurrences first -- and arrive at the occurrence's end.
-        Returns ``None`` when no occurrence fits inside the horizon.
+        Intra-node messages arrive instantly at the sender's finish
+        (round is ``None``).  Inter-node messages are packed into the
+        earliest slot occurrence of the sender's node -- skipping
+        ``delay_rounds`` feasible occurrences first -- and arrive at
+        the occurrence's end.  Returns ``(None, None)`` when no
+        occurrence fits inside the horizon.
         """
         src_node = mapping.node_of(msg.src)
         dst_node = mapping.node_of(msg.dst)
         if src_node == dst_node:
-            return sender_finish
+            return sender_finish, None
         ready = sender_finish
         round_index = schedule.bus.earliest_round_with_room(
             src_node, msg.size, ready
@@ -332,8 +435,8 @@ class ListScheduler:
                 src_node, msg.size, window.start + 1
             )
         if round_index is None:
-            return None
+            return None, None
         occ = schedule.bus.place(
             msg.id, instance, src_node, round_index, msg.size, frozen
         )
-        return schedule.bus.arrival_time(occ)
+        return schedule.bus.arrival_time(occ), round_index

@@ -10,11 +10,37 @@ residual-capacity queries for the design metrics (C1m, C2m).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.tdma.bus import TdmaBus
 from repro.utils.errors import SchedulingError
 from repro.utils.intervals import Interval
+
+
+@lru_cache(maxsize=64)
+def _occurrence_order(bus: TdmaBus, horizon: int) -> Tuple[Tuple[str, int, int], ...]:
+    """Usable slot occurrences as ``(node, round, capacity)``, by start.
+
+    A pure function of the immutable round layout and the horizon,
+    cached so the residual extraction of every metric evaluation walks
+    a precomputed order instead of re-deriving and re-sorting it.
+    """
+    items: List[Tuple[int, str, int, int]] = []
+    round_length = bus.round_length
+    for slot in bus.slots:
+        offset = bus.slot_offset(slot.node_id)
+        for r in range(bus.occurrence_count_within(slot.node_id, horizon)):
+            items.append(
+                (r * round_length + offset, slot.node_id, r, slot.capacity)
+            )
+    items.sort()
+    return tuple((node_id, r, cap) for _, node_id, r, cap in items)
+
+
+def occurrence_order(bus: TdmaBus, horizon: int) -> Tuple[Tuple[str, int, int], ...]:
+    """Public accessor of the cached occurrence order (metrics layer)."""
+    return _occurrence_order(bus, horizon)
 
 
 @dataclass(frozen=True)
@@ -136,14 +162,19 @@ class BusSchedule:
         The occurrence must *start* at or after ``ready`` (the frame is
         assembled before the slot opens) and end inside the horizon.
         Returns the round index, or ``None`` when no occurrence fits.
+        The scan reads the used-bytes map directly (no per-round
+        bounds checks) -- this is the message hot path of every
+        scheduling pass.
         """
         slot = self.bus.slot_of(node_id)
-        if size > slot.capacity:
+        threshold = slot.capacity - size
+        if threshold < 0:
             return None
         r = self.bus.first_occurrence_not_before(node_id, ready)
         count = self._occurrence_counts[node_id]
+        used = self._used
         while r < count:
-            if self.free_bytes(node_id, r) >= size:
+            if used.get((node_id, r), 0) <= threshold:
                 return r
             r += 1
         return None
@@ -243,6 +274,55 @@ class BusSchedule:
                 )
         out.sort(key=lambda item: item[0].start)
         return out
+
+    def residual_bytes(self) -> List[int]:
+        """Free bytes of every slot occurrence, in window-start order.
+
+        The container list of metric C1m without the window intervals
+        :meth:`residuals` materializes -- the metric hot path drops
+        them anyway, and building one :class:`Interval` per occurrence
+        dominates the extraction cost on long horizons.
+        """
+        used = self._used
+        return [
+            capacity - used.get((node_id, r), 0)
+            for node_id, r, capacity in _occurrence_order(self.bus, self.horizon)
+        ]
+
+    def occupancy_equals(self, other: "BusSchedule") -> bool:
+        """Whether both schedules consume identical bytes per occurrence.
+
+        Byte-occupancy equality is exactly what the bus-side metrics
+        (C1m, C2m) depend on; the delta evaluator uses this to reuse a
+        parent's bus metric inputs when a resumed pass re-placed every
+        message where the parent had it.
+        """
+        return self.bus is other.bus and self._used == other._used
+
+    def occupancy_diff(
+        self, other: "BusSchedule"
+    ) -> List[Tuple[Tuple[str, int], int]]:
+        """Per-occurrence used-byte deltas ``self - other``.
+
+        The sparse difference the incremental metric layer patches a
+        parent's residual vector with; empty when the two schedules
+        occupy the bus identically.
+        """
+        mine = self._used
+        theirs = other._used
+        diff: List[Tuple[Tuple[str, int], int]] = []
+        for key, used in mine.items():
+            previous = theirs.get(key, 0)
+            if used != previous:
+                diff.append((key, used - previous))
+        for key, used in theirs.items():
+            if used and key not in mine:
+                diff.append((key, -used))
+        return diff
+
+    def used_map(self) -> Dict[Tuple[str, int], int]:
+        """The live used-bytes map keyed by ``(node, round)`` (read-only)."""
+        return self._used
 
     def free_bytes_within(self, window: Interval) -> int:
         """Total residual bytes of occurrences fully inside ``window``.

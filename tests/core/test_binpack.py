@@ -146,3 +146,38 @@ class TestPackingProperties:
                 residuals[best_idx] -= size
         assert sorted(fast.unplaced) == sorted(unplaced)
         assert sorted(fast.residuals) == sorted(residuals)
+
+
+class TestLeanUnplacedKernel:
+    """best_fit_unplaced_total == best_fit for the same multisets."""
+
+    @given(
+        st.lists(
+            st.sampled_from([2, 4, 6, 8, 20, 50, 100, 150]),
+            max_size=60,
+        ),
+        st.lists(st.integers(min_value=0, max_value=400), max_size=40),
+    )
+    def test_matches_full_best_fit(self, sizes, bins):
+        from repro.core.binpack import best_fit_unplaced_total
+
+        ordered = sorted(sizes, reverse=True)
+        assert best_fit_unplaced_total(ordered, bins) == best_fit(
+            ordered, bins, decreasing=False
+        ).unplaced_total
+
+    def test_equal_size_runs_drain_batched(self):
+        from repro.core.binpack import best_fit_unplaced_total
+
+        # 5 objects of size 20 into bins 70 and 50: 3 + 2 placed.
+        assert best_fit_unplaced_total([20] * 5, [70, 50]) == 0
+        # A sixth object no longer fits usefully (residuals 10, 10).
+        assert best_fit_unplaced_total([20] * 6, [70, 50]) == 20
+
+    def test_presorted_run_batching_matches_per_object(self):
+        from repro.core.binpack import best_fit_unplaced_total
+
+        ordered = [50, 50, 20, 20, 20, 2, 2]
+        bins = [61, 55, 23]
+        reference = best_fit(ordered, bins, decreasing=False).unplaced_total
+        assert best_fit_unplaced_total(ordered, bins) == reference

@@ -182,3 +182,46 @@ class TestObjective:
                     s.place_process("B", 0, "N1", 100, load - 100)
             values.append(evaluate_design(s, fc).objective)
         assert values == sorted(values)
+
+
+class TestFastCoreMatchesReferenceMetrics:
+    """The memoized metric core equals the from-scratch metric functions.
+
+    ``evaluate_design`` routes through ``evaluate_design_delta`` (cached
+    bags, lean packing kernel, single-pass slack extraction); the
+    component functions ``metric_c1p``/``metric_c1m``/``metric_c2p``/
+    ``metric_c2m`` keep their original from-scratch implementations.
+    This cross-check pins the two paths to each other -- it is also
+    what keeps ``benchmarks/bench_delta.py``'s from-scratch reference
+    meaningful.
+    """
+
+    @pytest.mark.parametrize("policy", ["best-fit", "first-fit", "worst-fit"])
+    def test_component_functions_agree(self, policy):
+        from repro.core.metrics import (
+            ObjectiveWeights,
+            evaluate_design,
+            metric_c1m,
+            metric_c1p,
+            metric_c2m,
+            metric_c2p,
+        )
+        from repro.core.initial_mapping import InitialMapper
+        from repro.gen.scenario import ScenarioParams, build_scenario
+
+        scenario = build_scenario(
+            ScenarioParams(n_existing=12, n_current=8), seed=3
+        )
+        spec = scenario.spec()
+        mapper = InitialMapper(spec.architecture)
+        outcome = mapper.try_map_and_schedule(
+            spec.current, base=spec.base_schedule
+        )
+        assert outcome is not None
+        _, schedule = outcome
+        weights = ObjectiveWeights(binpack_policy=policy)
+        metrics = evaluate_design(schedule, spec.future, weights)
+        assert metrics.c1p == metric_c1p(schedule, spec.future, policy)
+        assert metrics.c1m == metric_c1m(schedule, spec.future, policy)
+        assert metrics.c2p == metric_c2p(schedule, spec.future)
+        assert metrics.c2m == metric_c2m(schedule, spec.future)

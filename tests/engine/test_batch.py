@@ -183,3 +183,68 @@ class TestSeededRunDeterminism:
         assert serial.mapping.as_dict() == parallel.mapping.as_dict()
         assert serial.priorities == parallel.priorities
         assert serial.objective == parallel.objective
+
+
+class TestDispatchChunksize:
+    """Chunking must keep every worker busy for any batch size."""
+
+    def test_fair_share_cap(self):
+        from repro.engine.batch import dispatch_chunksize
+
+        # A batch barely above MIN_PARALLEL_BATCH must still be split
+        # so that no chunk swallows (nearly) the whole batch.
+        for n in range(1, 64):
+            for jobs in range(1, 9):
+                chunk = dispatch_chunksize(n, jobs)
+                assert chunk >= 1
+                fair = -(-n // jobs)
+                assert chunk <= fair, (n, jobs, chunk)
+
+    def test_every_worker_gets_a_chunk(self):
+        from repro.engine.batch import dispatch_chunksize
+
+        for n in range(1, 200):
+            for jobs in range(2, 9):
+                chunk = dispatch_chunksize(n, jobs)
+                n_chunks = -(-n // chunk)
+                assert n_chunks >= min(n, jobs), (n, jobs, chunk, n_chunks)
+
+    def test_load_balancing_target(self):
+        from repro.engine.batch import CHUNKS_PER_WORKER, dispatch_chunksize
+
+        # Large batches aim for ~CHUNKS_PER_WORKER chunks per worker.
+        chunk = dispatch_chunksize(1000, 4)
+        n_chunks = -(-1000 // chunk)
+        assert n_chunks >= 4 * CHUNKS_PER_WORKER
+
+    def test_serial_degenerate_cases(self):
+        from repro.engine.batch import dispatch_chunksize
+
+        assert dispatch_chunksize(0, 4) == 1
+        assert dispatch_chunksize(10, 1) == 1
+        assert dispatch_chunksize(10, 0) == 1
+
+    def test_dispatch_distribution_regression(self):
+        """Simulated round-robin dispatch leaves no worker idle.
+
+        Regression for the historical ``len // (jobs * 4)`` formula: a
+        cap at the fair share guarantees at least ``min(n, jobs)``
+        chunks, so a pool of ``jobs`` workers pulling chunks greedily
+        all receive work whenever the batch has enough items.
+        """
+        from repro.engine.batch import dispatch_chunksize
+
+        for n, jobs in [(2, 8), (5, 4), (9, 8), (33, 8), (97, 6)]:
+            chunk = dispatch_chunksize(n, jobs)
+            chunks = [
+                list(range(i, min(i + chunk, n))) for i in range(0, n, chunk)
+            ]
+            # greedy pull: worker w takes chunk w, then jobs+w, ...
+            per_worker = [chunks[w::jobs] for w in range(jobs)]
+            busy = sum(1 for assigned in per_worker if assigned)
+            assert busy == min(n, jobs), (n, jobs, chunk, busy)
+            # and no worker owns (nearly) the whole batch
+            heaviest = max(
+                sum(len(c) for c in assigned) for assigned in per_worker
+            )
+            assert heaviest <= -(-n // jobs) * -(-len(chunks) // jobs)
