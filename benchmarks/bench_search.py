@@ -1,0 +1,134 @@
+"""Benchmarks for the search kernel and the strategy portfolio.
+
+The racing claim under test: racing the whole portfolio over one
+shared engine (shared cache, shared delta kernel, lockstep request
+scheduling) costs no more wall-clock than the slowest member run
+alone -- while returning the best incumbent any member found.  The
+sharing is what pays: MH's descent pre-computes the neighbourhood SA's
+polish-from-start phase needs, and overlapping neighbourhoods across
+members hit each other's cache entries.
+
+Three timed workloads on one family scenario:
+
+* ``single[MH]`` / ``single[SA]`` -- each racing member run solo, its
+  own engine (the baseline costs);
+* ``portfolio`` -- MH and SA raced to completion over one shared
+  engine.
+
+Every benchmark attaches ``extra_info`` (objective, evaluations,
+evaluations-to-incumbent) and the conftest emits the machine-readable
+``BENCH_search.json`` at the repository root -- including the
+``portfolio_vs_slowest_single`` wall-clock ratio (the ``<= 1.0``
+claim) -- so the portfolio trajectory stays diffable across PRs.  The
+``--benchmark-disable`` smoke run still executes every workload once
+and asserts the racing invariants (winner no worse than the best solo
+member, exact member/solo evaluation equality).
+
+Run:  pytest benchmarks/bench_search.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import run_portfolio, strategy_for_family
+from repro.gen import families
+
+#: The benchmarked scenario cell (medium: objectives stay non-trivial,
+#: so the racing members genuinely disagree).
+BENCH_FAMILY = "uniform-baseline"
+BENCH_PRESET = "medium"
+BENCH_SEED = 1
+
+#: SA iteration budget of the racing member (the slow strategy).
+BENCH_SA_ITERATIONS = 300
+
+#: The racing portfolio, in racing order.
+MEMBERS = ("MH", "SA")
+
+
+@pytest.fixture(scope="module")
+def search_spec():
+    family = families.get_family(BENCH_FAMILY)
+    return family.build(BENCH_PRESET, seed=BENCH_SEED).spec()
+
+
+@pytest.fixture(scope="module")
+def solo_results(search_spec):
+    """One untimed solo run per member: budgets and reference objectives."""
+    results = {}
+    for name in MEMBERS:
+        results[name] = strategy_for_family(
+            name, BENCH_SEED, True, 1, BENCH_SA_ITERATIONS
+        ).design(search_spec)
+        assert results[name].valid
+    return results
+
+
+def solo_strategy(name: str):
+    return strategy_for_family(name, BENCH_SEED, True, 1, BENCH_SA_ITERATIONS)
+
+
+@pytest.mark.parametrize("name", MEMBERS)
+def test_single_strategy(benchmark, search_spec, name):
+    """Baseline: one racing member alone on its own engine."""
+    result = benchmark(lambda: solo_strategy(name).design(search_spec))
+    assert result.valid
+    search = result.search
+    benchmark.extra_info.update(
+        {
+            "search_record": "single",
+            "member": name,
+            "objective": result.objective,
+            "evaluations": result.evaluations,
+            "evaluations_to_incumbent": (
+                search.evaluations_to_incumbent if search else 0
+            ),
+        }
+    )
+
+
+def test_portfolio_race(benchmark, search_spec, solo_results):
+    """The full MH + SA race over one shared engine.
+
+    Every member runs to its natural completion (same trajectory as
+    solo), yet the shared cache makes the whole portfolio cheaper than
+    the slowest member alone: MH's descent pre-pays SA's
+    polish-from-start phase and the overlapping neighbourhoods hit
+    each other's entries.  This is the ``BENCH_search.json`` headline:
+    ``portfolio_vs_slowest_single <= 1.0``.
+    """
+
+    def race():
+        return run_portfolio(
+            search_spec,
+            MEMBERS,
+            seed=BENCH_SEED,
+            sa_iterations=BENCH_SA_ITERATIONS,
+        )
+
+    result = benchmark(race)
+    assert result.valid
+    # Uncut racing preserves every member's solo trajectory, so the
+    # winner is exactly the best solo result.
+    best_solo = min(r.objective for r in solo_results.values())
+    assert result.objective <= best_solo
+    assert result.evaluations == sum(
+        r.evaluations for r in solo_results.values()
+    )
+    winner = result.winner
+    benchmark.extra_info.update(
+        {
+            "search_record": "portfolio",
+            "members": list(MEMBERS),
+            "objective": result.objective,
+            "winner": winner.name,
+            "evaluations": result.evaluations,
+            "cache_hits": result.cache_hits,
+            "evaluations_to_incumbent": (
+                winner.result.search.evaluations_to_incumbent
+                if winner.result.search
+                else 0
+            ),
+        }
+    )

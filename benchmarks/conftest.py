@@ -32,9 +32,89 @@ from repro.gen.scenario import Scenario, ScenarioParams, build_scenario
 #: the perf trajectory across PRs is diffable).
 BENCH_RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_engine.json"
 
+#: The search/portfolio trajectory record: repo-root, so the racing
+#: wall-clock claim (portfolio <= slowest single strategy) is checked
+#: where every PR's reviewer looks first.
+BENCH_SEARCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_search.json"
+
+
+def _merge_rows(path: Path, rows) -> list:
+    """Merge ``rows`` into the file's stored results by benchmark name.
+
+    A partial run (one bench file, or an aborted session) updates only
+    the rows it actually timed and keeps every other file's trajectory
+    data intact.
+    """
+    merged = {}
+    if path.exists():
+        try:
+            previous = json.loads(path.read_text())
+            merged = {row["name"]: row for row in previous.get("results", ())}
+        except (ValueError, KeyError, TypeError):
+            merged = {}
+    merged.update({row["name"]: row for row in rows})
+    return sorted(merged.values(), key=lambda row: row["name"])
+
+
+def _write_results(path: Path, results, extra=None) -> None:
+    payload = {
+        "schema": 1,
+        "python": platform.python_version(),
+        "results": results,
+    }
+    if extra:
+        payload.update(extra)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def _search_summary(rows) -> dict:
+    """The racing headline: portfolio wall vs the slowest solo member.
+
+    Computed over the *merged* rows (current session plus what the
+    file already held), so a partial re-run of one workload keeps the
+    summary consistent with the stored results instead of dropping it.
+    """
+    singles = [
+        row
+        for row in rows
+        if row["extra_info"].get("search_record") == "single"
+    ]
+    portfolios = [
+        row
+        for row in rows
+        if row["extra_info"].get("search_record") == "portfolio"
+    ]
+    if not singles or not portfolios:
+        return {}
+    slowest = max(row["median_seconds"] for row in singles)
+    portfolio = portfolios[0]
+    return {
+        "summary": {
+            "portfolio_median_seconds": portfolio["median_seconds"],
+            "slowest_single_median_seconds": slowest,
+            "portfolio_vs_slowest_single": portfolio["median_seconds"]
+            / slowest,
+            "portfolio_objective": portfolio["extra_info"].get("objective"),
+            "best_single_objective": min(
+                row["extra_info"].get("objective", float("inf"))
+                for row in singles
+            ),
+            "evaluations_to_incumbent": portfolio["extra_info"].get(
+                "evaluations_to_incumbent"
+            ),
+        }
+    }
+
 
 def pytest_sessionfinish(session, exitstatus):
-    """Persist per-bench medians to ``BENCH_engine.json`` after timed runs."""
+    """Persist per-bench medians after timed runs.
+
+    Engine benchmarks land in ``benchmarks/BENCH_engine.json``; the
+    ``bench_search`` workloads (tagged via ``search_record`` in their
+    ``extra_info``) additionally land in the repo-root
+    ``BENCH_search.json`` together with the portfolio-vs-single
+    summary.  ``--benchmark-disable`` smoke runs leave both untouched.
+    """
     benchmark_session = getattr(session.config, "_benchmarksession", None)
     if benchmark_session is None:
         return
@@ -56,25 +136,21 @@ def pytest_sessionfinish(session, exitstatus):
         )
     if not rows:
         return
-    # Merge by benchmark name: a partial run (one bench file, or an
-    # aborted session) updates only the rows it actually timed and
-    # keeps every other file's trajectory data intact.
-    merged = {}
-    if BENCH_RESULTS_PATH.exists():
-        try:
-            previous = json.loads(BENCH_RESULTS_PATH.read_text())
-            merged = {row["name"]: row for row in previous.get("results", ())}
-        except (ValueError, KeyError, TypeError):
-            merged = {}
-    merged.update({row["name"]: row for row in rows})
-    payload = {
-        "schema": 1,
-        "python": platform.python_version(),
-        "results": sorted(merged.values(), key=lambda row: row["name"]),
-    }
-    BENCH_RESULTS_PATH.write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n"
-    )
+    search_rows = [
+        row for row in rows if "search_record" in row["extra_info"]
+    ]
+    engine_rows = [
+        row for row in rows if "search_record" not in row["extra_info"]
+    ]
+    if engine_rows:
+        _write_results(
+            BENCH_RESULTS_PATH, _merge_rows(BENCH_RESULTS_PATH, engine_rows)
+        )
+    if search_rows:
+        merged = _merge_rows(BENCH_SEARCH_PATH, search_rows)
+        _write_results(
+            BENCH_SEARCH_PATH, merged, extra=_search_summary(merged)
+        )
 
 #: Current-application sizes benchmarked per figure (paper: 40..320).
 BENCH_SIZES = (8, 16, 24)

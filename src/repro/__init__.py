@@ -66,6 +66,14 @@ from repro.engine import (
     EvaluationEngine,
 )
 from repro.sched import ListScheduler, SystemSchedule, render_gantt, verify_design
+from repro.search import (
+    Budget,
+    PortfolioResult,
+    PortfolioRunner,
+    SearchCheckpoint,
+    SearchLoop,
+    SearchStats,
+)
 from repro.tdma import BusSchedule, Slot, TdmaBus
 
 __version__ = "1.0.0"
@@ -75,6 +83,7 @@ __all__ = [
     "Application",
     "Architecture",
     "BatchEvaluator",
+    "Budget",
     "BusSchedule",
     "CacheStats",
     "CompiledSpec",
@@ -99,10 +108,15 @@ __all__ = [
     "Message",
     "Node",
     "ObjectiveWeights",
+    "PortfolioResult",
+    "PortfolioRunner",
     "Process",
     "ProcessGraph",
     "Scenario",
     "ScenarioParams",
+    "SearchCheckpoint",
+    "SearchLoop",
+    "SearchStats",
     "SimulatedAnnealing",
     "Slot",
     "SystemSchedule",

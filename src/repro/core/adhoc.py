@@ -16,6 +16,7 @@ experiments measure.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.initial_mapping import InitialMapper
 from repro.core.strategy import (
@@ -24,20 +25,22 @@ from repro.core.strategy import (
     DesignSpec,
     timed,
 )
+from repro.search.budget import Budget
 
 @dataclass
 class AdHocStrategy:
     """Validity-only design: Initial Mapping with no optimization.
 
-    ``use_cache``, ``jobs`` and ``use_delta`` exist so every strategy
-    shares one construction signature (the experiment runner passes
-    them uniformly); AH performs a single evaluation, so none of them
-    changes its behavior.
+    ``use_cache``, ``jobs``, ``use_delta`` and ``budget`` exist so
+    every strategy shares one construction signature (the experiment
+    runner passes them uniformly); AH performs a single evaluation, so
+    none of them changes its behavior.
     """
 
     use_cache: bool = True
     jobs: int = 1
     use_delta: bool = True
+    budget: Optional[Budget] = None
 
     name = "AH"
 
@@ -45,24 +48,39 @@ class AdHocStrategy:
     def design(self, spec: DesignSpec) -> DesignResult:
         """Run IM once and report its design as-is."""
         with DesignEvaluator(spec, use_cache=False, use_delta=False) as evaluator:
-            mapper = InitialMapper(spec.architecture)
-            outcome = mapper.try_map_and_schedule(
-                spec.current,
-                base=spec.base_schedule,
-                horizon=None if spec.base_schedule else spec.horizon,
-                compiled=evaluator.compiled,
-            )
-            if outcome is None:
-                return DesignResult(self.name, valid=False, evaluations=1)
-            mapping, schedule = outcome
-            metrics = evaluator.engine.price(schedule)
-            priorities = dict(evaluator.compiled.default_priorities)
-            return DesignResult(
-                self.name,
-                valid=True,
-                mapping=mapping,
-                priorities=priorities,
-                schedule=schedule,
-                metrics=metrics,
-                evaluations=1,
-            )
+            return self._design(spec, evaluator.compiled)
+
+    def _design(self, spec: DesignSpec, compiled) -> DesignResult:
+        from repro.core.metrics import evaluate_design
+
+        mapper = InitialMapper(spec.architecture)
+        outcome = mapper.try_map_and_schedule(
+            spec.current,
+            base=spec.base_schedule,
+            horizon=None if spec.base_schedule else spec.horizon,
+            compiled=compiled,
+        )
+        if outcome is None:
+            return DesignResult(self.name, valid=False, evaluations=1)
+        mapping, schedule = outcome
+        metrics = evaluate_design(schedule, spec.future, spec.weights)
+        priorities = dict(compiled.default_priorities)
+        return DesignResult(
+            self.name,
+            valid=True,
+            mapping=mapping,
+            priorities=priorities,
+            schedule=schedule,
+            metrics=metrics,
+            evaluations=1,
+        )
+
+    def search_program(self, spec: DesignSpec, compiled):
+        """AH as a (search-free) kernel program for the portfolio.
+
+        Computes the Initial Mapping inline against the shared
+        compiled spec and returns its priced design without consuming
+        any of the racing budget.
+        """
+        return self._design(spec, compiled)
+        yield  # pragma: no cover - unreachable; makes this a generator

@@ -1,28 +1,33 @@
 """Steepest-descent improvement over the high-potential neighbourhood.
 
-This is the inner loop of the Mapping Heuristic, factored out so the
-Simulated Annealing reference can *polish* its best design with the
-same exact-evaluation descent (annealing explores globally; the final
-descent walks to the bottom of the basin it found).  Keeping one
-implementation guarantees MH and SA optimize over exactly the same
-transformation neighbourhood.
+This is the inner loop of the Mapping Heuristic, shared with the
+Simulated Annealing reference's *polish* phase (annealing explores
+globally; the final descent walks to the bottom of the basin it found).
+Since the search-kernel refactor the descent is a thin configuration of
+:class:`repro.search.SearchLoop` -- the neighbourhood enumeration lives
+in :mod:`repro.search.proposers` (re-exported here for compatibility)
+and the steepest-improvement policy is
+:class:`repro.search.GreedyAcceptor`; one kernel implementation
+guarantees MH and SA optimize over exactly the same transformation
+neighbourhood with exactly the same acceptance rule.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
-from repro.core.slack import slack_fragmentation, window_slack_profile
 from repro.core.strategy import DesignEvaluator, DesignSpec, EvaluatedDesign
-from repro.core.transformations import (
-    DelayMessage,
-    RemapProcess,
-    SwapPriorities,
-    Transformation,
+from repro.core.transformations import Transformation
+from repro.search.acceptors import GreedyAcceptor
+from repro.search.budget import Budget
+from repro.search.loop import SearchLoop, SearchOutcome
+from repro.search.proposers import (  # noqa: F401  (compatibility re-exports)
+    NeighbourhoodProposer,
+    schedule_neighbours,
+    select_candidates,
 )
-from repro.sched.schedule import SystemSchedule
-from repro.utils.timemath import periodic_windows
+from repro.search.proposers import generate_moves as _generate_moves
 
 
 @dataclass(frozen=True)
@@ -47,110 +52,15 @@ class DescentParams:
     use_message_moves: bool = True
 
 
-def select_candidates(
-    spec: DesignSpec, evaluated: EvaluatedDesign, pool_size: int
-) -> List[str]:
-    """Top current-application processes by improvement potential.
-
-    Scoring follows the two design criteria: a process scores its
-    node's slack fragmentation (criterion 1 -- moving it may coalesce
-    gaps) plus 1 if any of its instances executes inside the node's
-    worst ``T_min`` window (criterion 2 -- moving it directly relieves
-    the binding window).  Larger WCETs win ties.
-    """
-    schedule = evaluated.schedule
-    mapping = evaluated.mapping
-    frag = slack_fragmentation(schedule)
-    profile = window_slack_profile(schedule, spec.future.t_min)
-    worst_index = {
-        node_id: min(range(len(slacks)), key=lambda i: slacks[i])
-        for node_id, slacks in profile.items()
-    }
-    windows = periodic_windows(schedule.horizon, spec.future.t_min)
-    horizon = spec.effective_horizon()
-
-    scored: List[Tuple[float, int, str]] = []
-    for proc in spec.current.processes:
-        node_id = mapping.node_of(proc.id)
-        score = frag[node_id].fragmentation
-        wcet = proc.wcet_on(node_id)
-        worst = windows[worst_index[node_id]]
-        period = spec.current.graph_of(proc.id).period
-        for instance in range(horizon // period):
-            entry = schedule.entry_of(proc.id, instance)
-            if entry is not None and entry.interval.overlaps(worst):
-                score += 1.0
-                break
-        scored.append((score, wcet, proc.id))
-    scored.sort(key=lambda t: (-t[0], -t[1], t[2]))
-    return [pid for _, _, pid in scored[:pool_size]]
-
-
-def schedule_neighbours(
-    spec: DesignSpec,
-    schedule: SystemSchedule,
-    process_id: str,
-    node_id: str,
-) -> List[str]:
-    """Current-app processes scheduled adjacent to ``process_id``.
-
-    Swapping priorities with a schedule neighbour realizes "move the
-    process to a different slack on the *same* processor": the two
-    trade places in the list-scheduling order.
-    """
-    entries = [
-        e
-        for e in schedule.entries_on(node_id)
-        if not e.frozen and e.process_id in spec.current
-    ]
-    neighbours: List[str] = []
-    for i, entry in enumerate(entries):
-        if entry.process_id != process_id:
-            continue
-        if i > 0 and entries[i - 1].process_id != process_id:
-            neighbours.append(entries[i - 1].process_id)
-        if i + 1 < len(entries) and entries[i + 1].process_id != process_id:
-            neighbours.append(entries[i + 1].process_id)
-    seen = set()
-    unique: List[str] = []
-    for n in neighbours:
-        if n not in seen:
-            seen.add(n)
-            unique.append(n)
-    return unique
-
-
 def generate_moves(
     spec: DesignSpec,
     evaluated: EvaluatedDesign,
     params: DescentParams,
 ) -> List[Transformation]:
     """The bounded high-potential neighbourhood of one design."""
-    candidates = select_candidates(spec, evaluated, params.pool_size)
-    mapping = evaluated.mapping
-    schedule = evaluated.schedule
-    moves: List[Transformation] = []
-
-    for pid in candidates:
-        process = spec.current.process(pid)
-        current_node = mapping.node_of(pid)
-        for node_id in process.allowed_nodes:
-            if node_id != current_node:
-                moves.append(RemapProcess(pid, node_id))
-        for neighbour in schedule_neighbours(spec, schedule, pid, current_node):
-            moves.append(SwapPriorities(pid, neighbour))
-
-    if params.use_message_moves:
-        delays = evaluated.design.message_delays
-        for pid in candidates:
-            graph = spec.current.graph_of(pid)
-            for msg in graph.out_messages(pid):
-                if mapping.node_of(msg.src) == mapping.node_of(msg.dst):
-                    continue
-                moves.append(DelayMessage(msg.id, +1))
-                if delays.get(msg.id, 0) > 0:
-                    moves.append(DelayMessage(msg.id, -1))
-    return moves
+    return _generate_moves(
+        spec, evaluated, params.pool_size, params.use_message_moves
+    )
 
 
 def best_improving_move(
@@ -169,14 +79,34 @@ def best_improving_move(
     scan walks the results in move order, so serial, cached, delta and
     parallel runs pick the identical move.
     """
-    winner: Optional[EvaluatedDesign] = None
-    for evaluated in evaluator.evaluate_moves(best, moves):
-        if evaluated is None:
-            continue
-        target = winner.objective if winner is not None else best.objective
-        if evaluated.objective < target - min_improvement:
-            winner = evaluated
-    return winner
+    if not moves:
+        return None
+    results = evaluator.evaluate_moves(best, moves)
+    return GreedyAcceptor(min_improvement).decide(best, moves, results, None)
+
+
+def descent_loop(
+    params: Optional[DescentParams] = None,
+    budget: Optional[Budget] = None,
+    name: str = "descent",
+) -> SearchLoop:
+    """The steepest-descent search as a kernel :class:`SearchLoop`.
+
+    ``params.max_iterations`` becomes a step budget, combined (``&``)
+    with any externally supplied ``budget`` -- the tighter limit wins
+    on every axis.
+    """
+    if params is None:
+        params = DescentParams()
+    return SearchLoop(
+        proposer=NeighbourhoodProposer(
+            pool_size=params.pool_size,
+            use_message_moves=params.use_message_moves,
+        ),
+        acceptor=GreedyAcceptor(params.min_improvement),
+        budget=Budget.combine(Budget(max_steps=params.max_iterations), budget),
+        name=name,
+    )
 
 
 def steepest_descent(
@@ -184,17 +114,20 @@ def steepest_descent(
     evaluator: DesignEvaluator,
     start: EvaluatedDesign,
     params: Optional[DescentParams] = None,
+    budget: Optional[Budget] = None,
 ) -> EvaluatedDesign:
-    """Apply best improving moves until a local optimum (or iteration cap)."""
-    if params is None:
-        params = DescentParams()
-    best = start
-    for _ in range(params.max_iterations):
-        moves = generate_moves(spec, best, params)
-        improved = best_improving_move(
-            evaluator, best, moves, params.min_improvement
-        )
-        if improved is None:
-            break
-        best = improved
-    return best
+    """Apply best improving moves until a local optimum (or budget cut)."""
+    return steepest_descent_outcome(
+        spec, evaluator, start, params, budget
+    ).incumbent
+
+
+def steepest_descent_outcome(
+    spec: DesignSpec,
+    evaluator: DesignEvaluator,
+    start: EvaluatedDesign,
+    params: Optional[DescentParams] = None,
+    budget: Optional[Budget] = None,
+) -> SearchOutcome:
+    """:func:`steepest_descent` with full stats and checkpoint."""
+    return descent_loop(params, budget).run(spec, evaluator, start=start)

@@ -20,11 +20,13 @@ the design".  Each iteration:
    rescheduling the current application and recomputing the metrics
    (no surrogate model), and the best strictly-improving move is
    applied.  The loop stops when no candidate move improves the
-   objective or ``max_iterations`` is reached.
+   objective, the iteration cap is reached, or the budget runs out.
 
-The descent machinery itself lives in :mod:`repro.core.improvement`
-(shared with the SA reference's polishing phase); this class binds it
-to the Initial Mapping and the strategy interface.
+Since the search-kernel refactor MH is a thin configuration of
+:class:`repro.search.SearchLoop` (neighbourhood proposer + greedy
+acceptor + step budget); :meth:`search_program` exposes the whole run
+as a kernel program so the portfolio runner can race MH against other
+strategies over one shared engine.
 """
 
 from __future__ import annotations
@@ -32,7 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.core.improvement import DescentParams, steepest_descent
+from repro.core.improvement import DescentParams, descent_loop
 from repro.core.initial_mapping import InitialMapper
 from repro.core.strategy import (
     DesignEvaluator,
@@ -42,6 +44,8 @@ from repro.core.strategy import (
 )
 from repro.core.transformations import CandidateDesign
 from repro.engine.cache import DEFAULT_MAX_ENTRIES
+from repro.search.budget import Budget
+from repro.search.loop import EvalRequest, drive
 
 
 @dataclass
@@ -72,6 +76,11 @@ class MappingHeuristic:
         Evaluate each neighbourhood through the incremental kernel
         (children rescheduled from the current design's checkpoints).
         Results are identical with it off.
+    budget:
+        Optional external search budget, combined (``&``) with the
+        ``max_iterations`` step cap -- the tighter limit wins on every
+        axis.  Step/evaluation/patience budgets cut a seeded run at an
+        exact reproducible point.
     """
 
     pool_size: int = 8
@@ -82,6 +91,7 @@ class MappingHeuristic:
     jobs: int = 1
     max_cache_entries: Optional[int] = DEFAULT_MAX_ENTRIES
     use_delta: bool = True
+    budget: Optional[Budget] = None
 
     name = "MH"
 
@@ -95,52 +105,66 @@ class MappingHeuristic:
             max_cache_entries=self.max_cache_entries,
             use_delta=self.use_delta,
         ) as evaluator:
-            return self._design(spec, evaluator)
+            result = drive(
+                self.search_program(spec, evaluator.compiled), evaluator
+            )
+            if result.valid:
+                result.record_engine_stats(evaluator)
+            return result
 
-    def _design(
-        self, spec: DesignSpec, evaluator: DesignEvaluator
-    ) -> DesignResult:
+    def search_program(self, spec: DesignSpec, compiled):
+        """The MH pipeline as a kernel program (portfolio-raceable).
+
+        A generator yielding :class:`repro.search.EvalRequest` batches:
+        Initial Mapping (computed inline against the shared compiled
+        spec), one cold evaluation of the IM design, then the
+        steepest-descent :class:`~repro.search.SearchLoop`.
+        """
+        from repro.core.metrics import evaluate_design
+
         mapper = InitialMapper(spec.architecture)
         outcome = mapper.try_map_and_schedule(
             spec.current,
             base=spec.base_schedule,
             horizon=None if spec.base_schedule else spec.horizon,
-            compiled=evaluator.compiled,
+            compiled=compiled,
         )
         if outcome is None:
             return DesignResult(self.name, valid=False, evaluations=1)
         im_mapping, im_schedule = outcome
 
-        start = evaluator.evaluate(
-            CandidateDesign(
-                im_mapping, dict(evaluator.compiled.default_priorities)
-            )
+        results = yield EvalRequest(
+            designs=[
+                CandidateDesign(im_mapping, dict(compiled.default_priorities))
+            ]
         )
+        start = results[0]
         if start is None:
             # The list scheduler resolved messages slightly differently
             # than IM and failed; report IM's own valid schedule without
             # optimization (rare).
-            metrics = evaluator.engine.price(im_schedule)
+            metrics = evaluate_design(im_schedule, spec.future, spec.weights)
             return DesignResult(
                 self.name,
                 valid=True,
                 mapping=im_mapping,
-                priorities=dict(evaluator.compiled.default_priorities),
+                priorities=dict(compiled.default_priorities),
                 schedule=im_schedule,
                 metrics=metrics,
-            ).record_engine_stats(evaluator)
+            )
 
-        best = steepest_descent(
-            spec,
-            evaluator,
-            start,
+        descent = descent_loop(
             DescentParams(
                 pool_size=self.pool_size,
                 max_iterations=self.max_iterations,
                 min_improvement=self.min_improvement,
                 use_message_moves=self.use_message_moves,
             ),
+            budget=self.budget,
+            name="MH-descent",
         )
+        search = yield from descent.program(spec, start=start)
+        best = search.incumbent
         return DesignResult(
             self.name,
             valid=True,
@@ -149,4 +173,5 @@ class MappingHeuristic:
             message_delays=dict(best.design.message_delays),
             schedule=best.schedule,
             metrics=best.metrics,
-        ).record_engine_stats(evaluator)
+            search=search.stats,
+        )

@@ -36,6 +36,8 @@ from repro.core.strategy import DesignResult, DesignSpec, make_strategy
 from repro.model.application import Application, merge_applications
 from repro.model.architecture import Architecture
 from repro.sched.schedule import SystemSchedule
+from repro.search.budget import Budget
+from repro.search.portfolio import first_valid
 from repro.utils.errors import InvalidModelError
 from repro.utils.timemath import hyperperiod
 
@@ -92,6 +94,9 @@ class ModificationResult:
     total_cost: float = 0.0
     design: Optional[DesignResult] = None
     attempts: int = 0
+    #: Why the subset scan ended: ``valid``, ``exhausted``, or the
+    #: budget reason that cut it (``budget:steps``/``budget:seconds``).
+    stop_reason: str = ""
 
 
 def design_with_modifications(
@@ -105,6 +110,8 @@ def design_with_modifications(
     max_modified: Optional[int] = None,
     jobs: int = 1,
     use_delta: bool = True,
+    budget: Optional[Budget] = None,
+    attempt_budget: Optional[Budget] = None,
     **strategy_kwargs,
 ) -> ModificationResult:
     """Design ``current``, modifying existing applications only if needed.
@@ -140,6 +147,14 @@ def design_with_modifications(
         with ``k``, so the delta kernel's checkpoint resumes pay off
         more the deeper the greedy search goes.  Results are identical
         with it off.
+    budget:
+        Per-strategy search budget, forwarded to every subset
+        attempt's strategy run (see the strategies' ``budget`` field).
+    attempt_budget:
+        Budget of the subset scan itself: ``max_steps`` caps how many
+        subsets are tried, ``max_seconds`` the total wall-clock across
+        attempts.  A cut scan returns ``valid=False`` with the budget
+        reason in ``stop_reason``.
     strategy_kwargs:
         Forwarded to the strategy constructor (e.g. SA iterations).
 
@@ -160,38 +175,50 @@ def design_with_modifications(
         max_modified = len(existing)
     strategy_kwargs.setdefault("jobs", jobs)
     strategy_kwargs.setdefault("use_delta", use_delta)
+    if budget is not None:
+        strategy_kwargs.setdefault("budget", budget)
 
     by_cost = sorted(existing, key=lambda e: (e.modification_cost, e.name))
     mapper = InitialMapper(architecture)
-    attempts = 0
 
-    for k in range(0, max_modified + 1):
-        unfrozen = by_cost[:k]
-        frozen = by_cost[k:]
-        attempts += 1
+    def attempt_for(k: int):
+        """Thunk trying the cheapest-k unfrozen subset."""
 
-        base = _frozen_base(mapper, architecture, frozen, horizon)
-        if base is None:
-            continue
-
-        movable = _movable_application(current, unfrozen)
-        spec = DesignSpec(
-            architecture=architecture,
-            current=movable,
-            future=future,
-            base_schedule=base,
-            weights=weights,
-        )
-        result = make_strategy(strategy, **strategy_kwargs).design(spec)
-        if result.valid:
+        def attempt() -> ModificationResult:
+            unfrozen = by_cost[:k]
+            frozen = by_cost[k:]
+            base = _frozen_base(mapper, architecture, frozen, horizon)
+            if base is None:
+                return ModificationResult(valid=False)
+            movable = _movable_application(current, unfrozen)
+            spec = DesignSpec(
+                architecture=architecture,
+                current=movable,
+                future=future,
+                base_schedule=base,
+                weights=weights,
+            )
+            result = make_strategy(strategy, **strategy_kwargs).design(spec)
             return ModificationResult(
-                valid=True,
+                valid=result.valid,
                 modified=[e.name for e in unfrozen],
                 total_cost=sum(e.modification_cost for e in unfrozen),
                 design=result,
-                attempts=attempts,
             )
-    return ModificationResult(valid=False, attempts=attempts)
+
+        return attempt
+
+    outcome, attempts, stop_reason = first_valid(
+        (attempt_for(k) for k in range(0, max_modified + 1)),
+        budget=attempt_budget,
+    )
+    if outcome is None:
+        return ModificationResult(
+            valid=False, attempts=attempts, stop_reason=stop_reason
+        )
+    outcome.attempts = attempts
+    outcome.stop_reason = stop_reason
+    return outcome
 
 
 def _frozen_base(

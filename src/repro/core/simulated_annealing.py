@@ -12,32 +12,40 @@ geometric cooling schedule and an automatically calibrated initial
 temperature (mean uphill delta of a random probe walk).  Invalid
 candidates (deadline misses) are always rejected, so requirement (a)
 holds at every accepted state.
+
+Since the search-kernel refactor the whole pipeline is a sequence of
+:class:`repro.search.SearchLoop` phases sharing one RNG stream --
+calibration probe (random proposer + accept-any), Metropolis walk
+(random proposer + Metropolis acceptor), and the polish descents
+(neighbourhood proposer + greedy acceptor, shared with MH).  The phase
+sequence draws random numbers in exactly the legacy order, so seeded
+SA results are byte-identical to the pre-refactor implementation.
+:meth:`search_program` exposes the pipeline as one kernel program for
+the portfolio runner.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
 
+from repro.core.improvement import descent_loop
 from repro.core.initial_mapping import InitialMapper
 from repro.core.strategy import (
     DesignEvaluator,
     DesignResult,
     DesignSpec,
-    EvaluatedDesign,
     timed,
 )
-from repro.core.transformations import (
-    CandidateDesign,
-    DelayMessage,
-    RemapProcess,
-    SwapPriorities,
-    Transformation,
-)
+from repro.core.transformations import CandidateDesign
 from repro.engine.cache import DEFAULT_MAX_ENTRIES
+from repro.search.acceptors import AcceptAny, MetropolisAcceptor
+from repro.search.budget import Budget
+from repro.search.loop import EvalRequest, SearchLoop, drive
+from repro.search.proposers import RandomMoveProposer
+from repro.search.stats import SearchStats
 from repro.utils.rng import SeedLike, make_rng
 
 
@@ -83,6 +91,12 @@ class SimulatedAnnealing:
         kernel (reschedule from the current state's checkpoints); the
         walk threads the accepted state as the parent of the next
         proposal.  Results are identical with it off.
+    budget:
+        Optional external search budget, combined (``&``) into *each*
+        phase's own cap (probe, walk, each polish descent) -- e.g.
+        ``Budget(max_evaluations=n)`` bounds every phase at ``n``
+        evaluations.  Step/evaluation/patience budgets cut a seeded
+        run at an exact reproducible point.
     """
 
     iterations: int = 1500
@@ -96,6 +110,7 @@ class SimulatedAnnealing:
     jobs: int = 1
     max_cache_entries: Optional[int] = DEFAULT_MAX_ENTRIES
     use_delta: bool = True
+    budget: Optional[Budget] = None
 
     name = "SA"
 
@@ -110,69 +125,122 @@ class SimulatedAnnealing:
             max_cache_entries=self.max_cache_entries,
             use_delta=self.use_delta,
         ) as evaluator:
-            return self._design(spec, evaluator)
+            result = drive(
+                self.search_program(spec, evaluator.compiled), evaluator
+            )
+            if result.valid:
+                result.record_engine_stats(evaluator)
+            return result
 
-    def _design(
-        self, spec: DesignSpec, evaluator: DesignEvaluator
-    ) -> DesignResult:
+    # ------------------------------------------------------------------
+    def search_program(self, spec: DesignSpec, compiled):
+        """The SA pipeline as one kernel program (portfolio-raceable).
+
+        Phases, in order, sharing one seeded RNG stream: Initial
+        Mapping + cold start evaluation, temperature-calibration probe
+        (unless ``initial_temperature`` is set), Metropolis walk, and
+        -- with ``polish`` -- steepest descents from the walk's best
+        and from the start, reporting the better basin.
+        """
+        from repro.core.metrics import evaluate_design
+
         rng = make_rng(self.seed)
         mapper = InitialMapper(spec.architecture)
         outcome = mapper.try_map_and_schedule(
             spec.current,
             base=spec.base_schedule,
             horizon=None if spec.base_schedule else spec.horizon,
-            compiled=evaluator.compiled,
+            compiled=compiled,
         )
         if outcome is None:
             return DesignResult(self.name, valid=False, evaluations=1)
         im_mapping, im_schedule = outcome
 
-        current = evaluator.evaluate(
-            CandidateDesign(
-                im_mapping, dict(evaluator.compiled.default_priorities)
-            )
+        results = yield EvalRequest(
+            designs=[
+                CandidateDesign(im_mapping, dict(compiled.default_priorities))
+            ]
         )
+        current = results[0]
         if current is None:
-            metrics = evaluator.engine.price(im_schedule)
+            metrics = evaluate_design(im_schedule, spec.future, spec.weights)
             return DesignResult(
                 self.name,
                 valid=True,
                 mapping=im_mapping,
-                priorities=dict(evaluator.compiled.default_priorities),
+                priorities=dict(compiled.default_priorities),
                 schedule=im_schedule,
                 metrics=metrics,
-            ).record_engine_stats(evaluator)
+            )
         start = current
-        best = current
+        phases: List[SearchStats] = []
 
         temperature = self.initial_temperature
         if temperature is None:
-            temperature = self._calibrate(spec, evaluator, current, rng)
+            # Calibration: walk `probe_moves` random accepted steps and
+            # set T0 to twice the mean |objective delta| (classical rule
+            # of thumb -- at T0 most uphill moves should be accepted),
+            # with a floor for flat landscapes.  The probe walks a
+            # throwaway copy; the annealing starts from `start`.
+            deltas: List[float] = []
 
-        for _ in range(self.iterations):
-            move = self._random_move(spec, current, rng)
-            if move is None:
-                break
-            proposal = evaluator.evaluate_move(current, move)
-            if proposal is not None and self._accept(
-                proposal.objective - current.objective, temperature, rng
-            ):
-                current = proposal
-                if current.objective < best.objective:
-                    best = current
-            temperature = max(self.min_temperature, temperature * self.cooling)
+            def record_delta(event) -> None:
+                if event.accepted is not None:
+                    deltas.append(
+                        abs(event.accepted.objective - event.previous.objective)
+                    )
+
+            probe = SearchLoop(
+                proposer=RandomMoveProposer(),
+                acceptor=AcceptAny(),
+                budget=Budget.combine(
+                    Budget(max_steps=self.probe_moves), self.budget
+                ),
+                name="SA-probe",
+            )
+            probed = yield from probe.program(
+                spec, start=current, rng=rng, observer=record_delta
+            )
+            phases.append(probed.stats)
+            if not deltas:
+                temperature = 10.0
+            else:
+                temperature = max(1.0, 2.0 * float(np.mean(deltas)))
+
+        walk = SearchLoop(
+            proposer=RandomMoveProposer(),
+            acceptor=MetropolisAcceptor(
+                temperature, self.cooling, self.min_temperature
+            ),
+            budget=Budget.combine(
+                Budget(max_steps=self.iterations), self.budget
+            ),
+            name="SA-walk",
+        )
+        annealed = yield from walk.program(spec, start=current, rng=rng)
+        phases.append(annealed.stats)
+        best = annealed.incumbent
+        winner_phase = len(phases) - 1
 
         if self.polish:
-            from repro.core.improvement import steepest_descent
-
             # Walk to the bottom of the basin the annealing found, and
             # also descend from the IM start: the reference reports the
             # best design seen anywhere, so it dominates the plain
             # descent heuristic (MH) by construction.
-            best = steepest_descent(spec, evaluator, best)
-            from_start = steepest_descent(spec, evaluator, start)
-            if from_start.objective < best.objective:
-                best = from_start
+            polish = yield from descent_loop(
+                budget=self.budget, name="SA-polish"
+            ).program(spec, start=best)
+            phases.append(polish.stats)
+            best = polish.incumbent
+            if polish.stats.improvements > 0:
+                winner_phase = len(phases) - 1
+            from_start = yield from descent_loop(
+                budget=self.budget, name="SA-polish-from-start"
+            ).program(spec, start=start)
+            phases.append(from_start.stats)
+            if from_start.incumbent.objective < best.objective:
+                best = from_start.incumbent
+                winner_phase = len(phases) - 1
 
         return DesignResult(
             self.name,
@@ -182,90 +250,5 @@ class SimulatedAnnealing:
             message_delays=dict(best.design.message_delays),
             schedule=best.schedule,
             metrics=best.metrics,
-        ).record_engine_stats(evaluator)
-
-    # ------------------------------------------------------------------
-    # internals
-    # ------------------------------------------------------------------
-    def _calibrate(
-        self,
-        spec: DesignSpec,
-        evaluator: DesignEvaluator,
-        start: EvaluatedDesign,
-        rng: np.random.Generator,
-    ) -> float:
-        """Initial temperature = mean |delta| over a short random probe.
-
-        Classical rule of thumb: at T0 the Metropolis test should accept
-        most uphill moves, so T0 is set to twice the mean magnitude of
-        probed objective changes (with a floor for flat landscapes).
-        """
-        deltas: List[float] = []
-        current = start
-        for _ in range(self.probe_moves):
-            move = self._random_move(spec, current, rng)
-            if move is None:
-                break
-            proposal = evaluator.evaluate_move(current, move)
-            if proposal is None:
-                continue
-            deltas.append(abs(proposal.objective - current.objective))
-            current = proposal
-        if not deltas:
-            return 10.0
-        return max(1.0, 2.0 * float(np.mean(deltas)))
-
-    def _random_move(
-        self,
-        spec: DesignSpec,
-        current: EvaluatedDesign,
-        rng: np.random.Generator,
-    ) -> Optional[Transformation]:
-        """Draw one random transformation of the current design."""
-        processes = spec.current.processes
-        if not processes:
-            return None
-        roll = rng.random()
-        if roll < 0.55:
-            # Remap a random process to a random *other* allowed node.
-            for _ in range(8):
-                proc = processes[rng.integers(len(processes))]
-                options = [
-                    n
-                    for n in proc.allowed_nodes
-                    if n != current.mapping.node_of(proc.id)
-                ]
-                if options:
-                    return RemapProcess(
-                        proc.id, options[rng.integers(len(options))]
-                    )
-            return self._random_swap(processes, rng)
-        if roll < 0.85 or not spec.current.messages:
-            return self._random_swap(processes, rng)
-        # Message-delay move on a random inter-node message.
-        messages = spec.current.messages
-        for _ in range(8):
-            msg = messages[rng.integers(len(messages))]
-            if current.mapping.node_of(msg.src) != current.mapping.node_of(
-                msg.dst
-            ):
-                delay = current.design.message_delays.get(msg.id, 0)
-                delta = +1 if delay == 0 or rng.random() < 0.5 else -1
-                return DelayMessage(msg.id, delta)
-        return self._random_swap(processes, rng)
-
-    @staticmethod
-    def _random_swap(processes, rng: np.random.Generator) -> Optional[Transformation]:
-        if len(processes) < 2:
-            return None
-        i, j = rng.choice(len(processes), size=2, replace=False)
-        return SwapPriorities(processes[int(i)].id, processes[int(j)].id)
-
-    @staticmethod
-    def _accept(delta: float, temperature: float, rng: np.random.Generator) -> bool:
-        """Metropolis acceptance test."""
-        if delta <= 0:
-            return True
-        if temperature <= 0:
-            return False
-        return rng.random() < math.exp(-delta / temperature)
+            search=SearchStats.merged(phases, winner=winner_phase),
+        )

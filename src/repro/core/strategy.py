@@ -24,13 +24,16 @@ from __future__ import annotations
 import functools
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.search.stats import SearchStats
 
 from repro.core.future import FutureCharacterization
 from repro.core.metrics import DesignMetrics, ObjectiveWeights
 from repro.engine.cache import DEFAULT_MAX_ENTRIES, CacheStats
 from repro.engine.delta import DeltaStats
-from repro.engine.engine import EvaluationEngine
+from repro.engine.engine import EngineCounters, EvaluationEngine
 from repro.engine.evaluation import EvaluatedDesign
 from repro.model.application import Application
 from repro.model.architecture import Architecture
@@ -100,6 +103,10 @@ class DesignResult:
     cache_misses: int = 0
     delta_hits: int = 0
     delta_fallbacks: int = 0
+    #: Per-search accounting of the kernel loops behind this result
+    #: (steps, proposals, evaluations-to-incumbent); ``None`` for
+    #: strategies that do not search (AH).
+    search: Optional["SearchStats"] = None
 
     @property
     def objective(self) -> float:
@@ -116,6 +123,24 @@ class DesignResult:
         self.delta_hits = evaluator.delta_hits
         self.delta_fallbacks = evaluator.delta_fallbacks
         return self
+
+    def design_identity(self) -> tuple:
+        """Canonical identity of the design, for determinism comparisons.
+
+        Two runs are "the same design" when mapping, priorities,
+        message delays and objective all agree; invalid results are
+        identified by their (in)validity alone.  This is the single
+        definition used by the family smoke checks, the portfolio
+        winner tie-break and the CLI determinism gates.
+        """
+        if not self.valid:
+            return ("invalid",)
+        return (
+            tuple(sorted(self.mapping.as_dict().items())),
+            tuple(sorted(self.priorities.items())),
+            tuple(sorted((self.message_delays or {}).items())),
+            self.objective,
+        )
 
 
 class DesignEvaluator:
@@ -212,6 +237,10 @@ class DesignEvaluator:
 
     def delta_stats(self) -> DeltaStats:
         return self.engine.delta_stats()
+
+    def counters(self) -> EngineCounters:
+        """Snapshot of every engine counter (per-search attribution)."""
+        return self.engine.counters()
 
     def close(self) -> None:
         """Release the engine's worker pool (idempotent)."""

@@ -26,7 +26,7 @@ from repro.engine.batch import BatchEvaluator
 from repro.engine.cache import CacheStats, EvaluationCache
 from repro.engine.compiled_spec import CompiledSpec
 from repro.engine.delta import DeltaEvaluator, DeltaStats
-from repro.engine.engine import EvaluationEngine
+from repro.engine.engine import EngineCounters, EvaluationEngine
 from repro.engine.evaluation import EvaluatedDesign, evaluate_candidate
 
 __all__ = [
@@ -35,6 +35,7 @@ __all__ = [
     "CompiledSpec",
     "DeltaEvaluator",
     "DeltaStats",
+    "EngineCounters",
     "EvaluatedDesign",
     "EvaluationCache",
     "EvaluationEngine",

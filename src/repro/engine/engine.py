@@ -17,7 +17,7 @@ work happens here.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from typing import TYPE_CHECKING, List, NamedTuple, Optional, Sequence
 
 from repro.engine.batch import BatchEvaluator
 from repro.engine.cache import DEFAULT_MAX_ENTRIES, CacheStats, EvaluationCache
@@ -30,6 +30,26 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.strategy import DesignSpec
     from repro.core.transformations import CandidateDesign, Transformation
     from repro.sched.schedule import SystemSchedule
+
+
+class EngineCounters(NamedTuple):
+    """A point-in-time snapshot of every engine counter.
+
+    The counter-level sibling of :class:`CacheStats` /
+    :class:`DeltaStats`: one read returns all five counters together
+    (the portfolio runner records them as its race-level accounting),
+    and two snapshots subtract (``after - before``) to attribute
+    engine work to a window of activity.
+    """
+
+    evaluations: int
+    cache_hits: int
+    cache_misses: int
+    delta_hits: int
+    delta_fallbacks: int
+
+    def __sub__(self, other: "EngineCounters") -> "EngineCounters":
+        return EngineCounters(*(a - b for a, b in zip(self, other)))
 
 
 class EvaluationEngine:
@@ -277,6 +297,16 @@ class EvaluationEngine:
     def delta_stats(self) -> DeltaStats:
         """Delta hit/fallback accounting (zeros when delta is off)."""
         return DeltaStats(self.batch.delta_hits, self.batch.delta_fallbacks)
+
+    def counters(self) -> EngineCounters:
+        """Snapshot of all counters (readable even after close)."""
+        return EngineCounters(
+            evaluations=self.evaluations,
+            cache_hits=self.cache_hits,
+            cache_misses=self.cache_misses,
+            delta_hits=self.delta_hits,
+            delta_fallbacks=self.delta_fallbacks,
+        )
 
     # ------------------------------------------------------------------
     # lifecycle

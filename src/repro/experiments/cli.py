@@ -9,6 +9,8 @@ Usage::
     python -m repro.experiments scenarios list
     python -m repro.experiments scenarios describe hetero-speed
     python -m repro.experiments scenarios run pipeline --preset tiny --seed 3
+    python -m repro.experiments scenarios portfolio uniform-baseline \
+        --strategies MH SA --budget-evals 4000
     python -m repro.experiments scenarios sweep --seeds 2
     python -m repro.experiments scenarios smoke
 
@@ -16,8 +18,11 @@ Usage::
 invoked through ``all``, so the comparison is executed once.  The
 ``scenarios`` subcommand exposes the scenario-diversity subsystem: the
 family registry (``list``/``describe``), single-family runs (``run``),
-the full family x strategy stress matrix (``sweep``) and the CI
-determinism checks (``smoke``).
+portfolio races over one shared engine (``portfolio``), the full
+family x strategy stress matrix (``sweep``) and the CI determinism
+checks (``smoke``).  ``--budget-evals``/``--budget-seconds``/
+``--patience`` bound any search through the kernel's composable
+budgets.
 """
 
 from __future__ import annotations
@@ -36,9 +41,12 @@ from repro.experiments.runner import (
     ExperimentConfig,
     cache_statistics,
     delta_statistics,
+    design_identity,
+    make_budget,
     run_comparison,
     run_family_matrix,
     run_family_smoke,
+    run_portfolio,
     strategy_for_family,
 )
 from repro.gen import families
@@ -61,6 +69,12 @@ def _build_config(args: argparse.Namespace) -> ExperimentConfig:
         overrides["jobs"] = args.jobs
     if args.no_delta:
         overrides["use_delta"] = False
+    if args.budget_evals is not None:
+        overrides["budget_evaluations"] = args.budget_evals
+    if args.budget_seconds is not None:
+        overrides["budget_seconds"] = args.budget_seconds
+    if args.patience is not None:
+        overrides["budget_patience"] = args.patience
     if overrides:
         config = replace(config, **overrides)
     return config
@@ -147,6 +161,7 @@ def _scenarios_run(args: argparse.Namespace) -> int:
         save_scenario(scenario, args.save)
         print(f"scenario saved to {args.save}")
     spec = scenario.spec()
+    budget = make_budget(args.budget_evals, args.budget_seconds, args.patience)
     rows = []
     for name in args.strategies:
         strategy = strategy_for_family(
@@ -156,8 +171,10 @@ def _scenarios_run(args: argparse.Namespace) -> int:
             args.jobs,
             args.sa_iterations,
             not args.no_delta,
+            budget=budget,
         )
         result = strategy.design(spec)
+        search = result.search
         rows.append(
             (
                 name,
@@ -169,6 +186,8 @@ def _scenarios_run(args: argparse.Namespace) -> int:
                 result.cache_misses,
                 result.delta_hits,
                 result.delta_fallbacks,
+                search.steps if search is not None else 0,
+                search.evaluations_to_incumbent if search is not None else 0,
             )
         )
     preset = args.preset if args.preset else family.smallest_preset
@@ -177,7 +196,7 @@ def _scenarios_run(args: argparse.Namespace) -> int:
             [
                 "strategy", "valid", "objective", "runtime s",
                 "evaluations", "cache hits", "cache misses",
-                "delta hits", "delta fallbacks",
+                "delta hits", "delta fallbacks", "steps", "evals to best",
             ],
             rows,
             title=(
@@ -189,6 +208,114 @@ def _scenarios_run(args: argparse.Namespace) -> int:
     return 0 if all(row[1] == "yes" for row in rows) else 1
 
 
+def _portfolio_identity(result) -> tuple:
+    """Design identity of a portfolio race's winner (determinism checks)."""
+    if result.best is None:
+        return ("invalid",)
+    return (result.winner.name,) + design_identity(result.best)
+
+
+def _scenarios_portfolio(args: argparse.Namespace) -> int:
+    family = families.get_family(args.family)
+    scenario = family.build(args.preset, seed=args.seed)
+    spec = scenario.spec()
+    member_budget = make_budget(
+        args.member_budget_evals, None, args.patience
+    )
+    shared_budget = make_budget(args.budget_evals, args.budget_seconds, None)
+
+    def race(jobs: int, use_delta: bool):
+        return run_portfolio(
+            spec,
+            args.strategies,
+            seed=args.seed,
+            sa_iterations=args.sa_iterations,
+            member_budget=member_budget,
+            shared_budget=shared_budget,
+            jobs=jobs,
+            use_delta=use_delta,
+        )
+
+    result = race(args.jobs, not args.no_delta)
+    rows = []
+    for member in result.members:
+        r = member.result
+        search = r.search
+        rows.append(
+            (
+                member.name,
+                "yes" if r.valid else "NO",
+                r.objective,
+                member.evaluations_served,
+                member.rounds,
+                search.steps if search is not None else 0,
+                search.evaluations_to_incumbent if search is not None else 0,
+                (search.stop_reason if search is not None else "-") or "-",
+                "WINNER" if result.winner is member else "",
+            )
+        )
+    preset = args.preset if args.preset else family.smallest_preset
+    print(
+        format_table(
+            [
+                "member", "valid", "objective", "evals served", "rounds",
+                "steps", "evals to best", "stop reason", "",
+            ],
+            rows,
+            title=(
+                f"Portfolio race on {family.name} preset {preset} "
+                f"seed {args.seed} ({len(result.members)} members)"
+            ),
+        )
+    )
+    print(
+        f"engine: {result.evaluations} evaluations, "
+        f"{result.cache_hits} cache hits, {result.cache_misses} misses, "
+        f"{result.delta_hits} delta hits, {result.delta_fallbacks} "
+        f"fallbacks, {result.runtime_seconds:.2f}s wall"
+    )
+    if not result.valid:
+        print("no member found a valid design")
+        return 1
+
+    if args.check_determinism:
+        reference = _portfolio_identity(result)
+        checks = [
+            ("repeat", lambda: race(args.jobs, not args.no_delta)),
+            ("jobs=2", lambda: race(2, not args.no_delta)),
+            ("delta off", lambda: race(args.jobs, False)),
+        ]
+        failures = []
+        for label, runner in checks:
+            if _portfolio_identity(runner()) != reference:
+                failures.append(label)
+        if shared_budget is None:
+            # Without a contended budget every member's trajectory is
+            # independent, so even the racing order cannot change the
+            # winning design.
+            reversed_result = run_portfolio(
+                spec,
+                list(reversed(args.strategies)),
+                seed=args.seed,
+                sa_iterations=args.sa_iterations,
+                member_budget=member_budget,
+                shared_budget=None,
+                jobs=args.jobs,
+                use_delta=not args.no_delta,
+            )
+            if (
+                _portfolio_identity(reversed_result)[1:]
+                != reference[1:]
+            ):
+                failures.append("reversed racing order")
+        if failures:
+            print(f"DETERMINISM FAILURES: {', '.join(failures)}")
+            return 1
+        print("determinism checks passed (repeat, jobs=2, delta off"
+              + (", reversed order)" if shared_budget is None else ")"))
+    return 0
+
+
 def _scenarios_sweep(args: argparse.Namespace) -> int:
     records = run_family_matrix(
         family_names=args.families,
@@ -198,6 +325,9 @@ def _scenarios_sweep(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         sa_iterations=args.sa_iterations,
         use_delta=not args.no_delta,
+        budget=make_budget(
+            args.budget_evals, args.budget_seconds, args.patience
+        ),
         verbose=args.verbose,
     )
     rows = []
@@ -278,6 +408,8 @@ def _handle_scenarios(args: argparse.Namespace) -> int:
         return _scenarios_run(args)
     if args.action == "sweep":
         return _scenarios_sweep(args)
+    if args.action == "portfolio":
+        return _scenarios_portfolio(args)
     return _scenarios_smoke(args)
 
 
@@ -324,7 +456,75 @@ def _add_scenarios_parser(subparsers) -> None:
         action="store_true",
         help="disable incremental (move-aware) evaluation",
     )
+    run.add_argument(
+        "--budget-evals", type=_positive_int,
+        help=(
+            "evaluation cap per search phase (MH: the descent; SA: "
+            "probe, walk and each polish descent individually)"
+        ),
+    )
+    run.add_argument(
+        "--budget-seconds", type=float,
+        help="per-strategy wall-clock budget (machine-dependent)",
+    )
+    run.add_argument(
+        "--patience", type=_positive_int,
+        help="stop a search after this many steps without improvement",
+    )
     run.add_argument("--save", help="also save the scenario JSON to this path")
+
+    portfolio = actions.add_parser(
+        "portfolio",
+        help=(
+            "race a strategy portfolio over one shared engine "
+            "(deterministic lockstep, shared budget, best incumbent wins)"
+        ),
+    )
+    portfolio.add_argument("family", help="family name (see: scenarios list)")
+    portfolio.add_argument("--preset", help="preset name (default: smallest)")
+    portfolio.add_argument("--seed", type=int, default=1, help="scenario seed")
+    portfolio.add_argument(
+        "--strategies", nargs="+", default=["MH", "SA"],
+        help="racing members, in racing (= tie-breaking) order",
+    )
+    portfolio.add_argument(
+        "--jobs", type=_positive_int, default=1,
+        help="shared-engine worker processes",
+    )
+    portfolio.add_argument(
+        "--sa-iterations", type=int, default=DEFAULT_FAMILY_SA_ITERATIONS,
+        help="simulated-annealing iterations",
+    )
+    portfolio.add_argument(
+        "--budget-evals", type=_positive_int,
+        help="shared racing budget in engine evaluations (all members)",
+    )
+    portfolio.add_argument(
+        "--budget-seconds", type=float,
+        help="shared racing wall-clock budget (machine-dependent)",
+    )
+    portfolio.add_argument(
+        "--member-budget-evals", type=_positive_int,
+        help="per-member evaluation budget (each member's own cap)",
+    )
+    portfolio.add_argument(
+        "--patience", type=_positive_int,
+        help="per-member patience (steps without improvement)",
+    )
+    portfolio.add_argument(
+        "--no-delta",
+        action="store_true",
+        help="disable incremental (move-aware) evaluation",
+    )
+    portfolio.add_argument(
+        "--check-determinism",
+        action="store_true",
+        help=(
+            "re-race with jobs=2, delta off, and (without a shared "
+            "budget) reversed member order; fail unless the winning "
+            "design is byte-identical (the CI smoke gate)"
+        ),
+    )
 
     sweep = actions.add_parser(
         "sweep",
@@ -354,6 +554,21 @@ def _add_scenarios_parser(subparsers) -> None:
         "--no-delta",
         action="store_true",
         help="disable incremental (move-aware) evaluation",
+    )
+    sweep.add_argument(
+        "--budget-evals", type=_positive_int,
+        help=(
+            "evaluation cap per search phase (MH: the descent; SA: "
+            "probe, walk and each polish descent individually)"
+        ),
+    )
+    sweep.add_argument(
+        "--budget-seconds", type=float,
+        help="per-strategy wall-clock budget (machine-dependent)",
+    )
+    sweep.add_argument(
+        "--patience", type=_positive_int,
+        help="stop a search after this many steps without improvement",
     )
     sweep.add_argument(
         "-v", "--verbose", action="store_true", help="per-run progress"
@@ -425,6 +640,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             "disable incremental (move-aware) evaluation; every candidate "
             "is rescheduled from scratch (results are identical)"
         ),
+    )
+    figure_options.add_argument(
+        "--budget-evals", type=_positive_int,
+        help=(
+            "evaluation cap per search phase (MH: the descent; SA: "
+            "probe, walk and each polish descent individually)"
+        ),
+    )
+    figure_options.add_argument(
+        "--budget-seconds", type=float,
+        help="per-strategy wall-clock budget (machine-dependent)",
+    )
+    figure_options.add_argument(
+        "--patience", type=_positive_int,
+        help="stop a search after this many steps without improvement",
     )
     figure_options.add_argument(
         "-v", "--verbose", action="store_true", help="per-scenario progress"

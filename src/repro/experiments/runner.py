@@ -26,6 +26,8 @@ from repro.engine.cache import CacheStats
 from repro.engine.delta import DeltaStats
 from repro.gen.scenario import Scenario, ScenarioParams, build_scenario
 from repro.gen import families as families_module
+from repro.search.budget import Budget
+from repro.search.portfolio import PortfolioResult, PortfolioRunner
 from repro.serialize.scenario_codec import scenario_from_dict, scenario_to_dict
 from repro.utils.errors import MappingError
 
@@ -49,6 +51,16 @@ class ExperimentConfig:
     #: Incremental (move-aware) evaluation; the CLI's ``--no-delta``
     #: escape hatch sets this False.  Results are identical either way.
     use_delta: bool = True
+    #: Per-strategy search budget (``None`` on every axis = the
+    #: strategies' own caps only).  Evaluation/step/patience budgets
+    #: cut seeded runs at exact reproducible points; wall-clock budgets
+    #: are machine-dependent.
+    budget_evaluations: Optional[int] = None
+    budget_seconds: Optional[float] = None
+    budget_patience: Optional[int] = None
+    #: Portfolio members raced by the ``scenarios portfolio`` command
+    #: (strategy names, racing order = tie-breaking order).
+    portfolio: Tuple[str, ...] = ("MH", "SA")
     scenario_params: ScenarioParams = field(default_factory=ScenarioParams)
     weights: ObjectiveWeights = field(default_factory=ObjectiveWeights)
     # fig-future only.  ``n_future_processes=None`` sizes each future
@@ -81,6 +93,25 @@ class ExperimentConfig:
             n_current=size,
         )
         return build_scenario(params, seed=seed)
+
+    def search_budget(self) -> Optional[Budget]:
+        """The per-strategy budget these settings describe, if any."""
+        return make_budget(
+            self.budget_evaluations, self.budget_seconds, self.budget_patience
+        )
+
+
+def make_budget(
+    evaluations: Optional[int] = None,
+    seconds: Optional[float] = None,
+    patience: Optional[int] = None,
+) -> Optional[Budget]:
+    """A :class:`Budget` from optional CLI-style knobs (``None`` = none)."""
+    if evaluations is None and seconds is None and patience is None:
+        return None
+    return Budget(
+        max_evaluations=evaluations, max_seconds=seconds, patience=patience
+    )
 
 
 @dataclass
@@ -150,6 +181,7 @@ def run_comparison(
 
 def _build(name: str, config: ExperimentConfig, seed: int):
     """Instantiate a strategy with experiment-appropriate parameters."""
+    budget = config.search_budget()
     if name.upper() == "SA":
         return make_strategy(
             "SA",
@@ -157,8 +189,11 @@ def _build(name: str, config: ExperimentConfig, seed: int):
             seed=seed * 7919 + 13,
             jobs=config.jobs,
             use_delta=config.use_delta,
+            budget=budget,
         )
-    return make_strategy(name, jobs=config.jobs, use_delta=config.use_delta)
+    return make_strategy(
+        name, jobs=config.jobs, use_delta=config.use_delta, budget=budget
+    )
 
 
 def cache_statistics(
@@ -269,20 +304,9 @@ class FamilySmokeResult:
 
 
 def design_identity(result: DesignResult):
-    """Canonical identity of a design, for determinism comparisons.
-
-    Two runs are "the same design" when mapping, priorities, message
-    delays and objective all agree; invalid results are identified by
-    their (in)validity alone.
-    """
-    if not result.valid:
-        return ("invalid",)
-    return (
-        tuple(sorted(result.mapping.as_dict().items())),
-        tuple(sorted(result.priorities.items())),
-        tuple(sorted((result.message_delays or {}).items())),
-        result.objective,
-    )
+    """Canonical identity of a design (see
+    :meth:`DesignResult.design_identity`, the single definition)."""
+    return result.design_identity()
 
 
 def strategy_for_family(
@@ -292,6 +316,7 @@ def strategy_for_family(
     jobs: int,
     sa_iterations: int,
     use_delta: bool = True,
+    budget: Optional[Budget] = None,
 ):
     """Instantiate a strategy for a family run (shared with the CLI)."""
     if name.upper() == "SA":
@@ -302,10 +327,58 @@ def strategy_for_family(
             use_cache=use_cache,
             jobs=jobs,
             use_delta=use_delta,
+            budget=budget,
         )
     return make_strategy(
-        name, use_cache=use_cache, jobs=jobs, use_delta=use_delta
+        name, use_cache=use_cache, jobs=jobs, use_delta=use_delta, budget=budget
     )
+
+
+def portfolio_members(
+    strategies: Sequence[str],
+    seed: int,
+    sa_iterations: int = DEFAULT_FAMILY_SA_ITERATIONS,
+    budget: Optional[Budget] = None,
+) -> List:
+    """Configured strategy instances for a portfolio race.
+
+    Members are built exactly like single-strategy family runs (same
+    SA seed derivation), so a portfolio member's trajectory matches
+    the corresponding solo run; ``budget`` here is each member's *own*
+    budget (the racing budget lives on the runner).
+    """
+    return [
+        strategy_for_family(name, seed, True, 1, sa_iterations, budget=budget)
+        for name in strategies
+    ]
+
+
+def run_portfolio(
+    spec,
+    strategies: Sequence[str],
+    seed: int = 1,
+    sa_iterations: int = DEFAULT_FAMILY_SA_ITERATIONS,
+    member_budget: Optional[Budget] = None,
+    shared_budget: Optional[Budget] = None,
+    use_cache: bool = True,
+    jobs: int = 1,
+    use_delta: bool = True,
+) -> PortfolioResult:
+    """Race ``strategies`` on ``spec`` over one shared engine.
+
+    The deterministic lockstep race of
+    :class:`repro.search.PortfolioRunner`: member order is the racing
+    and tie-breaking order, ``shared_budget`` is contended for by all
+    members, and the winner is byte-identical for any ``jobs`` value.
+    """
+    runner = PortfolioRunner(
+        portfolio_members(strategies, seed, sa_iterations, member_budget),
+        budget=shared_budget,
+        use_cache=use_cache,
+        jobs=jobs,
+        use_delta=use_delta,
+    )
+    return runner.run(spec)
 
 
 def run_family_matrix(
@@ -317,6 +390,7 @@ def run_family_matrix(
     jobs: int = 1,
     sa_iterations: int = DEFAULT_FAMILY_SA_ITERATIONS,
     use_delta: bool = True,
+    budget: Optional[Budget] = None,
     verbose: bool = False,
 ) -> List[FamilyMatrixRecord]:
     """The stress matrix: every strategy x every family, cache on/off.
@@ -362,6 +436,7 @@ def run_family_matrix(
                         jobs,
                         sa_iterations,
                         use_delta,
+                        budget=budget,
                     )
                     result = strategy.design(spec)
                     records.append(

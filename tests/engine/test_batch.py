@@ -124,7 +124,7 @@ class TestBatchEvaluator:
             raise RuntimeError("mid-search failure")
 
         monkeypatch.setattr(mh_module, "DesignEvaluator", CapturingEvaluator)
-        monkeypatch.setattr(mh_module, "steepest_descent", boom)
+        monkeypatch.setattr(mh_module, "descent_loop", boom)
         strategy = make_strategy("MH", jobs=2)
         with pytest.raises(RuntimeError, match="mid-search failure"):
             strategy.design(spec)

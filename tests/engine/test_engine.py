@@ -60,3 +60,38 @@ class TestAdHocOnEngine:
         assert plain.objective == tuned.objective
         assert plain.mapping.as_dict() == tuned.mapping.as_dict()
         assert plain.evaluations == tuned.evaluations == 1
+
+
+class TestEngineCounters:
+    def test_snapshot_and_subtraction(self, spec):
+        from repro.core.initial_mapping import InitialMapper
+        from repro.core.strategy import DesignEvaluator
+        from repro.core.transformations import CandidateDesign
+        from repro.engine import EngineCounters
+
+        with DesignEvaluator(spec) as evaluator:
+            mapper = InitialMapper(spec.architecture)
+            mapping, _ = mapper.try_map_and_schedule(
+                spec.current,
+                base=spec.base_schedule,
+                compiled=evaluator.compiled,
+            )
+            designs = [
+                CandidateDesign(
+                    mapping, dict(evaluator.compiled.default_priorities)
+                )
+                for _ in range(3)
+            ]
+            before = evaluator.counters()
+            assert before == EngineCounters(0, 0, 0, 0, 0)
+            evaluator.evaluate_many(designs)
+            evaluator.evaluate_many(designs)  # second pass: pure cache hits
+            after = evaluator.counters()
+            window = after - before
+            assert window.evaluations == 2 * len(designs)
+            assert window.cache_hits >= len(designs)
+            assert (
+                window.cache_hits + window.cache_misses == window.evaluations
+            )
+        # Counters stay readable after close (stats recording).
+        assert evaluator.counters() == after

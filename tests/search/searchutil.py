@@ -1,0 +1,39 @@
+"""Shared helpers for the search-kernel tests (imported by name)."""
+
+from __future__ import annotations
+
+from repro.core.initial_mapping import InitialMapper
+from repro.core.transformations import CandidateDesign
+from repro.gen.scenario import ScenarioParams, build_scenario
+
+
+def small_scenario(seed: int = 3):
+    """One laptop-instant scenario with a non-trivial neighbourhood."""
+    params = ScenarioParams(
+        n_nodes=3, hyperperiod=2400, n_existing=18, n_current=10
+    )
+    return build_scenario(params, seed=seed)
+
+
+def start_of(spec, evaluator):
+    """The Initial Mapping design, evaluated (every search's start)."""
+    mapper = InitialMapper(spec.architecture)
+    outcome = mapper.try_map_and_schedule(
+        spec.current, base=spec.base_schedule, compiled=evaluator.compiled
+    )
+    assert outcome is not None
+    start = evaluator.evaluate(
+        CandidateDesign(outcome[0], dict(evaluator.compiled.default_priorities))
+    )
+    assert start is not None
+    return start
+
+
+def identity(evaluated):
+    """Byte-comparison identity of one evaluated design."""
+    return (
+        tuple(sorted(evaluated.mapping.as_dict().items())),
+        tuple(sorted(evaluated.priorities.items())),
+        tuple(sorted(evaluated.design.message_delays.items())),
+        evaluated.objective,
+    )

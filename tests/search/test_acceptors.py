@@ -1,0 +1,140 @@
+"""Acceptance-policy semantics (greedy, Metropolis, threshold, any)."""
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.search.acceptors import (
+    AcceptAny,
+    GreedyAcceptor,
+    MetropolisAcceptor,
+    ThresholdAcceptor,
+)
+
+
+@dataclass
+class FakeDesign:
+    """Acceptors only read ``objective``; a float shell suffices."""
+
+    objective: float
+
+
+def designs(*objectives):
+    return [None if o is None else FakeDesign(o) for o in objectives]
+
+
+CURRENT = FakeDesign(10.0)
+
+
+class TestGreedy:
+    def test_picks_steepest_improvement(self):
+        acceptor = GreedyAcceptor()
+        results = designs(9.5, 8.0, 9.0)
+        assert acceptor.decide(CURRENT, [], results, None).objective == 8.0
+
+    def test_rejects_non_improving(self):
+        acceptor = GreedyAcceptor()
+        assert acceptor.decide(CURRENT, [], designs(10.0, 11.0), None) is None
+
+    def test_min_improvement_is_strict(self):
+        acceptor = GreedyAcceptor(min_improvement=1.0)
+        assert acceptor.decide(CURRENT, [], designs(9.5), None) is None
+        assert acceptor.decide(CURRENT, [], designs(8.9), None) is not None
+
+    def test_ignores_invalid_results(self):
+        acceptor = GreedyAcceptor()
+        results = designs(None, 9.0, None)
+        assert acceptor.decide(CURRENT, [], results, None).objective == 9.0
+
+    def test_terminal_on_reject(self):
+        assert GreedyAcceptor.terminal_on_reject is True
+        assert MetropolisAcceptor.terminal_on_reject is False
+
+
+class TestMetropolis:
+    def test_downhill_accepted_without_rng_draw(self):
+        acceptor = MetropolisAcceptor(temperature=1.0)
+
+        class ExplodingRng:
+            def random(self):  # pragma: no cover - must not be called
+                raise AssertionError("downhill moves must not draw")
+
+        accepted = acceptor.decide(CURRENT, [], designs(9.0), ExplodingRng())
+        assert accepted.objective == 9.0
+
+    def test_uphill_draws_once(self):
+        acceptor = MetropolisAcceptor(temperature=1e9)
+        rng = np.random.default_rng(0)
+        before = rng.bit_generator.state["state"]["state"]
+        accepted = acceptor.decide(CURRENT, [], designs(10.5), rng)
+        after = rng.bit_generator.state["state"]["state"]
+        assert before != after
+        # At an enormous temperature every uphill move is accepted.
+        assert accepted is not None
+
+    def test_cools_every_step_even_on_invalid(self):
+        acceptor = MetropolisAcceptor(temperature=2.0, cooling=0.5)
+        rng = np.random.default_rng(1)
+        acceptor.decide(CURRENT, [], designs(None), rng)
+        assert acceptor.temperature == 1.0
+        acceptor.decide(CURRENT, [], designs(9.0), rng)
+        assert acceptor.temperature == 0.5
+
+    def test_temperature_floor(self):
+        acceptor = MetropolisAcceptor(
+            temperature=1.0, cooling=0.1, min_temperature=0.25
+        )
+        rng = np.random.default_rng(2)
+        for _ in range(5):
+            acceptor.decide(CURRENT, [], designs(9.0), rng)
+        assert acceptor.temperature == 0.25
+
+    def test_state_round_trip(self):
+        acceptor = MetropolisAcceptor(temperature=3.5)
+        fresh = MetropolisAcceptor(temperature=999.0)
+        fresh.load_state_dict(acceptor.state_dict())
+        assert fresh.temperature == 3.5
+
+    def test_requires_rng(self):
+        with pytest.raises(ValueError):
+            MetropolisAcceptor(temperature=1.0).decide(
+                CURRENT, [], designs(11.0), None
+            )
+
+
+class TestThreshold:
+    def test_accepts_within_threshold(self):
+        acceptor = ThresholdAcceptor(threshold=1.0)
+        assert acceptor.decide(CURRENT, [], designs(10.5), None) is not None
+
+    def test_rejects_beyond_threshold(self):
+        acceptor = ThresholdAcceptor(threshold=1.0)
+        assert acceptor.decide(CURRENT, [], designs(11.5), None) is None
+
+    def test_takes_first_acceptable_not_best(self):
+        acceptor = ThresholdAcceptor(threshold=1.0)
+        accepted = acceptor.decide(CURRENT, [], designs(10.5, 8.0), None)
+        assert accepted.objective == 10.5
+
+    def test_decay_per_step(self):
+        acceptor = ThresholdAcceptor(threshold=4.0, decay=0.5)
+        acceptor.decide(CURRENT, [], designs(None), None)
+        assert acceptor.threshold == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdAcceptor(threshold=-1.0)
+        with pytest.raises(ValueError):
+            ThresholdAcceptor(threshold=1.0, decay=0.0)
+
+
+class TestAcceptAny:
+    def test_first_valid_wins(self):
+        accepted = AcceptAny().decide(
+            CURRENT, [], designs(None, 12.0, 5.0), None
+        )
+        assert accepted.objective == 12.0
+
+    def test_all_invalid_rejects(self):
+        assert AcceptAny().decide(CURRENT, [], designs(None, None), None) is None

@@ -57,6 +57,19 @@ class TestExamples:
         assert match is not None
         ah, mh = int(match.group(1)), int(match.group(2))
         assert mh >= ah + 4
+        # The budget ladder: a tighter budget never improves the design.
+        objectives = [
+            float(m)
+            for m in re.findall(r"evaluations -> objective\s+([\d.]+)", out)
+        ]
+        assert len(objectives) == 3
+        assert objectives == sorted(objectives)
+
+    def test_portfolio_search(self, capsys):
+        out = run_example("portfolio_search.py", capsys)
+        assert "<-- winner" in out
+        assert "shared-budget" in out
+        assert "cut+resume == uninterrupted: True" in out
 
     @pytest.mark.slow
     def test_future_proofing_sweep(self, capsys):
