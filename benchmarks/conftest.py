@@ -37,6 +37,10 @@ BENCH_RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_engine.json"
 #: where every PR's reviewer looks first.
 BENCH_SEARCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_search.json"
 
+#: The scheduler-core trajectory record (bench_sched): repo-root, so
+#: the array-over-object speedup claim is diffable per PR.
+BENCH_SCHED_PATH = Path(__file__).resolve().parent.parent / "BENCH_sched.json"
+
 
 def _merge_rows(path: Path, rows) -> list:
     """Merge ``rows`` into the file's stored results by benchmark name.
@@ -106,14 +110,38 @@ def _search_summary(rows) -> dict:
     }
 
 
+def _sched_summary(rows) -> dict:
+    """The array-core headline: per-candidate speedup on medium."""
+    for row in rows:
+        info = row["extra_info"]
+        if (
+            info.get("sched_record") == "array"
+            and info.get("preset") == "medium"
+        ):
+            return {
+                "summary": {
+                    "medium_median_array_us": info.get("median_array_us"),
+                    "medium_median_object_us": info.get("median_object_us"),
+                    "medium_median_scratch_us": info.get("median_scratch_us"),
+                    "medium_speedup_vs_object": info.get("speedup_vs_object"),
+                    "medium_speedup_vs_scratch": info.get(
+                        "speedup_vs_scratch"
+                    ),
+                }
+            }
+    return {}
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Persist per-bench medians after timed runs.
 
     Engine benchmarks land in ``benchmarks/BENCH_engine.json``; the
     ``bench_search`` workloads (tagged via ``search_record`` in their
-    ``extra_info``) additionally land in the repo-root
-    ``BENCH_search.json`` together with the portfolio-vs-single
-    summary.  ``--benchmark-disable`` smoke runs leave both untouched.
+    ``extra_info``) land in the repo-root ``BENCH_search.json`` with
+    the portfolio-vs-single summary, and the ``bench_sched`` workloads
+    (tagged ``sched_record``) in the repo-root ``BENCH_sched.json``
+    with the array-core speedup summary.  ``--benchmark-disable``
+    smoke runs leave all three untouched.
     """
     benchmark_session = getattr(session.config, "_benchmarksession", None)
     if benchmark_session is None:
@@ -139,8 +167,14 @@ def pytest_sessionfinish(session, exitstatus):
     search_rows = [
         row for row in rows if "search_record" in row["extra_info"]
     ]
+    sched_rows = [
+        row for row in rows if "sched_record" in row["extra_info"]
+    ]
     engine_rows = [
-        row for row in rows if "search_record" not in row["extra_info"]
+        row
+        for row in rows
+        if "search_record" not in row["extra_info"]
+        and "sched_record" not in row["extra_info"]
     ]
     if engine_rows:
         _write_results(
@@ -150,6 +184,11 @@ def pytest_sessionfinish(session, exitstatus):
         merged = _merge_rows(BENCH_SEARCH_PATH, search_rows)
         _write_results(
             BENCH_SEARCH_PATH, merged, extra=_search_summary(merged)
+        )
+    if sched_rows:
+        merged = _merge_rows(BENCH_SCHED_PATH, sched_rows)
+        _write_results(
+            BENCH_SCHED_PATH, merged, extra=_sched_summary(merged)
         )
 
 #: Current-application sizes benchmarked per figure (paper: 40..320).

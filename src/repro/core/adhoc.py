@@ -40,6 +40,7 @@ class AdHocStrategy:
     use_cache: bool = True
     jobs: int = 1
     use_delta: bool = True
+    engine_core: str = "array"
     budget: Optional[Budget] = None
 
     name = "AH"
@@ -47,7 +48,10 @@ class AdHocStrategy:
     @timed
     def design(self, spec: DesignSpec) -> DesignResult:
         """Run IM once and report its design as-is."""
-        with DesignEvaluator(spec, use_cache=False, use_delta=False) as evaluator:
+        with DesignEvaluator(
+            spec, use_cache=False, use_delta=False,
+            engine_core=self.engine_core,
+        ) as evaluator:
             return self._design(spec, evaluator.compiled)
 
     def _design(self, spec: DesignSpec, compiled) -> DesignResult:

@@ -177,7 +177,7 @@ class InitialMapper:
                 ready,
                 (
                     # Latest-start-time urgency; see
-                    # ListScheduler._heap_key for the rationale.
+                    # repro.sched.trace.heap_key for the rationale.
                     job.abs_deadline - priorities.get(job.process_id, 0.0),
                     job.release,
                     job.process_id,

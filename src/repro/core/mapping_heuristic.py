@@ -91,6 +91,7 @@ class MappingHeuristic:
     jobs: int = 1
     max_cache_entries: Optional[int] = DEFAULT_MAX_ENTRIES
     use_delta: bool = True
+    engine_core: str = "array"
     budget: Optional[Budget] = None
 
     name = "MH"
@@ -104,6 +105,7 @@ class MappingHeuristic:
             jobs=self.jobs,
             max_cache_entries=self.max_cache_entries,
             use_delta=self.use_delta,
+            engine_core=self.engine_core,
         ) as evaluator:
             result = drive(
                 self.search_program(spec, evaluator.compiled), evaluator

@@ -110,6 +110,7 @@ def design_with_modifications(
     max_modified: Optional[int] = None,
     jobs: int = 1,
     use_delta: bool = True,
+    engine_core: str = "array",
     budget: Optional[Budget] = None,
     attempt_budget: Optional[Budget] = None,
     **strategy_kwargs,
@@ -147,6 +148,9 @@ def design_with_modifications(
         with ``k``, so the delta kernel's checkpoint resumes pay off
         more the deeper the greedy search goes.  Results are identical
         with it off.
+    engine_core:
+        Scheduler core (``"array"`` or ``"object"``) of every subset
+        attempt's evaluation engine; results are byte-identical.
     budget:
         Per-strategy search budget, forwarded to every subset
         attempt's strategy run (see the strategies' ``budget`` field).
@@ -175,6 +179,7 @@ def design_with_modifications(
         max_modified = len(existing)
     strategy_kwargs.setdefault("jobs", jobs)
     strategy_kwargs.setdefault("use_delta", use_delta)
+    strategy_kwargs.setdefault("engine_core", engine_core)
     if budget is not None:
         strategy_kwargs.setdefault("budget", budget)
 

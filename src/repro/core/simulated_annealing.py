@@ -110,6 +110,7 @@ class SimulatedAnnealing:
     jobs: int = 1
     max_cache_entries: Optional[int] = DEFAULT_MAX_ENTRIES
     use_delta: bool = True
+    engine_core: str = "array"
     budget: Optional[Budget] = None
 
     name = "SA"
@@ -124,6 +125,7 @@ class SimulatedAnnealing:
             jobs=self.jobs,
             max_cache_entries=self.max_cache_entries,
             use_delta=self.use_delta,
+            engine_core=self.engine_core,
         ) as evaluator:
             result = drive(
                 self.search_program(spec, evaluator.compiled), evaluator

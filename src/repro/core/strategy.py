@@ -166,6 +166,11 @@ class DesignEvaluator:
     use_delta:
         Enable the incremental (move-aware) evaluation kernel; results
         are bit-identical either way (the ``--no-delta`` escape hatch).
+    engine_core:
+        ``"array"`` (the default here) runs the structure-of-arrays
+        scheduler kernel; ``"object"`` the pinned object-graph
+        reference.  Byte-identical results; the CLI's
+        ``--engine-core`` switch.
     """
 
     def __init__(
@@ -176,6 +181,7 @@ class DesignEvaluator:
         max_cache_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
         parallel_threshold: Optional[int] = None,
         use_delta: bool = True,
+        engine_core: str = "array",
     ):
         self.spec = spec
         self.engine = EvaluationEngine(
@@ -185,6 +191,7 @@ class DesignEvaluator:
             max_cache_entries=max_cache_entries,
             parallel_threshold=parallel_threshold,
             use_delta=use_delta,
+            engine_core=engine_core,
         )
 
     def evaluate(self, design: "CandidateDesign") -> Optional[EvaluatedDesign]:

@@ -82,10 +82,10 @@ def dispatch_chunksize(
     return max(1, min(fair_share, balanced))
 
 
-def _init_worker(spec: "DesignSpec", use_delta: bool) -> None:
+def _init_worker(spec: "DesignSpec", use_delta: bool, engine_core: str) -> None:
     """Process-pool initializer: compile the spec once per worker."""
     global _WORKER_STATE
-    compiled = CompiledSpec(spec)
+    compiled = CompiledSpec(spec, engine_core=engine_core)
     scheduler = ListScheduler(spec.architecture)
     delta = DeltaEvaluator(compiled, scheduler) if use_delta else None
     _WORKER_STATE = (spec, compiled, scheduler, delta, OrderedDict())
@@ -418,6 +418,10 @@ class BatchEvaluator:
             self._executor = ProcessPoolExecutor(
                 max_workers=self.jobs,
                 initializer=_init_worker,
-                initargs=(self.compiled.spec, self.delta is not None),
+                initargs=(
+                    self.compiled.spec,
+                    self.delta is not None,
+                    self.compiled.engine_core,
+                ),
             )
         return self._executor

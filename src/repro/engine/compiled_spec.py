@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional, Tuple
 
+from repro.sched.arrays import ArraySpec, resolve_engine_core
 from repro.sched.jobs import JobTable, expand_jobs
 from repro.sched.priorities import PriorityMap, hcp_priorities
 from repro.sched.schedule import SystemSchedule
@@ -52,8 +53,14 @@ class CompiledSpec:
     batch evaluator pickles the spec once per worker and recompiles).
     """
 
-    def __init__(self, spec: "DesignSpec"):
+    def __init__(self, spec: "DesignSpec", engine_core: str = "object"):
         self.spec = spec
+        # "object" here, not the strategy layer's "array" default: the
+        # compiled spec is also built directly by low-level callers
+        # (tests, tools) that expect the pinned reference semantics
+        # unless they opt in.
+        self.engine_core = resolve_engine_core(engine_core)
+        self._arrays: Optional[ArraySpec] = None
         self.horizon = spec.effective_horizon()
         for graph in spec.current.graphs:
             if self.horizon % graph.period != 0:
@@ -113,6 +120,23 @@ class CompiledSpec:
     def total_jobs(self) -> int:
         """Process instances one candidate evaluation has to place."""
         return len(self.job_table)
+
+    @property
+    def use_arrays(self) -> bool:
+        """Whether evaluations of this spec run the array kernel."""
+        return self.engine_core == "array"
+
+    @property
+    def arrays(self) -> ArraySpec:
+        """The structure-of-arrays lowering, built lazily exactly once.
+
+        Available regardless of :attr:`engine_core` (as long as numpy
+        is importable) so tests can compare both kernels over one
+        compilation.
+        """
+        if self._arrays is None:
+            self._arrays = ArraySpec(self)
+        return self._arrays
 
     @property
     def base_template(self) -> Optional[SystemSchedule]:

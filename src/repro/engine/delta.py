@@ -48,8 +48,9 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from repro.engine.evaluation import EvaluatedDesign, evaluate_candidate
+from repro.sched.arrays import ArrayRunState
 from repro.sched.list_scheduler import ListScheduler, ScheduleResult
-from repro.sched.trace import ScheduleTrace
+from repro.sched.trace import ScheduleTrace, heap_key
 from repro.tdma.schedule import BusSchedule
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -135,6 +136,8 @@ class DeltaEvaluator:
 
         if child is None:
             child = move.apply(parent.design)
+        if self.compiled.use_arrays:
+            return self._evaluate_move_arrays(parent, move, child)
         attempt = self.try_resume(parent, move, child)
         if attempt is None:
             outcome = evaluate_candidate(
@@ -162,6 +165,88 @@ class DeltaEvaluator:
         )
         return outcome, True
 
+    def _evaluate_move_arrays(
+        self,
+        parent: EvaluatedDesign,
+        move: "Transformation",
+        child: "CandidateDesign",
+    ) -> Tuple[Optional[EvaluatedDesign], bool]:
+        """The array-core twin of :meth:`evaluate_move`'s resume branch.
+
+        Same contract, different substrate: divergence and checkpoint
+        reconstruction run over the parent's :class:`ArrayRunState`
+        columns (:meth:`ArraySpec.divergence` /
+        :meth:`ArraySpec.resume_state`) and the finished state is
+        decoded to a :class:`SystemSchedule` only at the metric
+        boundary.
+        """
+        from repro.core.metrics import evaluate_design_delta
+
+        attempt = self.try_resume_arrays(parent, move, child)
+        if attempt is None:
+            outcome = evaluate_candidate(
+                self.compiled.spec,
+                self.compiled,
+                self.scheduler,
+                child,
+                record_trace=True,
+            )
+            return outcome, False
+        state, clean_nodes, bus_clean = attempt
+        if not state.success:
+            return None, True
+        arrays = self.compiled.arrays
+        schedule = arrays.decode_schedule(state)
+        metrics, memo = evaluate_design_delta(
+            schedule,
+            self.compiled.spec.future,
+            self.compiled.spec.weights,
+            parent_memo=parent.memo,
+            clean_nodes=clean_nodes,
+            bus_clean=bus_clean,
+            parent_bus=parent.schedule.bus,
+        )
+        outcome = EvaluatedDesign(
+            child, schedule, metrics, trace=state, memo=memo
+        )
+        return outcome, True
+
+    def try_resume_arrays(
+        self,
+        parent: EvaluatedDesign,
+        move: "Transformation",
+        child: "CandidateDesign",
+    ) -> Optional[Tuple[ArrayRunState, Set[str], bool]]:
+        """Array-core checkpoint resume; see :meth:`try_resume`.
+
+        Returns ``None`` when the incremental path cannot run (parent
+        without a recorded array state -- including object-core traces
+        after an engine-core switch -- unknown move type, or divergence
+        at event 0); otherwise the finished child state plus the clean
+        node set and bus-clean flag.
+        """
+        state = parent.trace
+        if not isinstance(state, ArrayRunState) or not state.record:
+            return None
+        footprint = getattr(move, "footprint", None)
+        if footprint is None:
+            return None
+        fp = footprint(parent.design)
+        child.mapping.validate_complete()
+        arrays = self.compiled.arrays
+        cand = arrays.lower_candidate(child)
+        d = arrays.divergence(
+            state, fp, parent.design.priorities, child.priorities, cand.urg
+        )
+        if d <= 0:
+            return None
+        resumed = arrays.resume_state(state, cand, d)
+        arrays.run_kernel(resumed)
+        if not resumed.success:
+            return resumed, set(), False
+        clean_nodes, bus_clean = arrays.clean_resources(resumed, state)
+        return resumed, clean_nodes, bus_clean
+
     def try_resume(
         self,
         parent: EvaluatedDesign,
@@ -180,7 +265,7 @@ class DeltaEvaluator:
         the metric layer.
         """
         trace = parent.trace
-        if trace is None:
+        if not isinstance(trace, ScheduleTrace):
             return None
         footprint = getattr(move, "footprint", None)
         if footprint is None:
@@ -303,7 +388,6 @@ class DeltaEvaluator:
         prefix = events[:d]
         ready_at = {k: r for k, r in trace.ready_at.items() if r <= d}
         pop_index = {k: i for k, i in trace.pop_index.items() if i < d}
-        heap_key = ListScheduler.heap_key
         jobs = table.jobs
         priorities = child.priorities
         if fp.reprioritized:
@@ -400,7 +484,6 @@ class DeltaEvaluator:
         if not fp.reprioritized:
             return d
 
-        heap_key = ListScheduler.heap_key
         jobs = self.compiled.job_table.jobs
         old_priorities = parent.design.priorities
         new_priorities = child.priorities

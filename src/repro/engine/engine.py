@@ -76,6 +76,12 @@ class EvaluationEngine:
         / ``evaluate_moves`` APIs reschedule children from their
         parent's checkpoints.  Results are bit-identical either way;
         this is the CLI's ``--no-delta`` escape hatch.
+    engine_core:
+        ``"array"`` runs the structure-of-arrays scheduler kernel
+        (:mod:`repro.sched.arrays`); ``"object"`` runs the pinned
+        object-graph reference.  Results are byte-identical; this is
+        the CLI's ``--engine-core`` switch.  Defaults to ``"object"``
+        here (the strategy layer opts into ``"array"``).
     """
 
     def __init__(
@@ -86,9 +92,10 @@ class EvaluationEngine:
         max_cache_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
         parallel_threshold: Optional[int] = None,
         use_delta: bool = True,
+        engine_core: str = "object",
     ):
         self.spec = spec
-        self.compiled = CompiledSpec(spec)
+        self.compiled = CompiledSpec(spec, engine_core=engine_core)
         self.cache: Optional[EvaluationCache] = (
             EvaluationCache(max_cache_entries) if use_cache else None
         )

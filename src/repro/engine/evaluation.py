@@ -18,10 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
+from repro.sched.arrays import ArrayRunState
 from repro.sched.schedule import SystemSchedule
 from repro.sched.trace import ScheduleTrace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from typing import Union
     from repro.core.metrics import DesignMetrics, MetricsMemo
     from repro.core.strategy import DesignSpec
     from repro.core.transformations import CandidateDesign
@@ -39,13 +41,17 @@ class EvaluatedDesign:
     (present only when the engine runs in delta mode): the scheduling
     decision sequence and the per-resource metric inputs that let a
     *child* design -- one move away -- be evaluated from this design's
-    checkpoints instead of from scratch.
+    checkpoints instead of from scratch.  ``trace`` is duck-typed by
+    engine core: a :class:`ScheduleTrace` under the object core, an
+    :class:`~repro.sched.arrays.ArrayRunState` under the array core;
+    the delta evaluator dispatches on the type and treats a mismatch
+    (e.g. after an engine-core switch) as "no trace".
     """
 
     design: "CandidateDesign"
     schedule: SystemSchedule
     metrics: "DesignMetrics"
-    trace: Optional[ScheduleTrace] = None
+    trace: Optional["Union[ScheduleTrace, ArrayRunState]"] = None
     memo: Optional["MetricsMemo"] = None
 
     @property
@@ -77,6 +83,21 @@ def evaluate_candidate(
     delta evaluations; the metric *values* are identical either way.
     """
     from repro.core.metrics import evaluate_design_delta
+
+    if compiled.use_arrays:
+        arrays = compiled.arrays
+        state = arrays.schedule_design(design, record=record_trace)
+        if not state.success:
+            return None
+        schedule = arrays.decode_schedule(state)
+        metrics, memo = evaluate_design_delta(
+            schedule, spec.future, spec.weights
+        )
+        if not record_trace:
+            return EvaluatedDesign(design, schedule, metrics)
+        return EvaluatedDesign(
+            design, schedule, metrics, trace=state, memo=memo
+        )
 
     result = scheduler.try_schedule(
         spec.current,

@@ -69,6 +69,8 @@ def _build_config(args: argparse.Namespace) -> ExperimentConfig:
         overrides["jobs"] = args.jobs
     if args.no_delta:
         overrides["use_delta"] = False
+    if getattr(args, "engine_core", None):
+        overrides["engine_core"] = args.engine_core
     if args.budget_evals is not None:
         overrides["budget_evaluations"] = args.budget_evals
     if args.budget_seconds is not None:
@@ -172,6 +174,7 @@ def _scenarios_run(args: argparse.Namespace) -> int:
             args.sa_iterations,
             not args.no_delta,
             budget=budget,
+            engine_core=args.engine_core,
         )
         result = strategy.design(spec)
         search = result.search
@@ -224,7 +227,7 @@ def _scenarios_portfolio(args: argparse.Namespace) -> int:
     )
     shared_budget = make_budget(args.budget_evals, args.budget_seconds, None)
 
-    def race(jobs: int, use_delta: bool):
+    def race(jobs: int, use_delta: bool, engine_core: Optional[str] = None):
         return run_portfolio(
             spec,
             args.strategies,
@@ -234,6 +237,7 @@ def _scenarios_portfolio(args: argparse.Namespace) -> int:
             shared_budget=shared_budget,
             jobs=jobs,
             use_delta=use_delta,
+            engine_core=engine_core or args.engine_core,
         )
 
     result = race(args.jobs, not args.no_delta)
@@ -280,10 +284,15 @@ def _scenarios_portfolio(args: argparse.Namespace) -> int:
 
     if args.check_determinism:
         reference = _portfolio_identity(result)
+        other_core = "object" if args.engine_core == "array" else "array"
         checks = [
             ("repeat", lambda: race(args.jobs, not args.no_delta)),
             ("jobs=2", lambda: race(2, not args.no_delta)),
             ("delta off", lambda: race(args.jobs, False)),
+            (
+                f"{other_core} core",
+                lambda: race(args.jobs, not args.no_delta, other_core),
+            ),
         ]
         failures = []
         for label, runner in checks:
@@ -302,6 +311,7 @@ def _scenarios_portfolio(args: argparse.Namespace) -> int:
                 shared_budget=None,
                 jobs=args.jobs,
                 use_delta=not args.no_delta,
+                engine_core=args.engine_core,
             )
             if (
                 _portfolio_identity(reversed_result)[1:]
@@ -311,8 +321,11 @@ def _scenarios_portfolio(args: argparse.Namespace) -> int:
         if failures:
             print(f"DETERMINISM FAILURES: {', '.join(failures)}")
             return 1
-        print("determinism checks passed (repeat, jobs=2, delta off"
-              + (", reversed order)" if shared_budget is None else ")"))
+        print(
+            f"determinism checks passed (repeat, jobs=2, delta off, "
+            f"{other_core} core"
+            + (", reversed order)" if shared_budget is None else ")")
+        )
     return 0
 
 
@@ -325,6 +338,7 @@ def _scenarios_sweep(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         sa_iterations=args.sa_iterations,
         use_delta=not args.no_delta,
+        engine_core=args.engine_core,
         budget=make_budget(
             args.budget_evals, args.budget_seconds, args.patience
         ),
@@ -457,6 +471,13 @@ def _add_scenarios_parser(subparsers) -> None:
         help="disable incremental (move-aware) evaluation",
     )
     run.add_argument(
+        "--engine-core", choices=["array", "object"], default="array",
+        help=(
+            "scheduler core: the structure-of-arrays kernel (default) or "
+            "the pinned object-graph reference (results are identical)"
+        ),
+    )
+    run.add_argument(
         "--budget-evals", type=_positive_int,
         help=(
             "evaluation cap per search phase (MH: the descent; SA: "
@@ -517,12 +538,20 @@ def _add_scenarios_parser(subparsers) -> None:
         help="disable incremental (move-aware) evaluation",
     )
     portfolio.add_argument(
+        "--engine-core", choices=["array", "object"], default="array",
+        help=(
+            "scheduler core: the structure-of-arrays kernel (default) or "
+            "the pinned object-graph reference (results are identical)"
+        ),
+    )
+    portfolio.add_argument(
         "--check-determinism",
         action="store_true",
         help=(
-            "re-race with jobs=2, delta off, and (without a shared "
-            "budget) reversed member order; fail unless the winning "
-            "design is byte-identical (the CI smoke gate)"
+            "re-race with jobs=2, delta off, the other scheduler core, "
+            "and (without a shared budget) reversed member order; fail "
+            "unless the winning design is byte-identical (the CI smoke "
+            "gate)"
         ),
     )
 
@@ -554,6 +583,13 @@ def _add_scenarios_parser(subparsers) -> None:
         "--no-delta",
         action="store_true",
         help="disable incremental (move-aware) evaluation",
+    )
+    sweep.add_argument(
+        "--engine-core", choices=["array", "object"], default="array",
+        help=(
+            "scheduler core: the structure-of-arrays kernel (default) or "
+            "the pinned object-graph reference (results are identical)"
+        ),
     )
     sweep.add_argument(
         "--budget-evals", type=_positive_int,
@@ -639,6 +675,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help=(
             "disable incremental (move-aware) evaluation; every candidate "
             "is rescheduled from scratch (results are identical)"
+        ),
+    )
+    figure_options.add_argument(
+        "--engine-core", choices=["array", "object"], default="array",
+        help=(
+            "scheduler core: the structure-of-arrays kernel (default) or "
+            "the pinned object-graph reference (results are identical)"
         ),
     )
     figure_options.add_argument(

@@ -51,6 +51,10 @@ class ExperimentConfig:
     #: Incremental (move-aware) evaluation; the CLI's ``--no-delta``
     #: escape hatch sets this False.  Results are identical either way.
     use_delta: bool = True
+    #: Scheduler core: ``"array"`` (structure-of-arrays kernel, the
+    #: default) or ``"object"`` (the pinned object-graph reference).
+    #: The CLI's ``--engine-core`` switch.  Results are byte-identical.
+    engine_core: str = "array"
     #: Per-strategy search budget (``None`` on every axis = the
     #: strategies' own caps only).  Evaluation/step/patience budgets
     #: cut seeded runs at exact reproducible points; wall-clock budgets
@@ -189,10 +193,15 @@ def _build(name: str, config: ExperimentConfig, seed: int):
             seed=seed * 7919 + 13,
             jobs=config.jobs,
             use_delta=config.use_delta,
+            engine_core=config.engine_core,
             budget=budget,
         )
     return make_strategy(
-        name, jobs=config.jobs, use_delta=config.use_delta, budget=budget
+        name,
+        jobs=config.jobs,
+        use_delta=config.use_delta,
+        engine_core=config.engine_core,
+        budget=budget,
     )
 
 
@@ -317,6 +326,7 @@ def strategy_for_family(
     sa_iterations: int,
     use_delta: bool = True,
     budget: Optional[Budget] = None,
+    engine_core: str = "array",
 ):
     """Instantiate a strategy for a family run (shared with the CLI)."""
     if name.upper() == "SA":
@@ -327,10 +337,16 @@ def strategy_for_family(
             use_cache=use_cache,
             jobs=jobs,
             use_delta=use_delta,
+            engine_core=engine_core,
             budget=budget,
         )
     return make_strategy(
-        name, use_cache=use_cache, jobs=jobs, use_delta=use_delta, budget=budget
+        name,
+        use_cache=use_cache,
+        jobs=jobs,
+        use_delta=use_delta,
+        engine_core=engine_core,
+        budget=budget,
     )
 
 
@@ -339,6 +355,7 @@ def portfolio_members(
     seed: int,
     sa_iterations: int = DEFAULT_FAMILY_SA_ITERATIONS,
     budget: Optional[Budget] = None,
+    engine_core: str = "array",
 ) -> List:
     """Configured strategy instances for a portfolio race.
 
@@ -348,7 +365,15 @@ def portfolio_members(
     budget (the racing budget lives on the runner).
     """
     return [
-        strategy_for_family(name, seed, True, 1, sa_iterations, budget=budget)
+        strategy_for_family(
+            name,
+            seed,
+            True,
+            1,
+            sa_iterations,
+            budget=budget,
+            engine_core=engine_core,
+        )
         for name in strategies
     ]
 
@@ -363,6 +388,7 @@ def run_portfolio(
     use_cache: bool = True,
     jobs: int = 1,
     use_delta: bool = True,
+    engine_core: str = "array",
 ) -> PortfolioResult:
     """Race ``strategies`` on ``spec`` over one shared engine.
 
@@ -372,11 +398,14 @@ def run_portfolio(
     members, and the winner is byte-identical for any ``jobs`` value.
     """
     runner = PortfolioRunner(
-        portfolio_members(strategies, seed, sa_iterations, member_budget),
+        portfolio_members(
+            strategies, seed, sa_iterations, member_budget, engine_core
+        ),
         budget=shared_budget,
         use_cache=use_cache,
         jobs=jobs,
         use_delta=use_delta,
+        engine_core=engine_core,
     )
     return runner.run(spec)
 
@@ -390,6 +419,7 @@ def run_family_matrix(
     jobs: int = 1,
     sa_iterations: int = DEFAULT_FAMILY_SA_ITERATIONS,
     use_delta: bool = True,
+    engine_core: str = "array",
     budget: Optional[Budget] = None,
     verbose: bool = False,
 ) -> List[FamilyMatrixRecord]:
@@ -437,6 +467,7 @@ def run_family_matrix(
                         sa_iterations,
                         use_delta,
                         budget=budget,
+                        engine_core=engine_core,
                     )
                     result = strategy.design(spec)
                     records.append(
@@ -471,9 +502,10 @@ def run_family_smoke(
     Per family: (1) the scenario round-trips through the JSON codec
     byte-identically; (2) every strategy finds a *valid* design;
     (3) each strategy's design is identical with the cache on, with the
-    cache off, with ``jobs=2`` and with incremental evaluation off
-    (``--no-delta``) -- the determinism contract new families must not
-    break.
+    cache off, with ``jobs=2``, with incremental evaluation off
+    (``--no-delta``) and with the pinned object scheduler core
+    (``--engine-core object``) -- the determinism contract new families
+    must not break.
     """
     if family_names is None:
         family_names = families_module.family_names()
@@ -508,10 +540,11 @@ def run_family_smoke(
                 continue
             smoke.objectives[strategy_name] = baseline.objective
             reference = design_identity(baseline)
-            for label, use_cache, jobs, use_delta in (
-                ("cache off", False, 1, True),
-                ("jobs=2", True, 2, True),
-                ("delta off", True, 1, False),
+            for label, use_cache, jobs, use_delta, engine_core in (
+                ("cache off", False, 1, True, "array"),
+                ("jobs=2", True, 2, True, "array"),
+                ("delta off", True, 1, False, "array"),
+                ("object core", True, 1, True, "object"),
             ):
                 other = strategy_for_family(
                     strategy_name,
@@ -520,6 +553,7 @@ def run_family_smoke(
                     jobs,
                     sa_iterations,
                     use_delta,
+                    engine_core=engine_core,
                 ).design(spec)
                 if design_identity(other) != reference:
                     smoke.failures.append(

@@ -32,10 +32,10 @@ from typing import TYPE_CHECKING, Dict, List, Mapping as TMapping, Optional, Tup
 from repro.model.application import Application
 from repro.model.mapping import Mapping
 from repro.model.architecture import Architecture
-from repro.sched.jobs import Job, JobKey, JobTable, expand_jobs
+from repro.sched.jobs import JobKey, JobTable, expand_jobs
 from repro.sched.priorities import PriorityMap, hcp_priorities
 from repro.sched.schedule import SystemSchedule
-from repro.sched.trace import HeapKey, MessageEvent, ScheduleTrace
+from repro.sched.trace import HeapKey, MessageEvent, ScheduleTrace, heap_key
 from repro.utils.errors import SchedulingError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine -> sched)
@@ -189,7 +189,7 @@ class ListScheduler:
         trace = ScheduleTrace(schedule.horizon) if record_trace else None
         ready: List[HeapKey] = []
         for key in table.sources:
-            heapq.heappush(ready, self._heap_key(jobs[key], priorities))
+            heapq.heappush(ready, heap_key(jobs[key], priorities))
             if trace is not None:
                 trace.mark_source(key)
 
@@ -305,7 +305,7 @@ class ListScheduler:
                 preds_left[succ_key] -= 1
                 if preds_left[succ_key] == 0:
                     heapq.heappush(
-                        ready, self._heap_key(jobs[succ_key], priorities)
+                        ready, heap_key(jobs[succ_key], priorities)
                     )
                     if trace is not None:
                         trace.mark_ready(succ_key)
@@ -373,32 +373,6 @@ class ListScheduler:
         if base is not None:
             return base.copy()
         return SystemSchedule(self.architecture, horizon)
-
-    @staticmethod
-    def _heap_key(
-        job: Job, priorities: TMapping[str, float]
-    ) -> Tuple[float, int, str, int]:
-        """Min-heap key: most urgent ready job first.
-
-        Urgency is the job's *latest start time*: absolute deadline
-        minus its priority value, where the default (HCP) priority is
-        the length of the remaining critical path.  Within one graph
-        (shared deadline) this reduces to classic highest-priority-
-        first HCP ordering; across graphs it folds the deadline in, so
-        an urgent short application is not starved by a long relaxed
-        one.  Ties break on release time, then ids.
-        """
-        return (
-            job.abs_deadline - priorities.get(job.process_id, 0.0),
-            job.release,
-            job.process_id,
-            job.instance,
-        )
-
-    @staticmethod
-    def heap_key(job: Job, priorities: TMapping[str, float]) -> HeapKey:
-        """Public alias of the ready-heap key (used by delta resume)."""
-        return ListScheduler._heap_key(job, priorities)
 
     def _deliver_message(
         self,

@@ -30,12 +30,37 @@ engine's delta mode); plain scheduling pays nothing.
 
 from __future__ import annotations
 
-from typing import Dict, List, NamedTuple, Optional, Tuple
+from typing import Dict, List, Mapping, NamedTuple, Optional, Tuple
 
-from repro.sched.jobs import JobKey
+from repro.sched.jobs import Job, JobKey
 
 #: The ready-heap key of one job: ``(urgency, release, pid, instance)``.
 HeapKey = Tuple[float, int, str, int]
+
+
+def heap_key(job: Job, priorities: Mapping[str, float]) -> HeapKey:
+    """Min-heap key: most urgent ready job first.
+
+    Urgency is the job's *latest start time*: absolute deadline minus
+    its priority value, where the default (HCP) priority is the length
+    of the remaining critical path.  Within one graph (shared deadline)
+    this reduces to classic highest-priority-first HCP ordering; across
+    graphs it folds the deadline in, so an urgent short application is
+    not starved by a long relaxed one.  Ties break on release time,
+    then ids.
+
+    The single definition shared by the object kernel
+    (:mod:`repro.sched.list_scheduler`), the delta evaluator's
+    divergence analysis, and the array kernel's rank construction
+    (:mod:`repro.sched.arrays`), so tie-breaking can never drift
+    between them.
+    """
+    return (
+        job.abs_deadline - priorities.get(job.process_id, 0.0),
+        job.release,
+        job.process_id,
+        job.instance,
+    )
 
 
 class MessageEvent(NamedTuple):

@@ -117,7 +117,7 @@ class PortfolioRunner:
         wall-clock axes; per-member step caps belong to the members'
         own budgets).  ``None`` lets every member run to its own
         completion.
-    use_cache, jobs, max_cache_entries, use_delta:
+    use_cache, jobs, max_cache_entries, use_delta, engine_core:
         Shared-engine knobs, exactly as on
         :class:`~repro.core.strategy.DesignEvaluator`.
     """
@@ -130,6 +130,7 @@ class PortfolioRunner:
         jobs: int = 1,
         max_cache_entries: Optional[int] = -1,
         use_delta: bool = True,
+        engine_core: str = "array",
     ):
         if not members:
             raise ValueError("a portfolio needs at least one member")
@@ -139,6 +140,7 @@ class PortfolioRunner:
         self.jobs = jobs
         self.max_cache_entries = max_cache_entries
         self.use_delta = use_delta
+        self.engine_core = engine_core
 
     # ------------------------------------------------------------------
     def run(self, spec: "DesignSpec") -> PortfolioResult:
@@ -158,6 +160,7 @@ class PortfolioRunner:
             jobs=self.jobs,
             max_cache_entries=max_entries,
             use_delta=self.use_delta,
+            engine_core=self.engine_core,
         ) as evaluator:
             outcomes, budget_cut = self._race(spec, evaluator)
             counters = evaluator.counters()
