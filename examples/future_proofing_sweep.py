@@ -14,7 +14,6 @@ application; the sweep shows
 Run:  python examples/future_proofing_sweep.py
 """
 
-from dataclasses import replace
 
 from repro import (
     FutureCharacterization,

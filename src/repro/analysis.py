@@ -9,8 +9,8 @@ structured :class:`DesignReport` with a plain-text renderer.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
 
 from repro.core.future import FutureCharacterization
 from repro.core.metrics import DesignMetrics, ObjectiveWeights, evaluate_design

@@ -17,11 +17,10 @@ defaults below are a documented reconstruction (see DESIGN.md §3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import lru_cache
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
-import numpy as np
 
 from repro.utils.errors import InvalidModelError
 from repro.utils.rng import SeedLike, make_rng

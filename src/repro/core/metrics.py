@@ -30,7 +30,7 @@ slides do not specify the scaling, see DESIGN.md §3.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import lru_cache
 from typing import Collection, Dict, List, Optional, Tuple
 

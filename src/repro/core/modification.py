@@ -27,7 +27,7 @@ like current-application processes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.core.future import FutureCharacterization
 from repro.core.initial_mapping import InitialMapper

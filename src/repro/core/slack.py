@@ -11,10 +11,9 @@ high-potential transformation candidates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.sched.schedule import SystemSchedule
-from repro.utils.intervals import Interval
 
 
 def processor_slack_containers(

@@ -383,7 +383,7 @@ class BatchEvaluator:
     def __enter__(self) -> "BatchEvaluator":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------

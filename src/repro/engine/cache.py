@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.engine.compiled_spec import Signature
 
@@ -89,7 +89,7 @@ class EvaluationCache:
         """
         return signature in self._store
 
-    def lookup(self, signature: Signature):
+    def lookup(self, signature: Signature) -> Tuple[bool, Optional[object]]:
         """Return ``(found, outcome)``; counts the hit or miss.
 
         ``outcome`` is the memoized evaluation result -- possibly
@@ -104,7 +104,7 @@ class EvaluationCache:
         self._store.move_to_end(signature)
         return True, value
 
-    def store(self, signature: Signature, outcome) -> None:
+    def store(self, signature: Signature, outcome: Optional[object]) -> None:
         """Memoize one outcome (``None`` records an invalid candidate)."""
         self._store[signature] = outcome
         self._store.move_to_end(signature)

@@ -35,6 +35,8 @@ from repro.utils.errors import SchedulingError
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.strategy import DesignSpec
     from repro.core.transformations import CandidateDesign
+    from repro.model.application import Application
+    from repro.model.architecture import Architecture
 
 #: Hashable identity of one candidate design; see :func:`CompiledSpec.signature`.
 Signature = Tuple[
@@ -109,11 +111,11 @@ class CompiledSpec:
 
     # ------------------------------------------------------------------
     @property
-    def architecture(self):
+    def architecture(self) -> "Architecture":
         return self.spec.architecture
 
     @property
-    def application(self):
+    def application(self) -> "Application":
         return self.spec.current
 
     @property
@@ -150,7 +152,7 @@ class CompiledSpec:
 
     def validate_against(
         self,
-        application,
+        application: "Application",
         base: Optional[SystemSchedule],
         horizon: Optional[int],
     ) -> None:

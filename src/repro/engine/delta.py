@@ -54,7 +54,11 @@ from repro.sched.trace import ScheduleTrace, heap_key
 from repro.tdma.schedule import BusSchedule
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.core.transformations import CandidateDesign, Transformation
+    from repro.core.transformations import (
+        CandidateDesign,
+        MoveFootprint,
+        Transformation,
+    )
     from repro.engine.compiled_spec import CompiledSpec
     from repro.sched.jobs import JobKey
 
@@ -463,7 +467,7 @@ class DeltaEvaluator:
         self,
         parent: EvaluatedDesign,
         child: "CandidateDesign",
-        fp,
+        fp: "MoveFootprint",
     ) -> int:
         """First parent event index whose decision the move can change.
 
@@ -476,6 +480,7 @@ class DeltaEvaluator:
         pop_index = trace.pop_index
         d = len(events)
 
+        # repro: allow[DET003] min-accumulation: d only ever decreases, so the scan order over the footprint set cannot change the result
         for pid in fp.processes:
             for key in self._jobs_of.get(pid, ()):
                 index = pop_index[key]
@@ -487,7 +492,9 @@ class DeltaEvaluator:
         jobs = self.compiled.job_table.jobs
         old_priorities = parent.design.priorities
         new_priorities = child.priorities
+        # repro: allow[DET003] min-accumulation: each pid's first-beating index is order-independent; d only shrinks and truncated scans can only skip indexes >= d
         for pid in fp.reprioritized:
+            # repro: allow[DET006] both sides are the same stored dict values (copied by moves, never recomputed), so exact equality is sound
             if old_priorities.get(pid, 0.0) == new_priorities.get(pid, 0.0):
                 continue
             for key in self._jobs_of.get(pid, ()):

@@ -17,11 +17,11 @@ work happens here.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, NamedTuple, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, List, NamedTuple, Optional, Sequence
 
 from repro.engine.batch import BatchEvaluator
 from repro.engine.cache import DEFAULT_MAX_ENTRIES, CacheStats, EvaluationCache
-from repro.engine.compiled_spec import CompiledSpec
+from repro.engine.compiled_spec import CompiledSpec, Signature
 from repro.engine.delta import DeltaStats
 from repro.engine.evaluation import EvaluatedDesign
 
@@ -157,9 +157,9 @@ class EvaluationEngine:
 
     def _cached_batch(
         self,
-        signatures: List,
-        solve_fresh,
-        solve_one,
+        signatures: List[Signature],
+        solve_fresh: Callable[[List[int]], List[Optional[EvaluatedDesign]]],
+        solve_one: Callable[[int], Optional[EvaluatedDesign]],
     ) -> List[Optional[EvaluatedDesign]]:
         """Cache plan/commit shared by :meth:`evaluate_many` and
         :meth:`evaluate_moves`.
@@ -343,5 +343,5 @@ class EvaluationEngine:
     def __enter__(self) -> "EvaluationEngine":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()

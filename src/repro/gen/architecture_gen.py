@@ -16,7 +16,7 @@ schedulers; the architecture-level knobs only steer generation.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, TypeVar, Union
+from typing import List, Optional, Sequence, TypeVar
 
 from repro.model.architecture import Architecture, Node
 from repro.tdma.bus import Slot, TdmaBus

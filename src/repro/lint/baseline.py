@@ -1,0 +1,77 @@
+"""Baseline files: grandfathered findings that do not fail the run.
+
+A baseline is a JSON file of finding fingerprints (see
+:attr:`repro.lint.findings.Finding.fingerprint`).  Fingerprints hash
+nothing and carry the source text, so entries survive pure line-shift
+edits and are machine-independent.  The checked-in baseline for
+``src/repro`` is empty -- the file exists as the CI contract that it
+stays empty.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Sequence, Set, Tuple
+
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Path) -> Set[str]:
+    """Fingerprints grandfathered by ``path`` (missing file = none)."""
+    if not path.is_file():
+        return set()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {data.get('version')!r} "
+            f"in {path}"
+        )
+    entries = data.get("entries", [])
+    if not isinstance(entries, list):
+        raise ValueError(f"malformed baseline {path}: entries not a list")
+    return set(entries)
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Write the baseline grandfathering exactly ``findings``."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": sorted({finding.fingerprint for finding in findings}),
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def apply_baseline(
+    findings: Sequence[Finding], entries: Set[str]
+) -> Tuple[List[Finding], List[Finding], Set[str]]:
+    """Split findings into (kept, baselined) and report stale entries.
+
+    Returns ``(kept, baselined, stale)`` where ``stale`` holds baseline
+    entries that matched nothing -- candidates for deletion, surfaced
+    in the human output but not themselves failures.
+    """
+    kept: List[Finding] = []
+    baselined: List[Finding] = []
+    matched: Set[str] = set()
+    for finding in findings:
+        fingerprint = finding.fingerprint
+        if fingerprint in entries:
+            matched.add(fingerprint)
+            baselined.append(finding)
+        else:
+            kept.append(finding)
+    return kept, baselined, entries - matched
+
+
+__all__ = [
+    "BASELINE_VERSION",
+    "apply_baseline",
+    "load_baseline",
+    "write_baseline",
+]

@@ -1,0 +1,182 @@
+"""Command line: ``python -m repro.lint [paths] [options]``.
+
+Exit codes: 0 = clean, 1 = findings, 2 = usage/configuration error.
+Human output goes to stdout one finding per line (editor-clickable
+``path:line:col:``); ``--format json`` emits a machine-readable
+document suitable for CI artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.config import load_config
+from repro.lint.engine import run_lint
+from repro.lint.rules import rule_catalog
+
+#: Default baseline location, relative to the pyproject that
+#: configures the run.  The checked-in file is empty -- that is the
+#: contract CI enforces.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "Static determinism / layering / contract analysis for the "
+            "repro codebase."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--config",
+        type=Path,
+        default=None,
+        help="pyproject.toml carrying [tool.repro-lint] "
+        "(default: nearest above the cwd)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline file of grandfathered findings (default: "
+        f"{DEFAULT_BASELINE} next to the governing pyproject, when "
+        "present)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline to grandfather current findings "
+        "and exit 0",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file (report everything)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _resolve_baseline(
+    args: argparse.Namespace, config_source: Optional[Path]
+) -> Optional[Path]:
+    if args.no_baseline:
+        return None
+    if args.baseline is not None:
+        return args.baseline
+    if args.write_baseline:
+        # An explicit write with no path gets the default location.
+        anchor = config_source.parent if config_source else Path.cwd()
+        return anchor / DEFAULT_BASELINE
+    if config_source is not None:
+        candidate = config_source.parent / DEFAULT_BASELINE
+        if candidate.is_file():
+            return candidate
+    candidate = Path.cwd() / DEFAULT_BASELINE
+    return candidate if candidate.is_file() else None
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        if args.format == "json":
+            print(json.dumps(rule_catalog(), indent=2))
+        else:
+            for rule in rule_catalog():
+                print(f"{rule['id']}  {rule['description']}")
+                print(f"        fix: {rule['hint']}")
+        return 0
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(
+            f"error: no such path: {', '.join(map(str, missing))}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        config = load_config(
+            start=paths[0] if paths else Path.cwd(), explicit=args.config
+        )
+    except ValueError as exc:
+        print(f"error: bad configuration: {exc}", file=sys.stderr)
+        return 2
+
+    baseline = _resolve_baseline(args, config.source)
+    try:
+        result = run_lint(
+            paths,
+            config=config,
+            baseline_path=baseline,
+            update_baseline=args.write_baseline,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "version": 1,
+                    "files": result.files,
+                    "findings": [f.as_dict() for f in result.findings],
+                    "suppressed": len(result.suppressed),
+                    "baselined": len(result.baselined),
+                    "stale_baseline": sorted(result.stale_baseline),
+                    "ok": result.ok,
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in result.findings:
+            print(finding.render())
+            if finding.hint:
+                print(f"    fix: {finding.hint}")
+        tail: List[str] = [f"{result.files} files"]
+        if result.suppressed:
+            tail.append(f"{len(result.suppressed)} suppressed")
+        if result.baselined:
+            tail.append(f"{len(result.baselined)} baselined")
+        if result.stale_baseline:
+            tail.append(
+                f"{len(result.stale_baseline)} stale baseline entries "
+                "(delete or --write-baseline)"
+            )
+        verdict = (
+            "clean"
+            if result.ok
+            else f"{len(result.findings)} finding(s)"
+        )
+        print(f"repro-lint: {verdict} ({', '.join(tail)})")
+        if args.write_baseline and baseline is not None:
+            print(f"baseline written: {baseline}")
+
+    return 0 if result.ok else 1
+
+
+__all__ = ["main", "build_parser"]

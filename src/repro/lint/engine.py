@@ -1,0 +1,437 @@
+"""The rule engine: one ``ast`` parse per file, one walk per rule set.
+
+:class:`ModuleInfo` wraps a parsed file with everything rules need --
+parent links, enclosing qualnames, ``TYPE_CHECKING`` containment and a
+resolved import-alias table (``np.random.default_rng`` -> the dotted
+``numpy.random.default_rng`` regardless of aliasing).  :class:`Project`
+adds the cross-file registries (set-typed dataclass fields, the module
+import graph) that the layering and flow rules consume, and
+:func:`run_lint` orchestrates: parse, per-module rules, project rules,
+inline suppressions, baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding, Severity
+from repro.lint.suppressions import (
+    Suppression,
+    apply_suppressions,
+    parse_suppressions,
+)
+
+_SET_TYPE_NAMES = {"set", "frozenset", "Set", "FrozenSet", "AbstractSet"}
+
+
+def _annotation_is_set(node: Optional[ast.expr]) -> bool:
+    """Whether a type annotation denotes a set/frozenset."""
+    if node is None:
+        return False
+    if isinstance(node, ast.Subscript):
+        return _annotation_is_set(node.value)
+    if isinstance(node, ast.Name):
+        return node.id in _SET_TYPE_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in _SET_TYPE_NAMES
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        # String annotations: cheap textual check is enough here.
+        head = node.value.split("[")[0].strip().rsplit(".", 1)[-1]
+        return head in _SET_TYPE_NAMES
+    return False
+
+
+class ModuleInfo:
+    """One parsed source file plus the lookups every rule shares."""
+
+    def __init__(self, path: Path, display_path: str, source: str):
+        self.path = path
+        self.display_path = display_path
+        self.source = source
+        self.lines: List[str] = source.splitlines()
+        self.tree: ast.Module = ast.parse(source, filename=str(path))
+        self.module = self._module_name(path)
+        self.layer = self._layer_name(self.module)
+        self.suppressions: List[Suppression] = parse_suppressions(source)
+
+        self._qualname: Dict[int, str] = {}
+        self._in_type_checking: Set[int] = set()
+        self._in_function: Set[int] = set()
+        self._aliases: Dict[str, str] = {}
+        self._index()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _module_name(path: Path) -> str:
+        """Dotted module name inferred from the path.
+
+        The last ``repro`` path component anchors the package, so both
+        the live tree (``src/repro/...``) and test fixtures written to
+        ``<tmp>/repro/<layer>/mod.py`` resolve identically.  Files
+        outside a ``repro`` tree fall back to their stem.
+        """
+        parts = list(path.parts)
+        if "repro" in parts:
+            anchor = len(parts) - 1 - parts[::-1].index("repro")
+            dotted = list(parts[anchor:])
+        else:
+            dotted = [parts[-1]]
+        dotted[-1] = Path(dotted[-1]).stem
+        if dotted[-1] == "__init__":
+            dotted.pop()
+        return ".".join(dotted)
+
+    @staticmethod
+    def _layer_name(module: str) -> str:
+        parts = module.split(".")
+        if parts[0] == "repro" and len(parts) >= 2:
+            return parts[1]
+        return ""
+
+    # ------------------------------------------------------------------
+    def _index(self) -> None:
+        """One walk computing qualnames, guards and the alias table."""
+        stores: Set[str] = set()
+
+        def visit(node: ast.AST, stack: List[str], tc: bool, fn: bool):
+            node_id = id(node)
+            self._qualname[node_id] = ".".join(stack)
+            if tc:
+                self._in_type_checking.add(node_id)
+            if fn:
+                self._in_function.add(node_id)
+
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    name = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else name
+                    self._aliases.setdefault(name, target)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and node.level == 0:
+                    for alias in node.names:
+                        if alias.name == "*":
+                            continue
+                        bound = alias.asname or alias.name
+                        self._aliases.setdefault(
+                            bound, f"{node.module}.{alias.name}"
+                        )
+            elif isinstance(node, ast.Name) and isinstance(
+                node.ctx, ast.Store
+            ):
+                stores.add(node.id)
+            elif isinstance(node, ast.arg):
+                stores.add(node.arg)
+
+            is_tc_branch = isinstance(node, ast.If) and (
+                (
+                    isinstance(node.test, ast.Name)
+                    and node.test.id == "TYPE_CHECKING"
+                )
+                or (
+                    isinstance(node.test, ast.Attribute)
+                    and node.test.attr == "TYPE_CHECKING"
+                )
+            )
+            for child_field, value in ast.iter_fields(node):
+                children = value if isinstance(value, list) else [value]
+                for child in children:
+                    if not isinstance(child, ast.AST):
+                        continue
+                    child_tc = tc or (
+                        is_tc_branch and child_field == "body"
+                    )
+                    child_stack = stack
+                    child_fn = fn
+                    if isinstance(
+                        node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        child_fn = True
+                    if isinstance(
+                        child,
+                        (
+                            ast.FunctionDef,
+                            ast.AsyncFunctionDef,
+                            ast.ClassDef,
+                        ),
+                    ):
+                        child_stack = stack + [child.name]
+                    visit(child, child_stack, child_tc, child_fn)
+
+        visit(self.tree, [], False, False)
+        # A name rebound by ordinary assignment anywhere stops being a
+        # trustworthy import alias (conservative: avoids false flags).
+        for name in stores:
+            self._aliases.pop(name, None)
+
+    # ------------------------------------------------------------------
+    def qualname(self, node: ast.AST) -> str:
+        """Qualified name of the scope *containing* ``node``."""
+        return self._qualname.get(id(node), "")
+
+    def in_type_checking(self, node: ast.AST) -> bool:
+        return id(node) in self._in_type_checking
+
+    def in_function(self, node: ast.AST) -> bool:
+        return id(node) in self._in_function
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted name of a ``Name``/``Attribute`` chain, de-aliased.
+
+        ``np.random.default_rng`` resolves to
+        ``numpy.random.default_rng`` when ``np`` aliases ``numpy``;
+        a bare ``perf_counter`` imported from ``time`` resolves to
+        ``time.perf_counter``.  Returns None for non-static chains
+        (calls, subscripts) or unknown roots.
+        """
+        chain: List[str] = []
+        while isinstance(node, ast.Attribute):
+            chain.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self._aliases.get(node.id)
+        if root is None:
+            return None
+        chain.append(root)
+        return ".".join(reversed(chain))
+
+    def finding(
+        self,
+        rule: "Rule",
+        node: ast.AST,
+        message: str,
+    ) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        snippet = ""
+        if 1 <= line <= len(self.lines):
+            snippet = self.lines[line - 1].strip()
+        return Finding(
+            rule=rule.id,
+            severity=rule.severity,
+            path=self.display_path,
+            line=line,
+            col=col,
+            message=message,
+            symbol=self.qualname(node),
+            hint=rule.hint,
+            snippet=snippet,
+        )
+
+
+@dataclass
+class Project:
+    """Cross-file registries shared by project-scope rules."""
+
+    modules: List[ModuleInfo] = field(default_factory=list)
+    #: class name -> {attribute: is-set-typed} from annotated class
+    #: bodies anywhere in the run (dataclass fields, class attrs).
+    class_fields: Dict[str, Dict[str, bool]] = field(default_factory=dict)
+
+    def build_registries(self) -> None:
+        for module in self.modules:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                fields = self.class_fields.setdefault(node.name, {})
+                for stmt in node.body:
+                    if isinstance(stmt, ast.AnnAssign) and isinstance(
+                        stmt.target, ast.Name
+                    ):
+                        fields[stmt.target.id] = _annotation_is_set(
+                            stmt.annotation
+                        )
+
+    def set_typed_fields(self, class_name: str) -> Set[str]:
+        return {
+            attr
+            for attr, is_set in self.class_fields.get(class_name, {}).items()
+            if is_set
+        }
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses override :meth:`check` (per module) and/or
+    :meth:`finalize` (once, after every module is parsed -- for
+    whole-program properties such as import cycles).
+    """
+
+    id: str = ""
+    severity: str = Severity.ERROR
+    description: str = ""
+    hint: str = ""
+
+    def check(
+        self, module: ModuleInfo, project: Project, config: LintConfig
+    ) -> Iterator[Finding]:
+        return iter(())
+
+    def finalize(
+        self, project: Project, config: LintConfig
+    ) -> Iterator[Finding]:
+        return iter(())
+
+
+class _SyntaxErrorRule(Rule):
+    """Synthetic rule id for unparseable files."""
+
+    id = "LINT003"
+    description = "file does not parse"
+    hint = "fix the syntax error"
+
+
+@dataclass
+class LintResult:
+    """Everything one run produced."""
+
+    findings: List[Finding]
+    suppressed: List[Finding]
+    baselined: List[Finding]
+    stale_baseline: Set[str]
+    files: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def iter_python_files(
+    paths: Sequence[Path], exclude: Sequence[str] = ()
+) -> Iterator[Path]:
+    """All ``.py`` files under ``paths`` (files given directly pass
+    the exclude filter too), deterministically ordered."""
+    seen: Set[Path] = set()
+    for path in paths:
+        candidates: Iterable[Path]
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            posix = candidate.as_posix()
+            if any(fnmatch.fnmatch(posix, pattern) for pattern in exclude):
+                continue
+            seen.add(resolved)
+            yield candidate
+
+
+def _display_path(path: Path) -> str:
+    """Repo-relative posix path when possible (stable fingerprints)."""
+    try:
+        return path.resolve().relative_to(Path.cwd().resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _number_occurrences(findings: List[Finding]) -> List[Finding]:
+    """Assign occurrence indexes so identical findings fingerprint
+    distinctly (two equal snippets in one function)."""
+    counts: Dict[str, int] = {}
+    numbered = []
+    for finding in findings:
+        key = "|".join(
+            [finding.rule, finding.path, finding.symbol, finding.snippet]
+        )
+        occurrence = counts.get(key, 0)
+        counts[key] = occurrence + 1
+        numbered.append(replace(finding, occurrence=occurrence))
+    return numbered
+
+
+def run_lint(
+    paths: Sequence[Path],
+    config: Optional[LintConfig] = None,
+    rules: Optional[Sequence[Rule]] = None,
+    baseline_path: Optional[Path] = None,
+    update_baseline: bool = False,
+) -> LintResult:
+    """Lint ``paths`` and return the full result.
+
+    ``update_baseline`` rewrites ``baseline_path`` to grandfather the
+    current unsuppressed findings instead of reporting them.
+    """
+    from repro.lint.rules import all_rules
+
+    config = config or LintConfig()
+    active_rules = list(rules) if rules is not None else all_rules()
+
+    project = Project()
+    raw_findings: List[Finding] = []
+    suppressions_by_path: Dict[str, List[Suppression]] = {}
+    files = 0
+    syntax_rule = _SyntaxErrorRule()
+    for path in iter_python_files(paths, config.exclude):
+        files += 1
+        display = _display_path(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+            module = ModuleInfo(path, display, source)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            line = getattr(exc, "lineno", 1) or 1
+            raw_findings.append(
+                Finding(
+                    rule=syntax_rule.id,
+                    severity=syntax_rule.severity,
+                    path=display,
+                    line=line,
+                    col=0,
+                    message=f"file does not parse: {exc}",
+                    hint=syntax_rule.hint,
+                )
+            )
+            continue
+        project.modules.append(module)
+        suppressions_by_path[display] = module.suppressions
+
+    project.build_registries()
+    for module in project.modules:
+        for rule in active_rules:
+            raw_findings.extend(rule.check(module, project, config))
+    for rule in active_rules:
+        raw_findings.extend(rule.finalize(project, config))
+
+    raw_findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    raw_findings = _number_occurrences(raw_findings)
+
+    kept, suppressed = apply_suppressions(
+        raw_findings, suppressions_by_path
+    )
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+
+    baselined: List[Finding] = []
+    stale: Set[str] = set()
+    if baseline_path is not None and update_baseline:
+        write_baseline(baseline_path, kept)
+        baselined, kept = kept, []
+    elif baseline_path is not None:
+        entries = load_baseline(baseline_path)
+        kept, baselined, stale = apply_baseline(kept, entries)
+
+    return LintResult(
+        findings=kept,
+        suppressed=suppressed,
+        baselined=baselined,
+        stale_baseline=stale,
+        files=files,
+    )
+
+
+__all__ = [
+    "LintResult",
+    "ModuleInfo",
+    "Project",
+    "Rule",
+    "iter_python_files",
+    "run_lint",
+]

@@ -1,0 +1,88 @@
+"""Finding and severity types shared by every rule."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class Severity:
+    """Finding severities (plain strings so findings stay JSON-native)."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    rule:
+        Rule id (``DET001``, ``LAY002``, ...).
+    severity:
+        ``error`` or ``warning``; both fail the run, the distinction
+        is informational.
+    path:
+        Path as given to the linter (kept repo-relative by the CLI so
+        fingerprints are machine-independent).
+    line / col:
+        1-based line and 0-based column of the offending node.
+    message:
+        Human explanation of this specific violation.
+    symbol:
+        Qualified name of the enclosing function/class, if any.
+    hint:
+        The rule's autofix hint (how violations are usually repaired).
+    snippet:
+        The stripped source line, used for stable fingerprints.
+    occurrence:
+        Disambiguates identical findings on identical lines.
+    """
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    symbol: str = ""
+    hint: str = ""
+    snippet: str = ""
+    occurrence: int = field(default=0, compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        """A location-stable identity for baseline matching.
+
+        Uses the source text rather than the line number so pure
+        line-shift edits do not invalidate a grandfathered entry.
+        """
+        return "|".join(
+            [
+                self.rule,
+                self.path,
+                self.symbol,
+                self.snippet,
+                str(self.occurrence),
+            ]
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "symbol": self.symbol,
+            "hint": self.hint,
+            "fingerprint": self.fingerprint,
+        }
+
+    def render(self) -> str:
+        """One-line human rendering (``path:line:col: RULE message``)."""
+        where = f"{self.path}:{self.line}:{self.col + 1}"
+        sym = f" [{self.symbol}]" if self.symbol else ""
+        return f"{where}: {self.rule} {self.message}{sym}"

@@ -1,0 +1,62 @@
+"""Rule registry: every shipped rule, in catalog order."""
+
+from __future__ import annotations
+
+from typing import List, Type
+
+from repro.lint.engine import Rule
+from repro.lint.rules.contracts import CONTRACT_RULES
+from repro.lint.rules.determinism import DETERMINISM_RULES
+from repro.lint.rules.layering import LAYERING_RULES
+
+RULE_CLASSES: tuple = (
+    *DETERMINISM_RULES,
+    *LAYERING_RULES,
+    *CONTRACT_RULES,
+)
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every shipped rule."""
+    return [cls() for cls in RULE_CLASSES]
+
+
+def rule_catalog() -> List[dict]:
+    """Id/severity/description/hint for every rule (docs, --list-rules)."""
+    catalog = [
+        {
+            "id": cls.id,
+            "severity": cls.severity,
+            "description": cls.description,
+            "hint": cls.hint,
+        }
+        for cls in RULE_CLASSES
+    ]
+    catalog.append(
+        {
+            "id": "LINT001",
+            "severity": "error",
+            "description": "suppression without a reason",
+            "hint": "write '# repro: allow[RULE-ID] <why this is safe>'",
+        }
+    )
+    catalog.append(
+        {
+            "id": "LINT002",
+            "severity": "error",
+            "description": "stale suppression (matches no finding)",
+            "hint": "delete the comment",
+        }
+    )
+    catalog.append(
+        {
+            "id": "LINT003",
+            "severity": "error",
+            "description": "file does not parse",
+            "hint": "fix the syntax error",
+        }
+    )
+    return catalog
+
+
+__all__ = ["RULE_CLASSES", "all_rules", "rule_catalog"]

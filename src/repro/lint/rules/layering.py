@@ -1,0 +1,264 @@
+"""Layering rules LAY001..LAY003: the import DAG, statically.
+
+The documented stack (DESIGN.md "Layer diagram") is enforced on
+*module-level runtime* imports: a layer may import itself and
+strictly-earlier layers.  ``if TYPE_CHECKING:`` imports are erased at
+runtime and exempt; function-scope (lazy) imports are the sanctioned
+cycle-breaking mechanism (e.g. the engine pricing schedules through
+``core.metrics`` at call time) and exempt from LAY001 -- but every
+runtime edge, lazy or not, still participates in nothing upward that
+the allowlist in ``pyproject.toml [tool.repro-lint]`` does not name.
+
+LAY002 rejects import cycles at module granularity (over module-level
+runtime edges, allowlisted or not: an allowlisted upward edge must
+still not close a loop).  LAY003 rejects cross-layer imports of
+``_``-private modules regardless of context.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import ModuleInfo, Project, Rule
+from repro.lint.findings import Finding
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One import statement's contribution to the module graph."""
+
+    src_module: str
+    dst_module: str
+    line: int
+    col: int
+    context: str  # "module" | "lazy" | "type-checking"
+
+
+def _edges_of(module: ModuleInfo) -> List[ImportEdge]:
+    """All ``repro.*`` imports of one module, classified by context."""
+    edges: List[ImportEdge] = []
+    for node in ast.walk(module.tree):
+        targets: List[str] = []
+        if isinstance(node, ast.Import):
+            targets = [
+                alias.name
+                for alias in node.names
+                if alias.name.split(".")[0] == "repro"
+            ]
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            if node.module and node.module.split(".")[0] == "repro":
+                if node.module == "repro":
+                    # ``from repro import engine`` imports submodules.
+                    targets = [
+                        f"repro.{alias.name}" for alias in node.names
+                    ]
+                else:
+                    targets = [node.module]
+        for target in targets:
+            if module.in_type_checking(node):
+                context = "type-checking"
+            elif module.in_function(node):
+                context = "lazy"
+            else:
+                context = "module"
+            edges.append(
+                ImportEdge(
+                    src_module=module.module,
+                    dst_module=target,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    context=context,
+                )
+            )
+    return edges
+
+
+def _layer_of_module(dotted: str) -> str:
+    parts = dotted.split(".")
+    if parts[0] == "repro" and len(parts) >= 2:
+        return parts[1]
+    return ""
+
+
+class UpwardImportRule(Rule):
+    """LAY001: no module-level runtime import of a later layer."""
+
+    id = "LAY001"
+    description = (
+        "module-level import of a later layer (violates the "
+        "documented import DAG)"
+    )
+    hint = (
+        "invert the dependency, defer the import to call time, or "
+        "(last resort) add the edge to [tool.repro-lint] "
+        "import-allowlist with a reason"
+    )
+
+    def check(
+        self, module: ModuleInfo, project: Project, config: LintConfig
+    ) -> Iterator[Finding]:
+        src_rank = config.layer_rank(module.layer)
+        if src_rank is None:
+            return
+        for edge in _edges_of(module):
+            if edge.context != "module":
+                continue
+            dst_layer = _layer_of_module(edge.dst_module)
+            dst_rank = config.layer_rank(dst_layer)
+            if dst_rank is None or dst_rank <= src_rank:
+                continue
+            if config.import_allowed(edge.src_module, edge.dst_module):
+                continue
+            finding = module.finding(
+                self,
+                _node_at(module, edge),
+                f"layer '{module.layer}' imports "
+                f"`{edge.dst_module}` from later layer "
+                f"'{dst_layer}' at module level",
+            )
+            yield finding
+
+
+class ImportCycleRule(Rule):
+    """LAY002: the runtime import graph stays acyclic."""
+
+    id = "LAY002"
+    description = "module-level import cycle"
+    hint = "break the cycle with a call-time import or an interface split"
+
+    def finalize(
+        self, project: Project, config: LintConfig
+    ) -> Iterator[Finding]:
+        by_name: Dict[str, ModuleInfo] = {
+            module.module: module for module in project.modules
+        }
+        graph: Dict[str, Set[str]] = {name: set() for name in by_name}
+        edge_site: Dict[Tuple[str, str], Tuple[int, int]] = {}
+        for module in project.modules:
+            for edge in _edges_of(module):
+                if edge.context != "module":
+                    continue
+                if edge.dst_module in by_name:
+                    graph[module.module].add(edge.dst_module)
+                    edge_site.setdefault(
+                        (module.module, edge.dst_module),
+                        (edge.line, edge.col),
+                    )
+        for cycle in _cycles(graph):
+            anchor = min(cycle)
+            module = by_name[anchor]
+            index = cycle.index(anchor)
+            ordered = cycle[index:] + cycle[:index]
+            line, col = edge_site.get(
+                (ordered[0], ordered[1 % len(ordered)]), (1, 0)
+            )
+            chain = " -> ".join([*ordered, ordered[0]])
+            snippet = ""
+            if 1 <= line <= len(module.lines):
+                snippet = module.lines[line - 1].strip()
+            yield Finding(
+                rule=self.id,
+                severity=self.severity,
+                path=module.display_path,
+                line=line,
+                col=col,
+                message=f"import cycle: {chain}",
+                hint=self.hint,
+                snippet=snippet,
+            )
+
+
+def _cycles(graph: Dict[str, Set[str]]) -> List[List[str]]:
+    """Strongly connected components of size > 1 (Tarjan, iterative
+    enough for this graph's size via recursion on small depth)."""
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    counter = [0]
+    out: List[List[str]] = []
+
+    def strongconnect(v: str) -> None:
+        index[v] = lowlink[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        for w in sorted(graph.get(v, ())):
+            if w not in index:
+                strongconnect(w)
+                lowlink[v] = min(lowlink[v], lowlink[w])
+            elif w in on_stack:
+                lowlink[v] = min(lowlink[v], index[w])
+        if lowlink[v] == index[v]:
+            component: List[str] = []
+            while True:
+                w = stack.pop()
+                on_stack.discard(w)
+                component.append(w)
+                if w == v:
+                    break
+            if len(component) > 1:
+                out.append(sorted(component))
+
+    for vertex in sorted(graph):
+        if vertex not in index:
+            strongconnect(vertex)
+    return out
+
+
+class PrivateImportRule(Rule):
+    """LAY003: no cross-layer import of ``_``-private modules."""
+
+    id = "LAY003"
+    description = (
+        "deep import of another layer's private `_`-module"
+    )
+    hint = (
+        "import the layer's public surface; promote the symbol if "
+        "another layer genuinely needs it"
+    )
+
+    def check(
+        self, module: ModuleInfo, project: Project, config: LintConfig
+    ) -> Iterator[Finding]:
+        for edge in _edges_of(module):
+            if edge.context == "type-checking":
+                continue
+            dst_layer = _layer_of_module(edge.dst_module)
+            if not dst_layer or dst_layer == module.layer:
+                continue
+            private = [
+                part
+                for part in edge.dst_module.split(".")[2:]
+                if part.startswith("_") and not part.startswith("__")
+            ]
+            if private:
+                yield module.finding(
+                    self,
+                    _node_at(module, edge),
+                    f"`{edge.dst_module}` is private to layer "
+                    f"'{dst_layer}' (module {private[0]} is "
+                    "underscore-prefixed)",
+                )
+
+
+class _Site:
+    """Minimal node-like object for findings at a known location."""
+
+    def __init__(self, line: int, col: int):
+        self.lineno = line
+        self.col_offset = col
+
+
+def _node_at(module: ModuleInfo, edge: ImportEdge) -> ast.AST:
+    """A location carrier for an edge (qualname lookup degrades to
+    module scope, which is correct for import statements)."""
+    return _Site(edge.line, edge.col)  # type: ignore[return-value]
+
+
+LAYERING_RULES = (UpwardImportRule, ImportCycleRule, PrivateImportRule)
+
+__all__ = ["LAYERING_RULES", "ImportEdge"]

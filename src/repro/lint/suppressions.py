@@ -1,0 +1,150 @@
+"""Inline suppressions: ``# repro: allow[RULE-ID] reason``.
+
+A suppression silences matching findings on its own physical line, or
+-- when the comment is the whole line -- on the next line (so long
+statements can carry the comment above them).  The reason is
+**mandatory**: an empty reason is itself a finding (LINT001), and a
+suppression that silences nothing is reported as stale (LINT002) so
+dead exemptions cannot accumulate.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.lint.findings import Finding, Severity
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<ids>[^\]]*)\]\s*(?P<reason>.*?)\s*$"
+)
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# repro: allow[...]`` comment."""
+
+    line: int
+    rule_ids: List[str]
+    reason: str
+    standalone: bool  # the comment is the whole line
+    used: bool = field(default=False, compare=False)
+
+    def covers(self, finding: Finding) -> bool:
+        if finding.rule not in self.rule_ids:
+            return False
+        if finding.line == self.line:
+            return True
+        return self.standalone and finding.line == self.line + 1
+
+
+def parse_suppressions(source: str) -> List[Suppression]:
+    """All suppression comments in a source file.
+
+    Tokenizes rather than regex-scanning raw lines so the marker text
+    inside string literals or docstrings is never mistaken for a live
+    suppression.
+    """
+    found: List[Suppression] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (token.start[0], token.start[1], token.string)
+            for token in tokens
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        return []
+    for line, col, text in comments:
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        ids = [
+            rule_id.strip()
+            for rule_id in match.group("ids").split(",")
+            if rule_id.strip()
+        ]
+        found.append(
+            Suppression(
+                line=line,
+                rule_ids=ids,
+                reason=match.group("reason").strip(),
+                standalone=col == 0
+                or not source.splitlines()[line - 1][:col].strip(),
+            )
+        )
+    return found
+
+
+def apply_suppressions(
+    findings: Sequence[Finding],
+    suppressions_by_path: Dict[str, List[Suppression]],
+) -> tuple:
+    """Split findings into (kept, suppressed) and add hygiene findings.
+
+    Returns ``(kept, suppressed)`` where ``kept`` already includes the
+    LINT001 (reason missing) and LINT002 (stale suppression) hygiene
+    findings, which are themselves unsuppressible.
+    """
+    kept: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in findings:
+        covering = None
+        for suppression in suppressions_by_path.get(finding.path, ()):
+            if suppression.covers(finding):
+                covering = suppression
+                break
+        if covering is None:
+            kept.append(finding)
+            continue
+        covering.used = True
+        if covering.reason:
+            suppressed.append(finding)
+        else:
+            # Reasonless suppressions do not suppress: the original
+            # finding stands and LINT001 (emitted below) joins it.
+            kept.append(finding)
+
+    for path, suppressions in sorted(suppressions_by_path.items()):
+        for suppression in suppressions:
+            if not suppression.reason:
+                kept.append(
+                    Finding(
+                        rule="LINT001",
+                        severity=Severity.ERROR,
+                        path=path,
+                        line=suppression.line,
+                        col=0,
+                        message=(
+                            "suppression without a reason: write "
+                            "'# repro: allow[{}] <why this is safe>'".format(
+                                ",".join(suppression.rule_ids) or "RULE-ID"
+                            )
+                        ),
+                        snippet=f"allow[{','.join(suppression.rule_ids)}]",
+                    )
+                )
+            elif not suppression.used:
+                kept.append(
+                    Finding(
+                        rule="LINT002",
+                        severity=Severity.ERROR,
+                        path=path,
+                        line=suppression.line,
+                        col=0,
+                        message=(
+                            "stale suppression: no {} finding here -- "
+                            "delete the comment".format(
+                                ",".join(suppression.rule_ids) or "?"
+                            )
+                        ),
+                        snippet=f"allow[{','.join(suppression.rule_ids)}]",
+                    )
+                )
+    return kept, suppressed
+
+
+__all__ = ["Suppression", "parse_suppressions", "apply_suppressions"]

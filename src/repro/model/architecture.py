@@ -10,8 +10,8 @@ expressed through per-process WCET tables (see
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.tdma.bus import Slot, TdmaBus
 from repro.utils.errors import InvalidModelError

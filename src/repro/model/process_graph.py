@@ -10,8 +10,8 @@ TDMA bus when its endpoints live on different nodes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Mapping as TMapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping as TMapping, Optional, Tuple
 
 import networkx as nx
 

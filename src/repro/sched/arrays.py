@@ -60,7 +60,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.sched.jobs import JobKey
 from repro.sched.schedule import ScheduledProcess, SystemSchedule
-from repro.sched.trace import MessageEvent, ScheduleTrace, TraceEvent
+from repro.sched.trace import MessageEvent, ScheduleTrace
 from repro.tdma.schedule import SlotOccupancy
 from repro.utils.intervals import IntervalSet
 
@@ -73,8 +73,9 @@ except ImportError:  # pragma: no cover - numpy is baked into the toolchain
     HAVE_NUMPY = False
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.core.transformations import CandidateDesign
+    from repro.core.transformations import CandidateDesign, MoveFootprint
     from repro.engine.compiled_spec import CompiledSpec
+    from repro.sched.priorities import PriorityMap
 
 #: The selectable scheduler cores (the CLI's ``--engine-core`` values).
 ENGINE_CORES = ("array", "object")
@@ -690,9 +691,9 @@ class ArraySpec:
     def divergence(
         self,
         parent: ArrayRunState,
-        fp,
-        old_priorities,
-        new_priorities,
+        fp: "MoveFootprint",
+        old_priorities: "PriorityMap",
+        new_priorities: "PriorityMap",
         new_urg: List[float],
     ) -> int:
         """First parent event index the move can change (see
@@ -704,6 +705,7 @@ class ArraySpec:
         """
         pop = parent.pop
         d = len(parent.ev_job)
+        # repro: allow[DET003] min-accumulation: d only ever decreases, so the scan order over the footprint set cannot change the result
         for pid in fp.processes:
             for j in self._jobs_by_pid.get(pid, ()):
                 index = pop[j]
@@ -716,7 +718,9 @@ class ArraySpec:
         ready_at = parent.ready_at
         ev_job = parent.ev_job
         static_rank = self.static_rank
+        # repro: allow[DET003] min-accumulation: each pid's first-beating index is order-independent; d only shrinks and truncated scans can only skip indexes >= d
         for pid in fp.reprioritized:
+            # repro: allow[DET006] both sides are the same stored dict values (copied by moves, never recomputed), so exact equality is sound
             if old_priorities.get(pid, 0.0) == new_priorities.get(pid, 0.0):
                 continue
             for j in self._jobs_by_pid.get(pid, ()):

@@ -33,7 +33,7 @@ from repro.model.application import Application
 from repro.model.mapping import Mapping
 from repro.model.architecture import Architecture
 from repro.sched.jobs import JobKey, JobTable, expand_jobs
-from repro.sched.priorities import PriorityMap, hcp_priorities
+from repro.sched.priorities import hcp_priorities
 from repro.sched.schedule import SystemSchedule
 from repro.sched.trace import HeapKey, MessageEvent, ScheduleTrace, heap_key
 from repro.utils.errors import SchedulingError

@@ -21,7 +21,7 @@ structurally); tests and downstream users do, via
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.model.application import Application
 from repro.model.mapping import Mapping

@@ -38,7 +38,7 @@ class SharedBudgetExhausted(Exception):
     """
 
 
-def _min_limit(a: Optional[float], b: Optional[float]):
+def _min_limit(a: Optional[float], b: Optional[float]) -> Optional[float]:
     """Tighter of two limits where ``None`` means unlimited."""
     if a is None:
         return b

@@ -27,6 +27,7 @@ import time
 from dataclasses import dataclass
 from typing import (
     TYPE_CHECKING,
+    Any,
     Callable,
     Generator,
     List,
@@ -100,7 +101,10 @@ def execute_request(
 SearchProgram = Generator[EvalRequest, List[Optional[EvaluatedDesign]], "SearchOutcome"]
 
 
-def drive(program, evaluator: "DesignEvaluator"):
+def drive(
+    program: Generator[EvalRequest, List[Optional[EvaluatedDesign]], Any],
+    evaluator: "DesignEvaluator",
+) -> Any:
     """Run a search program to completion against one evaluator.
 
     Works for any generator that yields :class:`EvalRequest` and
@@ -329,6 +333,9 @@ def _restore_rng(
     if state is None:
         return rng
     if rng is None:
-        rng = np.random.default_rng()
+        # The seed is irrelevant -- the bit-generator state is
+        # replaced on the next line -- but an unseeded default_rng()
+        # would draw OS entropy for nothing (and trip DET002).
+        rng = np.random.default_rng(0)
     rng.bit_generator.state = state
     return rng

@@ -45,7 +45,7 @@ from repro.search.budget import Budget, BudgetProgress, SharedBudgetExhausted
 from repro.search.loop import EvalRequest, execute_request
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.core.strategy import DesignResult, DesignSpec
+    from repro.core.strategy import DesignEvaluator, DesignResult, DesignSpec
 
 
 @dataclass
@@ -179,7 +179,7 @@ class PortfolioRunner:
 
     # ------------------------------------------------------------------
     def _race(
-        self, spec, evaluator
+        self, spec: "DesignSpec", evaluator: "DesignEvaluator"
     ) -> Tuple[List[PortfolioMemberOutcome], bool]:
         budget = self.budget if self.budget is not None else Budget()
         started = time.perf_counter()
@@ -195,7 +195,7 @@ class PortfolioRunner:
             outcomes.append(None)
             pending.append(None)
 
-        def finish(index: int, result) -> None:
+        def finish(index: int, result: "DesignResult") -> None:
             outcome = outcomes[index]
             outcome.result = result
             programs[index] = None

@@ -33,6 +33,7 @@ from repro.utils.timemath import periodic_windows
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.strategy import DesignSpec
+    from repro.model.process_graph import Process
 
 
 class Proposer(Protocol):
@@ -188,7 +189,7 @@ class NeighbourhoodProposer:
 # random single moves (the Metropolis walk's move generator)
 # ----------------------------------------------------------------------
 def random_swap(
-    processes, rng: np.random.Generator
+    processes: List["Process"], rng: np.random.Generator
 ) -> Optional[Transformation]:
     """A priority swap between two distinct random processes."""
     if len(processes) < 2:

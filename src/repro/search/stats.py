@@ -11,7 +11,7 @@ their phase stats with :meth:`SearchStats.merged`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 

@@ -13,7 +13,7 @@ can share one bus description.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 from repro.utils.errors import InvalidModelError
 from repro.utils.intervals import Interval

@@ -9,7 +9,7 @@ residual-capacity queries for the design metrics (C1m, C2m).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import lru_cache
 from typing import Dict, Iterator, List, Optional, Tuple
 

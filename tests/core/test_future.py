@@ -10,7 +10,6 @@ from repro.core.future import (
     FutureCharacterization,
 )
 from repro.utils.errors import InvalidModelError
-from repro.utils.rng import make_rng
 
 
 class TestDiscreteDistribution:

@@ -20,7 +20,6 @@ from repro.model.mapping import Mapping
 from repro.sched.priorities import hcp_priorities
 from repro.sched.schedule import SystemSchedule
 
-from tests.conftest import make_chain_graph
 
 
 @pytest.fixture

@@ -5,7 +5,6 @@ import pytest
 from repro.core.initial_mapping import InitialMapper
 from repro.core.transformations import CandidateDesign
 from repro.engine.compiled_spec import CompiledSpec
-from repro.sched.jobs import expand_jobs
 from repro.sched.priorities import hcp_priorities
 from repro.utils.errors import SchedulingError
 

@@ -1,6 +1,5 @@
 """Tests for the EvaluationEngine facade and strategy integration."""
 
-import pytest
 
 from repro.core.adhoc import AdHocStrategy
 from repro.core.initial_mapping import InitialMapper

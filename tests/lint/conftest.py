@@ -1,0 +1,57 @@
+"""Shared fixtures for the repro.lint test suite.
+
+Fixture snippets are written into a throwaway ``repro/<layer>/``
+tree: :class:`repro.lint.engine.ModuleInfo` anchors module names at
+the last ``repro`` path component, so snippets resolve to real layer
+names (``repro.sched.mod`` etc.) without touching the live tree.
+"""
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import pytest
+
+from repro.lint import LintConfig, run_lint
+from repro.lint.findings import Finding
+
+
+class LintBox:
+    """A scratch ``repro`` package tree plus a lint runner."""
+
+    def __init__(self, root: Path):
+        self.root = root
+
+    def write(self, relpath: str, source: str) -> Path:
+        """Write ``source`` at ``repro/<relpath>`` (creates packages)."""
+        path = self.root / "repro" / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+        return path
+
+    def run(
+        self,
+        paths: Optional[Sequence[Path]] = None,
+        config: Optional[LintConfig] = None,
+        **kwargs,
+    ):
+        return run_lint(
+            list(paths) if paths is not None else [self.root],
+            config=config or LintConfig(),
+            **kwargs,
+        )
+
+    def findings(self, source: str, layer: str = "sched") -> List[Finding]:
+        """Lint one snippet placed in ``layer`` (that file only)."""
+        path = self.write(f"{layer}/snippet.py", source)
+        return self.run(paths=[path]).findings
+
+    def rule_ids(self, source: str, layer: str = "sched") -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings(source, layer):
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+
+@pytest.fixture
+def box(tmp_path) -> LintBox:
+    return LintBox(tmp_path)

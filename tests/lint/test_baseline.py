@@ -1,0 +1,106 @@
+"""Baseline round-trip: write, re-run clean, stale detection,
+line-shift stability of fingerprints."""
+
+import json
+import textwrap
+
+
+def snippet(source: str) -> str:
+    return textwrap.dedent(source).lstrip()
+
+
+VIOLATING = snippet(
+    """
+    import time
+
+    def schedule():
+        return time.time()
+    """
+)
+
+
+class TestBaseline:
+    def test_write_then_rerun_is_clean(self, box, tmp_path):
+        path = box.write("sched/mod.py", VIOLATING)
+        baseline = tmp_path / "baseline.json"
+
+        first = box.run(
+            paths=[path], baseline_path=baseline, update_baseline=True
+        )
+        assert first.ok
+        assert len(first.baselined) == 1
+
+        second = box.run(paths=[path], baseline_path=baseline)
+        assert second.ok
+        assert len(second.baselined) == 1
+        assert not second.stale_baseline
+
+    def test_baseline_file_shape(self, box, tmp_path):
+        path = box.write("sched/mod.py", VIOLATING)
+        baseline = tmp_path / "baseline.json"
+        box.run(paths=[path], baseline_path=baseline, update_baseline=True)
+
+        document = json.loads(baseline.read_text(encoding="utf-8"))
+        assert document["version"] == 1
+        assert len(document["entries"]) == 1
+        fingerprint = document["entries"][0]
+        assert fingerprint.startswith("DET001|")
+        assert "time.time()" in fingerprint
+
+    def test_new_finding_not_covered_by_old_baseline(self, box, tmp_path):
+        path = box.write("sched/mod.py", VIOLATING)
+        baseline = tmp_path / "baseline.json"
+        box.run(paths=[path], baseline_path=baseline, update_baseline=True)
+
+        box.write(
+            "sched/mod.py",
+            VIOLATING + "\n\ndef again():\n    return time.time()\n",
+        )
+        result = box.run(paths=[path], baseline_path=baseline)
+        assert not result.ok
+        assert len(result.findings) == 1
+        assert result.findings[0].symbol == "again"
+        assert len(result.baselined) == 1
+
+    def test_fixed_finding_reports_stale_entry(self, box, tmp_path):
+        path = box.write("sched/mod.py", VIOLATING)
+        baseline = tmp_path / "baseline.json"
+        box.run(paths=[path], baseline_path=baseline, update_baseline=True)
+
+        box.write("sched/mod.py", "def schedule(now):\n    return now\n")
+        result = box.run(paths=[path], baseline_path=baseline)
+        assert result.ok  # stale entries don't fail the run by themselves
+        assert len(result.stale_baseline) == 1
+
+    def test_fingerprint_survives_line_shift(self, box, tmp_path):
+        path = box.write("sched/mod.py", VIOLATING)
+        baseline = tmp_path / "baseline.json"
+        box.run(paths=[path], baseline_path=baseline, update_baseline=True)
+
+        # Prepend a comment block: every finding moves down three
+        # lines, but the source-text fingerprint still matches.
+        box.write("sched/mod.py", "# one\n# two\n# three\n" + VIOLATING)
+        result = box.run(paths=[path], baseline_path=baseline)
+        assert result.ok
+        assert len(result.baselined) == 1
+        assert not result.stale_baseline
+
+    def test_duplicate_snippets_fingerprint_distinctly(self, box, tmp_path):
+        source = snippet(
+            """
+            import time
+
+            def schedule():
+                t = time.time()
+                t = time.time()
+                return t
+            """
+        )
+        path = box.write("sched/mod.py", source)
+        baseline = tmp_path / "baseline.json"
+        box.run(paths=[path], baseline_path=baseline, update_baseline=True)
+
+        document = json.loads(baseline.read_text(encoding="utf-8"))
+        entries = document["entries"]
+        assert len(entries) == 2
+        assert len(set(entries)) == 2  # occurrence index disambiguates

@@ -1,0 +1,434 @@
+"""Fixture pairs (one violating, one clean) for DET001..DET006."""
+
+import textwrap
+
+
+def snippet(source: str) -> str:
+    return textwrap.dedent(source).lstrip()
+
+
+# ----------------------------------------------------------------------
+# DET001 wall clock
+# ----------------------------------------------------------------------
+class TestWallClock:
+    def test_positive_time_time(self, box):
+        ids = box.rule_ids(
+            snippet(
+                """
+                import time
+
+                def schedule():
+                    return time.time()
+                """
+            )
+        )
+        assert ids.get("DET001") == 1
+
+    def test_positive_aliased_perf_counter(self, box):
+        ids = box.rule_ids(
+            snippet(
+                """
+                from time import perf_counter as clock
+
+                def schedule():
+                    return clock()
+                """
+            )
+        )
+        assert ids.get("DET001") == 1
+
+    def test_positive_datetime_now(self, box):
+        ids = box.rule_ids(
+            snippet(
+                """
+                from datetime import datetime
+
+                def stamp():
+                    return datetime.now()
+                """
+            )
+        )
+        assert ids.get("DET001") == 1
+
+    def test_negative_no_clock(self, box):
+        ids = box.rule_ids(
+            snippet(
+                """
+                def schedule(now: int) -> int:
+                    return now + 1
+                """
+            )
+        )
+        assert "DET001" not in ids
+
+    def test_negative_outside_kernel_layer(self, box):
+        ids = box.rule_ids(
+            snippet(
+                """
+                import time
+
+                def report():
+                    return time.time()
+                """
+            ),
+            layer="experiments",
+        )
+        assert "DET001" not in ids
+
+    def test_negative_timing_boundary_allowlisted(self, box):
+        # The default allowlist contains SearchLoop.program in
+        # repro.search.loop; a fixture with the same module path and
+        # qualname inherits the exemption.
+        source = snippet(
+            """
+            import time
+
+            class SearchLoop:
+                def program(self):
+                    started = time.perf_counter()
+                    return started
+            """
+        )
+        path = box.write("search/loop.py", source)
+        findings = box.run(paths=[path]).findings
+        assert not [f for f in findings if f.rule == "DET001"]
+
+
+# ----------------------------------------------------------------------
+# DET002 module-global RNG
+# ----------------------------------------------------------------------
+class TestGlobalRng:
+    def test_positive_stdlib_random(self, box):
+        ids = box.rule_ids(
+            snippet(
+                """
+                import random
+
+                def jitter():
+                    return random.random()
+                """
+            )
+        )
+        assert ids.get("DET002") == 1
+
+    def test_positive_numpy_global(self, box):
+        ids = box.rule_ids(
+            snippet(
+                """
+                import numpy as np
+
+                def pick(n):
+                    return np.random.randint(n)
+                """
+            )
+        )
+        assert ids.get("DET002") == 1
+
+    def test_positive_unseeded_default_rng(self, box):
+        ids = box.rule_ids(
+            snippet(
+                """
+                import numpy as np
+
+                def fresh():
+                    return np.random.default_rng()
+                """
+            )
+        )
+        assert ids.get("DET002") == 1
+
+    def test_negative_seeded_default_rng(self, box):
+        ids = box.rule_ids(
+            snippet(
+                """
+                import numpy as np
+
+                def fresh(seed: int):
+                    return np.random.default_rng(seed)
+                """
+            )
+        )
+        assert "DET002" not in ids
+
+    def test_negative_generator_parameter(self, box):
+        ids = box.rule_ids(
+            snippet(
+                """
+                import numpy as np
+
+                def pick(options, rng: np.random.Generator):
+                    return options[rng.integers(len(options))]
+                """
+            )
+        )
+        assert "DET002" not in ids
+
+
+# ----------------------------------------------------------------------
+# DET003 unordered iteration
+# ----------------------------------------------------------------------
+class TestUnorderedIteration:
+    def test_positive_for_over_set_call(self, box):
+        ids = box.rule_ids(
+            snippet(
+                """
+                def order(items):
+                    out = []
+                    for item in set(items):
+                        out.append(item)
+                    return out
+                """
+            )
+        )
+        assert ids.get("DET003") == 1
+
+    def test_positive_list_of_set_literal(self, box):
+        ids = box.rule_ids(
+            snippet(
+                """
+                def order(a, b):
+                    return list({a, b})
+                """
+            )
+        )
+        assert ids.get("DET003") == 1
+
+    def test_positive_join_over_keys_intersection(self, box):
+        # Dict views are insertion-ordered, but set operations over
+        # them produce real sets.
+        ids = box.rule_ids(
+            snippet(
+                """
+                def signature(a, b):
+                    return ",".join(a.keys() & b.keys())
+                """
+            )
+        )
+        assert ids.get("DET003") == 1
+
+    def test_positive_local_set_variable(self, box):
+        ids = box.rule_ids(
+            snippet(
+                """
+                def order(items):
+                    seen = set(items)
+                    return [x for x in seen]
+                """
+            )
+        )
+        assert ids.get("DET003") == 1
+
+    def test_positive_keyed_sort_over_set(self, box):
+        ids = box.rule_ids(
+            snippet(
+                """
+                def order(items):
+                    return sorted(set(items), key=len)
+                """
+            )
+        )
+        assert ids.get("DET003") == 1
+
+    def test_positive_annotated_footprint_field(self, box):
+        # Cross-module: the dataclass declares FrozenSet fields; a
+        # consumer annotating its parameter with the class name trips
+        # the rule when iterating the field.
+        box.write(
+            "core/fp.py",
+            snippet(
+                """
+                from dataclasses import dataclass
+                from typing import FrozenSet
+
+                @dataclass(frozen=True)
+                class MoveFootprint:
+                    processes: FrozenSet[str] = frozenset()
+                """
+            ),
+        )
+        box.write(
+            "engine/consumer.py",
+            snippet(
+                """
+                def scan(fp: "MoveFootprint"):
+                    out = []
+                    for pid in fp.processes:
+                        out.append(pid)
+                    return out
+                """
+            ),
+        )
+        findings = box.run().findings
+        assert [f for f in findings if f.rule == "DET003"]
+
+    def test_negative_sorted_iteration(self, box):
+        ids = box.rule_ids(
+            snippet(
+                """
+                def order(items):
+                    out = []
+                    for item in sorted(set(items)):
+                        out.append(item)
+                    return out
+                """
+            )
+        )
+        assert "DET003" not in ids
+
+    def test_negative_order_insensitive_consumers(self, box):
+        ids = box.rule_ids(
+            snippet(
+                """
+                def stats(items):
+                    s = set(items)
+                    return len(s), sum(s), min(s), max(s)
+                """
+            )
+        )
+        assert "DET003" not in ids
+
+    def test_negative_dict_iteration_is_insertion_ordered(self, box):
+        ids = box.rule_ids(
+            snippet(
+                """
+                def order(mapping):
+                    return [k for k in mapping.keys()]
+                """
+            )
+        )
+        assert "DET003" not in ids
+
+
+# ----------------------------------------------------------------------
+# DET004 hash()
+# ----------------------------------------------------------------------
+class TestHashBuiltin:
+    def test_positive(self, box):
+        ids = box.rule_ids(
+            snippet(
+                """
+                def key(design_id: str) -> int:
+                    return hash(design_id) % 1024
+                """
+            )
+        )
+        assert ids.get("DET004") == 1
+
+    def test_negative_dunder_hash_definition(self, box):
+        ids = box.rule_ids(
+            snippet(
+                """
+                class Key:
+                    def __hash__(self):
+                        return 7
+                """
+            )
+        )
+        assert "DET004" not in ids
+
+
+# ----------------------------------------------------------------------
+# DET005 ambient state
+# ----------------------------------------------------------------------
+class TestAmbientState:
+    def test_positive_environ(self, box):
+        ids = box.rule_ids(
+            snippet(
+                """
+                import os
+
+                def jobs():
+                    return int(os.environ.get("JOBS", "1"))
+                """
+            )
+        )
+        assert ids.get("DET005") == 1
+
+    def test_positive_uuid(self, box):
+        ids = box.rule_ids(
+            snippet(
+                """
+                import uuid
+
+                def fresh_id():
+                    return uuid.uuid4().hex
+                """
+            )
+        )
+        assert ids.get("DET005") == 1
+
+    def test_negative_os_path_is_fine(self, box):
+        ids = box.rule_ids(
+            snippet(
+                """
+                import os
+
+                def name(p):
+                    return os.path.basename(p)
+                """
+            )
+        )
+        assert "DET005" not in ids
+
+
+# ----------------------------------------------------------------------
+# DET006 float equality
+# ----------------------------------------------------------------------
+class TestFloatEquality:
+    def test_positive_float_literal(self, box):
+        ids = box.rule_ids(
+            snippet(
+                """
+                def done(slack):
+                    return slack == 0.0
+                """
+            )
+        )
+        assert ids.get("DET006") == 1
+
+    def test_positive_division(self, box):
+        ids = box.rule_ids(
+            snippet(
+                """
+                def same(a, b, n):
+                    return a / n != b
+                """
+            )
+        )
+        assert ids.get("DET006") == 1
+
+    def test_positive_float_get_default(self, box):
+        ids = box.rule_ids(
+            snippet(
+                """
+                def unchanged(old, new, pid):
+                    return old.get(pid, 0.0) == new.get(pid, 0.0)
+                """
+            )
+        )
+        assert ids.get("DET006") == 1
+
+    def test_negative_integer_comparison(self, box):
+        ids = box.rule_ids(
+            snippet(
+                """
+                def done(slack: int) -> bool:
+                    return slack == 0
+                """
+            )
+        )
+        assert "DET006" not in ids
+
+    def test_negative_module_out_of_scope(self, box):
+        # DET006 only applies to the configured scheduler/metric
+        # module prefixes; repro.search is not among them.
+        ids = box.rule_ids(
+            snippet(
+                """
+                def done(slack):
+                    return slack == 0.0
+                """
+            ),
+            layer="search",
+        )
+        assert "DET006" not in ids

@@ -1,0 +1,213 @@
+"""Fixture pairs for LAY001 (upward import), LAY002 (cycle), LAY003
+(private deep import)."""
+
+import textwrap
+
+from repro.lint import LintConfig
+
+
+def snippet(source: str) -> str:
+    return textwrap.dedent(source).lstrip()
+
+
+def rules_in(findings):
+    return sorted({f.rule for f in findings})
+
+
+class TestUpwardImport:
+    def test_positive_sched_imports_search(self, box):
+        box.write(
+            "sched/mod.py",
+            snippet(
+                """
+                from repro.search.loop import SearchLoop
+
+                def run(loop: SearchLoop):
+                    return loop
+                """
+            ),
+        )
+        findings = box.run().findings
+        lay = [f for f in findings if f.rule == "LAY001"]
+        assert len(lay) == 1
+        assert "repro.search.loop" in lay[0].message
+
+    def test_negative_downward_import(self, box):
+        box.write(
+            "search/mod.py",
+            snippet(
+                """
+                from repro.sched.list_scheduler import run_pass
+
+                def go():
+                    return run_pass
+                """
+            ),
+        )
+        findings = box.run().findings
+        assert "LAY001" not in rules_in(findings)
+
+    def test_negative_type_checking_guard(self, box):
+        box.write(
+            "sched/mod.py",
+            snippet(
+                """
+                from typing import TYPE_CHECKING
+
+                if TYPE_CHECKING:
+                    from repro.search.loop import SearchLoop
+
+                def run(loop: "SearchLoop"):
+                    return loop
+                """
+            ),
+        )
+        findings = box.run().findings
+        assert "LAY001" not in rules_in(findings)
+
+    def test_negative_lazy_function_import(self, box):
+        # Function-scope imports are the sanctioned cycle-breaker.
+        box.write(
+            "sched/mod.py",
+            snippet(
+                """
+                def run():
+                    from repro.search.loop import SearchLoop
+                    return SearchLoop
+                """
+            ),
+        )
+        findings = box.run().findings
+        assert "LAY001" not in rules_in(findings)
+
+    def test_negative_allowlisted_edge(self, box):
+        box.write(
+            "sched/mod.py",
+            snippet(
+                """
+                from repro.search.loop import SearchLoop
+
+                def run(loop: SearchLoop):
+                    return loop
+                """
+            ),
+        )
+        config = LintConfig(
+            import_allowlist=(
+                "repro.sched.mod -> repro.search.loop :: fixture test",
+            )
+        )
+        findings = box.run(config=config).findings
+        assert "LAY001" not in rules_in(findings)
+
+
+class TestImportCycle:
+    def test_positive_two_module_cycle(self, box):
+        box.write(
+            "sched/alpha.py",
+            snippet(
+                """
+                from repro.sched.beta import helper
+
+                def alpha():
+                    return helper()
+                """
+            ),
+        )
+        box.write(
+            "sched/beta.py",
+            snippet(
+                """
+                from repro.sched.alpha import alpha
+
+                def helper():
+                    return alpha
+                """
+            ),
+        )
+        findings = box.run().findings
+        cycles = [f for f in findings if f.rule == "LAY002"]
+        assert cycles
+        assert "repro.sched.alpha" in cycles[0].message
+        assert "repro.sched.beta" in cycles[0].message
+
+    def test_negative_lazy_import_breaks_cycle(self, box):
+        box.write(
+            "sched/alpha.py",
+            snippet(
+                """
+                from repro.sched.beta import helper
+
+                def alpha():
+                    return helper()
+                """
+            ),
+        )
+        box.write(
+            "sched/beta.py",
+            snippet(
+                """
+                def helper():
+                    from repro.sched.alpha import alpha
+                    return alpha
+                """
+            ),
+        )
+        findings = box.run().findings
+        assert "LAY002" not in rules_in(findings)
+
+    def test_negative_chain_is_not_cycle(self, box):
+        box.write("sched/a.py", "from repro.sched.b import x\n")
+        box.write("sched/b.py", "from repro.sched.c import x\n")
+        box.write("sched/c.py", "x = 1\n")
+        findings = box.run().findings
+        assert "LAY002" not in rules_in(findings)
+
+
+class TestPrivateImport:
+    def test_positive_cross_layer_private_module(self, box):
+        box.write("sched/_impl.py", "TABLE = {}\n")
+        box.write(
+            "engine/mod.py",
+            snippet(
+                """
+                from repro.sched._impl import TABLE
+
+                def peek():
+                    return TABLE
+                """
+            ),
+        )
+        findings = box.run().findings
+        assert [f for f in findings if f.rule == "LAY003"]
+
+    def test_negative_same_layer_private_module(self, box):
+        box.write("sched/_impl.py", "TABLE = {}\n")
+        box.write(
+            "sched/mod.py",
+            snippet(
+                """
+                from repro.sched._impl import TABLE
+
+                def peek():
+                    return TABLE
+                """
+            ),
+        )
+        findings = box.run().findings
+        assert "LAY003" not in rules_in(findings)
+
+    def test_negative_public_cross_layer_import(self, box):
+        box.write(
+            "engine/mod.py",
+            snippet(
+                """
+                from repro.sched.list_scheduler import run_pass
+
+                def go():
+                    return run_pass
+                """
+            ),
+        )
+        findings = box.run().findings
+        assert "LAY003" not in rules_in(findings)

@@ -1,0 +1,129 @@
+"""Suppression semantics: reasoned suppression, LINT001, LINT002,
+multi-id comments, standalone placement, string-literal immunity."""
+
+import textwrap
+
+
+def snippet(source: str) -> str:
+    return textwrap.dedent(source).lstrip()
+
+
+class TestSuppression:
+    def test_reasoned_suppression_silences_finding(self, box):
+        result_findings = box.findings(
+            snippet(
+                """
+                import time
+
+                def schedule():
+                    return time.time()  # repro: allow[DET001] fixture: deliberate clock read
+                """
+            )
+        )
+        assert not [f for f in result_findings if f.rule == "DET001"]
+
+    def test_suppressed_findings_are_counted(self, box):
+        path = box.write(
+            "sched/snippet.py",
+            snippet(
+                """
+                import time
+
+                def schedule():
+                    return time.time()  # repro: allow[DET001] fixture: deliberate clock read
+                """
+            ),
+        )
+        result = box.run(paths=[path])
+        assert len(result.suppressed) == 1
+        assert result.suppressed[0].rule == "DET001"
+
+    def test_standalone_comment_covers_next_line(self, box):
+        result_findings = box.findings(
+            snippet(
+                """
+                import time
+
+                def schedule():
+                    # repro: allow[DET001] fixture: deliberate clock read
+                    return time.time()
+                """
+            )
+        )
+        assert not [f for f in result_findings if f.rule == "DET001"]
+
+    def test_missing_reason_is_lint001_and_finding_stands(self, box):
+        ids = box.rule_ids(
+            snippet(
+                """
+                import time
+
+                def schedule():
+                    return time.time()  # repro: allow[DET001]
+                """
+            )
+        )
+        assert ids.get("LINT001") == 1
+        assert ids.get("DET001") == 1  # reasonless comment silences nothing
+
+    def test_stale_suppression_is_lint002(self, box):
+        ids = box.rule_ids(
+            snippet(
+                """
+                def schedule(now: int) -> int:
+                    return now + 1  # repro: allow[DET001] nothing to silence here
+                """
+            )
+        )
+        assert ids.get("LINT002") == 1
+
+    def test_multiple_ids_in_one_comment(self, box):
+        result_findings = box.findings(
+            snippet(
+                """
+                import time
+
+                def schedule(items):
+                    # repro: allow[DET001,DET003] fixture: both silenced at once
+                    return [time.time() for _ in set(items)]
+                """
+            )
+        )
+        rules = {f.rule for f in result_findings}
+        assert "DET001" not in rules
+        assert "DET003" not in rules
+        assert "LINT002" not in rules
+
+    def test_marker_inside_string_is_not_a_suppression(self, box):
+        # The marker text in a docstring/string literal must neither
+        # suppress anything nor count as stale.
+        ids = box.rule_ids(
+            snippet(
+                '''
+                import time
+
+                def schedule():
+                    """Docs mentioning # repro: allow[DET001] the syntax."""
+                    marker = "# repro: allow[DET001] not a comment"
+                    return time.time(), marker
+                '''
+            )
+        )
+        assert ids.get("DET001") == 1
+        assert "LINT002" not in ids
+
+    def test_suppression_does_not_leak_to_other_lines(self, box):
+        ids = box.rule_ids(
+            snippet(
+                """
+                import time
+
+                def schedule():
+                    a = time.time()  # repro: allow[DET001] fixture: first read only
+
+                    b = time.time()
+                    return a, b
+                """
+            )
+        )
+        assert ids.get("DET001") == 1

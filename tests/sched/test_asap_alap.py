@@ -4,7 +4,6 @@ import pytest
 
 from repro.model.application import Application
 from repro.model.mapping import Mapping
-from repro.model.process_graph import Message, Process, ProcessGraph
 from repro.sched.asap_alap import (
     alap_schedule,
     asap_schedule,

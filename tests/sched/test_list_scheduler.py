@@ -9,7 +9,7 @@ from repro.sched.list_scheduler import ListScheduler
 from repro.sched.schedule import SystemSchedule
 from repro.utils.errors import SchedulingError
 
-from tests.conftest import make_chain_graph, make_fork_join_graph
+from tests.conftest import make_chain_graph
 
 
 def all_on(app, arch, node_id) -> Mapping:

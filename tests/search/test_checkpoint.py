@@ -122,3 +122,30 @@ class TestResume:
         with DesignEvaluator(other) as fresh:
             with pytest.raises((MappingError, ValueError, KeyError)):
                 walk_loop(20).resume(other, fresh, cut.checkpoint)
+
+
+class TestRestoreRng:
+    def test_restored_stream_is_exactly_the_checkpointed_one(self):
+        # Regression pin for the determinism fix in _restore_rng: the
+        # bootstrap generator is seeded (no OS-entropy draw) and its
+        # state is fully replaced, so resuming with rng=None continues
+        # the checkpointed stream bit-for-bit.
+        from repro.search.loop import _restore_rng
+
+        source = np.random.default_rng(42)
+        source.random(17)  # advance mid-stream
+        state = source.bit_generator.state
+        expected = np.random.default_rng(42)
+        expected.random(17)
+
+        restored = _restore_rng(None, state)
+        assert restored.bit_generator.state == state
+        assert list(restored.random(8)) == list(expected.random(8))
+
+    def test_restore_is_repeatable(self):
+        from repro.search.loop import _restore_rng
+
+        state = np.random.default_rng(7).bit_generator.state
+        a = _restore_rng(None, state).random(8)
+        b = _restore_rng(None, state).random(8)
+        assert list(a) == list(b)

@@ -12,7 +12,6 @@ from repro import (
     render_gantt,
 )
 from repro.core.strategy import DesignSpec
-from repro.sched.list_scheduler import ListScheduler
 from repro.serialize import schedule_from_dict, schedule_to_dict
 from repro.utils.intervals import Interval
 

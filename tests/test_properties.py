@@ -6,7 +6,6 @@ schedules never overlap, requirement (a) holds structurally, metrics
 stay in range, and the objective is deterministic.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core.future import DiscreteDistribution, FutureCharacterization
