@@ -41,6 +41,11 @@ BENCH_SEARCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_search.json"
 #: the array-over-object speedup claim is diffable per PR.
 BENCH_SCHED_PATH = Path(__file__).resolve().parent.parent / "BENCH_sched.json"
 
+#: The end-to-end evaluation trajectory record (bench_eval): repo-root,
+#: so the array-metrics-over-decode-always speedup claim is diffable
+#: per PR.
+BENCH_EVAL_PATH = Path(__file__).resolve().parent.parent / "BENCH_eval.json"
+
 
 def _merge_rows(path: Path, rows) -> list:
     """Merge ``rows`` into the file's stored results by benchmark name.
@@ -132,6 +137,30 @@ def _sched_summary(rows) -> dict:
     return {}
 
 
+def _eval_summary(rows) -> dict:
+    """The evaluation headline: end-to-end speedup on medium."""
+    for row in rows:
+        info = row["extra_info"]
+        if (
+            info.get("eval_record") == "array"
+            and info.get("preset") == "medium"
+        ):
+            return {
+                "summary": {
+                    "medium_median_array_us": info.get("median_array_us"),
+                    "medium_median_object_us": info.get("median_object_us"),
+                    "medium_median_decode_always_us": info.get(
+                        "median_decode_always_us"
+                    ),
+                    "medium_speedup_vs_object": info.get("speedup_vs_object"),
+                    "medium_speedup_vs_decode_always": info.get(
+                        "speedup_vs_decode_always"
+                    ),
+                }
+            }
+    return {}
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Persist per-bench medians after timed runs.
 
@@ -140,8 +169,10 @@ def pytest_sessionfinish(session, exitstatus):
     ``extra_info``) land in the repo-root ``BENCH_search.json`` with
     the portfolio-vs-single summary, and the ``bench_sched`` workloads
     (tagged ``sched_record``) in the repo-root ``BENCH_sched.json``
-    with the array-core speedup summary.  ``--benchmark-disable``
-    smoke runs leave all three untouched.
+    with the array-core speedup summary and the ``bench_eval``
+    workloads (tagged ``eval_record``) in the repo-root
+    ``BENCH_eval.json`` with the end-to-end evaluation summary.
+    ``--benchmark-disable`` smoke runs leave all four untouched.
     """
     benchmark_session = getattr(session.config, "_benchmarksession", None)
     if benchmark_session is None:
@@ -170,11 +201,15 @@ def pytest_sessionfinish(session, exitstatus):
     sched_rows = [
         row for row in rows if "sched_record" in row["extra_info"]
     ]
+    eval_rows = [
+        row for row in rows if "eval_record" in row["extra_info"]
+    ]
     engine_rows = [
         row
         for row in rows
         if "search_record" not in row["extra_info"]
         and "sched_record" not in row["extra_info"]
+        and "eval_record" not in row["extra_info"]
     ]
     if engine_rows:
         _write_results(
@@ -189,6 +224,11 @@ def pytest_sessionfinish(session, exitstatus):
         merged = _merge_rows(BENCH_SCHED_PATH, sched_rows)
         _write_results(
             BENCH_SCHED_PATH, merged, extra=_sched_summary(merged)
+        )
+    if eval_rows:
+        merged = _merge_rows(BENCH_EVAL_PATH, eval_rows)
+        _write_results(
+            BENCH_EVAL_PATH, merged, extra=_eval_summary(merged)
         )
 
 #: Current-application sizes benchmarked per figure (paper: 40..320).

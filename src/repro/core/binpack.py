@@ -199,6 +199,97 @@ def best_fit_unplaced_total(
     return unplaced
 
 
+def best_fit_unplaced_total_hist(
+    size_runs: Sequence[Tuple[int, int]],
+    hist: Dict[int, int],
+    consume: bool = False,
+) -> int:
+    """:func:`best_fit_unplaced_total` over a bin-capacity *histogram*.
+
+    ``hist`` maps a residual value to how many bins currently hold it;
+    ``size_runs`` is the object bag run-length encoded as ``(size,
+    count)`` pairs in descending size order (the callers cache the
+    encoding per spec).  With ``consume`` the histogram is mutated in
+    place (single-use histograms skip a defensive copy); otherwise the
+    input is left untouched.  The unplaced total is a pure function of
+    the two multisets, and within one run of equal-size objects best
+    fit drains eligible bins in ascending residual order, each bin
+    hosting ``floor(value / size)`` objects -- so whole *value
+    classes* drain at once: all bins of one value go to ``value %
+    size`` together, and at most one bin per run is left partially
+    drained.  The metric workloads have few distinct object sizes and
+    few distinct residual values, which makes this walk over the
+    histogram far cheaper than sorting the flat residual vector.
+
+    The sorted value list is built once and maintained incrementally:
+    drained values are deleted lazily (skipped when no longer in the
+    histogram) and new remainder values are insorted.  A value can
+    appear twice in the list (a remainder recreating a lazily-deleted
+    value); that is benign, because a run either deletes a value from
+    the histogram before walking on (the duplicate is then skipped) or
+    stops at it.
+
+    Exactly ``best_fit(objects, bins).unplaced_total`` for the same
+    multisets.
+    """
+    if not consume:
+        hist = dict(hist)
+    values = sorted(hist)
+    insort = bisect.insort
+    unplaced = 0
+    for size, count in size_runs:
+        # Remainders created below are always < the current size, so
+        # they are insorted strictly below the walk cursor (shifting
+        # it by one) and can never join this run's ascending walk.
+        i = bisect.bisect_left(values, size)
+        while count and i < len(values):
+            value = values[i]
+            i += 1
+            bins = hist.get(value)
+            if not bins:
+                continue
+            per = value // size
+            capacity = per * bins
+            if capacity <= count:
+                # Every bin of this value drains to value % size.
+                del hist[value]
+                remainder = value % size
+                if remainder:
+                    if remainder in hist:
+                        hist[remainder] += bins
+                    else:
+                        hist[remainder] = bins
+                        insort(values, remainder)
+                        i += 1
+                count -= capacity
+            else:
+                full, rest = divmod(count, per)
+                untouched = bins - full - (1 if rest else 0)
+                if untouched:
+                    hist[value] = untouched
+                else:
+                    del hist[value]
+                remainder = value % size
+                if full and remainder:
+                    if remainder in hist:
+                        hist[remainder] += full
+                    else:
+                        hist[remainder] = full
+                        insort(values, remainder)
+                if rest:
+                    partial = value - rest * size
+                    if partial:
+                        if partial in hist:
+                            hist[partial] += 1
+                        else:
+                            hist[partial] = 1
+                            insort(values, partial)
+                count = 0
+                break
+        unplaced += size * count
+    return unplaced
+
+
 def first_fit(
     objects: Sequence[int], bins: Sequence[int], decreasing: bool = True
 ) -> PackResult:

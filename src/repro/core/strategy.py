@@ -103,6 +103,12 @@ class DesignResult:
     cache_misses: int = 0
     delta_hits: int = 0
     delta_fallbacks: int = 0
+    #: Stage-time buckets of the evaluation pipeline (scheduling pass,
+    #: metric pricing, schedule decode), in wall nanoseconds summed
+    #: across the engine process and every pool worker.
+    sched_ns: int = 0
+    metrics_ns: int = 0
+    decode_ns: int = 0
     #: Per-search accounting of the kernel loops behind this result
     #: (steps, proposals, evaluations-to-incumbent); ``None`` for
     #: strategies that do not search (AH).
@@ -122,6 +128,9 @@ class DesignResult:
         self.cache_misses = evaluator.cache_misses
         self.delta_hits = evaluator.delta_hits
         self.delta_fallbacks = evaluator.delta_fallbacks
+        self.sched_ns = evaluator.sched_ns
+        self.metrics_ns = evaluator.metrics_ns
+        self.decode_ns = evaluator.decode_ns
         return self
 
     def design_identity(self) -> tuple:
@@ -238,6 +247,18 @@ class DesignEvaluator:
     @property
     def delta_fallbacks(self) -> int:
         return self.engine.delta_fallbacks
+
+    @property
+    def sched_ns(self) -> int:
+        return self.engine.sched_ns
+
+    @property
+    def metrics_ns(self) -> int:
+        return self.engine.metrics_ns
+
+    @property
+    def decode_ns(self) -> int:
+        return self.engine.decode_ns
 
     def cache_stats(self) -> CacheStats:
         return self.engine.cache_stats()

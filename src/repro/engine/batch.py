@@ -31,7 +31,11 @@ from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro.engine.compiled_spec import CompiledSpec, Signature
 from repro.engine.delta import DeltaEvaluator
-from repro.engine.evaluation import EvaluatedDesign, evaluate_candidate
+from repro.engine.evaluation import (
+    EvaluatedDesign,
+    StageTimings,
+    evaluate_candidate,
+)
 from repro.sched.list_scheduler import ListScheduler
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -51,9 +55,11 @@ CHUNKS_PER_WORKER = 4
 #: Parents each worker keeps resident for delta evaluation.
 WORKER_PARENT_CAPACITY = 8
 
-#: Per-worker state: ``(spec, compiled, scheduler, delta, parents)``,
-#: built once by the pool initializer so each worker compiles the
-#: problem exactly once.  ``parents`` is the LRU of resident parents.
+#: Per-worker state: ``(spec, compiled, scheduler, delta, parents,
+#: timings)``, built once by the pool initializer so each worker
+#: compiles the problem exactly once.  ``parents`` is the LRU of
+#: resident parents; ``timings`` the worker's stage-time sink, whose
+#: deltas ride back on every chunk result.
 _WORKER_STATE: Optional[Tuple] = None
 
 #: Wire form of one candidate: ``(assignment, priorities, delays)``.
@@ -87,26 +93,43 @@ def _init_worker(spec: "DesignSpec", use_delta: bool, engine_core: str) -> None:
     global _WORKER_STATE
     compiled = CompiledSpec(spec, engine_core=engine_core)
     scheduler = ListScheduler(spec.architecture)
-    delta = DeltaEvaluator(compiled, scheduler) if use_delta else None
-    _WORKER_STATE = (spec, compiled, scheduler, delta, OrderedDict())
+    timings = StageTimings()
+    delta = (
+        DeltaEvaluator(compiled, scheduler, timings) if use_delta else None
+    )
+    _WORKER_STATE = (spec, compiled, scheduler, delta, OrderedDict(), timings)
 
 
-def _evaluate_payload(payload: Payload) -> Optional[EvaluatedDesign]:
-    """Worker-side evaluation of one wire-form candidate."""
+def _evaluate_payload(
+    payload: Payload,
+) -> Tuple[Optional[EvaluatedDesign], Tuple[int, int, int]]:
+    """Worker-side evaluation of one wire-form candidate.
+
+    Returns the outcome plus the stage-time deltas this evaluation
+    accumulated in the worker (merged into the engine's sink by the
+    dispatching :class:`BatchEvaluator`).
+    """
     from repro.core.transformations import CandidateDesign
     from repro.model.mapping import Mapping
 
     assert _WORKER_STATE is not None, "worker initializer did not run"
-    spec, compiled, scheduler, delta, _ = _WORKER_STATE
+    spec, compiled, scheduler, delta, _, timings = _WORKER_STATE
     assignment, priorities, delays = payload
     design = CandidateDesign(
         Mapping(spec.current, spec.architecture, assignment),
         dict(priorities),
         dict(delays),
     )
-    return evaluate_candidate(
-        spec, compiled, scheduler, design, record_trace=delta is not None
+    before = timings.snapshot()
+    outcome = evaluate_candidate(
+        spec,
+        compiled,
+        scheduler,
+        design,
+        record_trace=delta is not None,
+        timings=timings,
     )
+    return outcome, timings.since(before)
 
 
 def _resident_parent(
@@ -116,7 +139,7 @@ def _resident_parent(
     from repro.core.transformations import CandidateDesign
     from repro.model.mapping import Mapping
 
-    spec, compiled, scheduler, delta, parents = _WORKER_STATE
+    spec, compiled, scheduler, delta, parents, timings = _WORKER_STATE
     parent = parents.get(signature)
     if parent is not None:
         parents.move_to_end(signature)
@@ -128,7 +151,7 @@ def _resident_parent(
         dict(delays),
     )
     parent = evaluate_candidate(
-        spec, compiled, scheduler, design, record_trace=True
+        spec, compiled, scheduler, design, record_trace=True, timings=timings
     )
     parents[signature] = parent
     if len(parents) > WORKER_PARENT_CAPACITY:
@@ -138,15 +161,18 @@ def _resident_parent(
 
 def _evaluate_move_chunk(
     chunk: MoveChunk,
-) -> Tuple[List[Optional[EvaluatedDesign]], int, int]:
+) -> Tuple[
+    List[Optional[EvaluatedDesign]], int, int, Tuple[int, int, int]
+]:
     """Worker-side evaluation of one move chunk.
 
     Returns the outcomes in move order plus the worker's delta
-    hit/fallback counts for this chunk.
+    hit/fallback counts and stage-time deltas for this chunk.
     """
     assert _WORKER_STATE is not None, "worker initializer did not run"
-    spec, compiled, scheduler, delta, _ = _WORKER_STATE
+    spec, compiled, scheduler, delta, _, timings = _WORKER_STATE
     signature, payload, moves = chunk
+    before = timings.snapshot()
     parent = _resident_parent(signature, payload)
     outcomes: List[Optional[EvaluatedDesign]] = []
     hits = 0
@@ -158,7 +184,12 @@ def _evaluate_move_chunk(
             child = move.apply(_payload_design(payload))
             outcomes.append(
                 evaluate_candidate(
-                    spec, compiled, scheduler, child, record_trace=True
+                    spec,
+                    compiled,
+                    scheduler,
+                    child,
+                    record_trace=True,
+                    timings=timings,
                 )
             )
             fallbacks += 1
@@ -169,7 +200,7 @@ def _evaluate_move_chunk(
             hits += 1
         else:
             fallbacks += 1
-    return outcomes, hits, fallbacks
+    return outcomes, hits, fallbacks, timings.since(before)
 
 
 def _payload_design(payload: Payload) -> "CandidateDesign":
@@ -229,8 +260,11 @@ class BatchEvaluator:
             else parallel_threshold
         )
         self._scheduler = ListScheduler(compiled.architecture)
+        self.timings = StageTimings()
         self.delta: Optional[DeltaEvaluator] = (
-            DeltaEvaluator(compiled, self._scheduler) if use_delta else None
+            DeltaEvaluator(compiled, self._scheduler, self.timings)
+            if use_delta
+            else None
         )
         self.delta_hits = 0
         self.delta_fallbacks = 0
@@ -269,6 +303,7 @@ class BatchEvaluator:
             self._scheduler,
             design,
             record_trace=self.delta is not None,
+            timings=self.timings,
         )
 
     def evaluate_move_one(
@@ -312,9 +347,12 @@ class BatchEvaluator:
         executor = self._ensure_executor()
         payloads = [_to_payload(design) for design in designs]
         chunksize = dispatch_chunksize(len(payloads), self.jobs)
-        outcomes = list(
-            executor.map(_evaluate_payload, payloads, chunksize=chunksize)
-        )
+        outcomes: List[Optional[EvaluatedDesign]] = []
+        for outcome, stage_delta in executor.map(
+            _evaluate_payload, payloads, chunksize=chunksize
+        ):
+            outcomes.append(outcome)
+            self.timings.add(stage_delta)
         self._reattach(designs, outcomes)
         return outcomes
 
@@ -358,12 +396,13 @@ class BatchEvaluator:
             for i in range(0, len(moves), chunksize)
         ]
         outcomes: List[Optional[EvaluatedDesign]] = []
-        for chunk_outcomes, hits, fallbacks in executor.map(
+        for chunk_outcomes, hits, fallbacks, stage_delta in executor.map(
             _evaluate_move_chunk, chunks
         ):
             outcomes.extend(chunk_outcomes)
             self.delta_hits += hits
             self.delta_fallbacks += fallbacks
+            self.timings.add(stage_delta)
         self._reattach(children, outcomes)
         return outcomes
 
@@ -387,8 +426,8 @@ class BatchEvaluator:
         self.close()
 
     # ------------------------------------------------------------------
-    @staticmethod
     def _reattach(
+        self,
         designs: Sequence["CandidateDesign"],
         outcomes: Sequence[Optional[EvaluatedDesign]],
     ) -> None:
@@ -399,10 +438,19 @@ class BatchEvaluator:
         copies.  Only the schedule, metrics and delta attachments are
         worth keeping from the worker; downstream consumers (cache,
         DesignResult) keep referencing the one true model object graph.
+        Lazy outcomes additionally regain their process-local decode
+        substrate (the compiled :class:`ArraySpec`) and the engine's
+        timing sink, both of which pickling dropped.
         """
+        arrays = self.compiled.arrays if self.compiled.use_arrays else None
         for design, outcome in zip(designs, outcomes):
-            if outcome is not None:
-                outcome.design = design
+            if outcome is None:
+                continue
+            outcome.design = design
+            if outcome._schedule is None and outcome._arrays is None:
+                outcome._arrays = arrays
+            if outcome._timings is None:
+                outcome._timings = self.timings
 
     def _use_pool(self, batch_size: int) -> bool:
         return (

@@ -44,10 +44,15 @@ never guesses.
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
-from repro.engine.evaluation import EvaluatedDesign, evaluate_candidate
+from repro.engine.evaluation import (
+    EvaluatedDesign,
+    StageTimings,
+    evaluate_candidate,
+)
 from repro.sched.arrays import ArrayRunState
 from repro.sched.list_scheduler import ListScheduler, ScheduleResult
 from repro.sched.trace import ScheduleTrace, heap_key
@@ -106,6 +111,7 @@ class DeltaEvaluator:
         self,
         compiled: "CompiledSpec",
         scheduler: Optional[ListScheduler] = None,
+        timings: Optional[StageTimings] = None,
     ):
         self.compiled = compiled
         self.scheduler = (
@@ -113,6 +119,7 @@ class DeltaEvaluator:
             if scheduler is not None
             else ListScheduler(compiled.architecture)
         )
+        self.timings = timings
         table = compiled.job_table
         jobs_of: Dict[str, List["JobKey"]] = {}
         for key in table.jobs:
@@ -142,7 +149,12 @@ class DeltaEvaluator:
             child = move.apply(parent.design)
         if self.compiled.use_arrays:
             return self._evaluate_move_arrays(parent, move, child)
+        timings = self.timings
+        start = time.perf_counter_ns()
         attempt = self.try_resume(parent, move, child)
+        mid = time.perf_counter_ns()
+        if timings is not None:
+            timings.sched_ns += mid - start
         if attempt is None:
             outcome = evaluate_candidate(
                 self.compiled.spec,
@@ -150,6 +162,7 @@ class DeltaEvaluator:
                 self.scheduler,
                 child,
                 record_trace=True,
+                timings=timings,
             )
             return outcome, False
         result, clean_nodes, bus_clean = attempt
@@ -164,6 +177,8 @@ class DeltaEvaluator:
             bus_clean=bus_clean,
             parent_bus=parent.schedule.bus,
         )
+        if timings is not None:
+            timings.metrics_ns += time.perf_counter_ns() - mid
         outcome = EvaluatedDesign(
             child, result.schedule, metrics, trace=result.trace, memo=memo
         )
@@ -177,16 +192,25 @@ class DeltaEvaluator:
     ) -> Tuple[Optional[EvaluatedDesign], bool]:
         """The array-core twin of :meth:`evaluate_move`'s resume branch.
 
-        Same contract, different substrate: divergence and checkpoint
-        reconstruction run over the parent's :class:`ArrayRunState`
-        columns (:meth:`ArraySpec.divergence` /
-        :meth:`ArraySpec.resume_state`) and the finished state is
-        decoded to a :class:`SystemSchedule` only at the metric
-        boundary.
+        Same contract, different substrate: divergence, checkpoint
+        reconstruction *and the metrics* run over the parent's
+        :class:`ArrayRunState` columns (:meth:`ArraySpec.divergence` /
+        :meth:`ArraySpec.resume_state` /
+        :func:`repro.core.array_metrics.evaluate_state_delta`); no
+        object schedule is decoded -- the outcome decodes lazily if a
+        consumer ever asks.
         """
-        from repro.core.metrics import evaluate_design_delta
+        from repro.core.array_metrics import (
+            ArrayMetricsMemo,
+            evaluate_state_delta,
+        )
 
+        timings = self.timings
+        start = time.perf_counter_ns()
         attempt = self.try_resume_arrays(parent, move, child)
+        mid = time.perf_counter_ns()
+        if timings is not None:
+            timings.sched_ns += mid - start
         if attempt is None:
             outcome = evaluate_candidate(
                 self.compiled.spec,
@@ -194,24 +218,31 @@ class DeltaEvaluator:
                 self.scheduler,
                 child,
                 record_trace=True,
+                timings=timings,
             )
             return outcome, False
-        state, clean_nodes, bus_clean = attempt
+        state, clean_mask, bus_clean = attempt
         if not state.success:
             return None, True
         arrays = self.compiled.arrays
-        schedule = arrays.decode_schedule(state)
-        metrics, memo = evaluate_design_delta(
-            schedule,
+        parent_memo = parent.memo
+        if not isinstance(parent_memo, ArrayMetricsMemo):
+            # Engine-core switch or legacy parent: price cold.
+            parent_memo = None
+        metrics, memo = evaluate_state_delta(
+            arrays,
+            state,
             self.compiled.spec.future,
             self.compiled.spec.weights,
-            parent_memo=parent.memo,
-            clean_nodes=clean_nodes,
+            parent_memo=parent_memo,
+            clean_mask=clean_mask,
             bus_clean=bus_clean,
-            parent_bus=parent.schedule.bus,
         )
+        if timings is not None:
+            timings.metrics_ns += time.perf_counter_ns() - mid
         outcome = EvaluatedDesign(
-            child, schedule, metrics, trace=state, memo=memo
+            child, None, metrics, trace=state, memo=memo,
+            state=state, arrays=arrays, timings=timings,
         )
         return outcome, True
 
@@ -220,14 +251,14 @@ class DeltaEvaluator:
         parent: EvaluatedDesign,
         move: "Transformation",
         child: "CandidateDesign",
-    ) -> Optional[Tuple[ArrayRunState, Set[str], bool]]:
+    ) -> Optional[Tuple[ArrayRunState, List[bool], bool]]:
         """Array-core checkpoint resume; see :meth:`try_resume`.
 
         Returns ``None`` when the incremental path cannot run (parent
         without a recorded array state -- including object-core traces
         after an engine-core switch -- unknown move type, or divergence
-        at event 0); otherwise the finished child state plus the clean
-        node set and bus-clean flag.
+        at event 0); otherwise the finished child state plus the
+        per-node clean mask (dense node order) and bus-clean flag.
         """
         state = parent.trace
         if not isinstance(state, ArrayRunState) or not state.record:
@@ -247,9 +278,9 @@ class DeltaEvaluator:
         resumed = arrays.resume_state(state, cand, d)
         arrays.run_kernel(resumed)
         if not resumed.success:
-            return resumed, set(), False
-        clean_nodes, bus_clean = arrays.clean_resources(resumed, state)
-        return resumed, clean_nodes, bus_clean
+            return resumed, [], False
+        clean_mask, bus_clean = arrays.clean_mask(resumed, state)
+        return resumed, clean_mask, bus_clean
 
     def try_resume(
         self,

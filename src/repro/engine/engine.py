@@ -36,10 +36,15 @@ class EngineCounters(NamedTuple):
     """A point-in-time snapshot of every engine counter.
 
     The counter-level sibling of :class:`CacheStats` /
-    :class:`DeltaStats`: one read returns all five counters together
+    :class:`DeltaStats`: one read returns all counters together
     (the portfolio runner records them as its race-level accounting),
     and two snapshots subtract (``after - before``) to attribute
     engine work to a window of activity.
+
+    The ``*_ns`` fields are the stage-time buckets of the evaluation
+    pipeline (scheduling pass, metric pricing, schedule decode),
+    summed across the engine process and every pool worker.  They
+    feed reporting only, never a decision.
     """
 
     evaluations: int
@@ -47,6 +52,9 @@ class EngineCounters(NamedTuple):
     cache_misses: int
     delta_hits: int
     delta_fallbacks: int
+    sched_ns: int = 0
+    metrics_ns: int = 0
+    decode_ns: int = 0
 
     def __sub__(self, other: "EngineCounters") -> "EngineCounters":
         return EngineCounters(*(a - b for a, b in zip(self, other)))
@@ -305,6 +313,21 @@ class EvaluationEngine:
         """Delta hit/fallback accounting (zeros when delta is off)."""
         return DeltaStats(self.batch.delta_hits, self.batch.delta_fallbacks)
 
+    @property
+    def sched_ns(self) -> int:
+        """Wall nanoseconds spent in scheduling passes."""
+        return self.batch.timings.sched_ns
+
+    @property
+    def metrics_ns(self) -> int:
+        """Wall nanoseconds spent pricing metrics."""
+        return self.batch.timings.metrics_ns
+
+    @property
+    def decode_ns(self) -> int:
+        """Wall nanoseconds spent decoding object schedules."""
+        return self.batch.timings.decode_ns
+
     def counters(self) -> EngineCounters:
         """Snapshot of all counters (readable even after close)."""
         return EngineCounters(
@@ -313,6 +336,9 @@ class EvaluationEngine:
             cache_misses=self.cache_misses,
             delta_hits=self.delta_hits,
             delta_fallbacks=self.delta_fallbacks,
+            sched_ns=self.sched_ns,
+            metrics_ns=self.metrics_ns,
+            decode_ns=self.decode_ns,
         )
 
     # ------------------------------------------------------------------

@@ -7,6 +7,15 @@ serial engine path, the cache-miss path and the process-pool workers
 all call exactly this function, which is what makes cached, serial and
 parallel runs bit-identical.
 
+Under the array core the hot path never leaves the flat representation:
+the pass finishes as an :class:`~repro.sched.arrays.ArrayRunState`, the
+metrics are priced directly on its columns
+(:mod:`repro.core.array_metrics`), and the object
+:class:`~repro.sched.schedule.SystemSchedule` is decoded **lazily** --
+:attr:`EvaluatedDesign.schedule` builds it on first access (accepted
+incumbents, serialization, verify, figures), while the thousands of
+rejected candidates per search never pay for it.
+
 Imports from :mod:`repro.core` are deferred to call time: the engine
 package sits between ``sched`` and ``core`` in the layer diagram
 (``core.strategy`` imports the engine), so importing core modules at
@@ -15,16 +24,16 @@ module scope would be circular.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+import time
+from typing import TYPE_CHECKING, Optional, Tuple
 
-from repro.sched.arrays import ArrayRunState
+from repro.sched.arrays import ArrayRunState, ArraySpec
 from repro.sched.schedule import SystemSchedule
 from repro.sched.trace import ScheduleTrace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from typing import Union
-    from repro.core.metrics import DesignMetrics, MetricsMemo
+    from typing import Any, Union
+    from repro.core.metrics import DesignMetrics
     from repro.core.strategy import DesignSpec
     from repro.core.transformations import CandidateDesign
     from repro.engine.compiled_spec import CompiledSpec
@@ -33,9 +42,46 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sched.priorities import PriorityMap
 
 
-@dataclass
+class StageTimings:
+    """Nanosecond wall-time buckets of the evaluation pipeline.
+
+    One mutable sink per engine (and per pool worker): scheduling,
+    metric pricing and schedule decode accumulate separately, so the
+    per-stage Amdahl split of a search run is visible in the engine
+    statistics without a profiler.  Time recorded here feeds reporting
+    only -- never a scheduling decision.
+    """
+
+    __slots__ = ("sched_ns", "metrics_ns", "decode_ns")
+
+    def __init__(
+        self, sched_ns: int = 0, metrics_ns: int = 0, decode_ns: int = 0
+    ) -> None:
+        self.sched_ns = sched_ns
+        self.metrics_ns = metrics_ns
+        self.decode_ns = decode_ns
+
+    def snapshot(self) -> Tuple[int, int, int]:
+        """Current bucket values (for windowed attribution)."""
+        return (self.sched_ns, self.metrics_ns, self.decode_ns)
+
+    def since(self, snapshot: Tuple[int, int, int]) -> Tuple[int, int, int]:
+        """Bucket deltas accumulated after ``snapshot`` was taken."""
+        return (
+            self.sched_ns - snapshot[0],
+            self.metrics_ns - snapshot[1],
+            self.decode_ns - snapshot[2],
+        )
+
+    def add(self, delta: Tuple[int, int, int]) -> None:
+        """Merge another sink's deltas (worker results into the engine)."""
+        self.sched_ns += delta[0]
+        self.metrics_ns += delta[1]
+        self.decode_ns += delta[2]
+
+
 class EvaluatedDesign:
-    """A valid candidate design with its schedule and metric values.
+    """A valid candidate design with its metric values.
 
     ``trace`` and ``memo`` are the incremental-evaluation attachments
     (present only when the engine runs in delta mode): the scheduling
@@ -45,14 +91,74 @@ class EvaluatedDesign:
     engine core: a :class:`ScheduleTrace` under the object core, an
     :class:`~repro.sched.arrays.ArrayRunState` under the array core;
     the delta evaluator dispatches on the type and treats a mismatch
-    (e.g. after an engine-core switch) as "no trace".
+    (e.g. after an engine-core switch) as "no trace".  ``memo`` follows
+    the same split (``MetricsMemo`` / ``ArrayMetricsMemo``).
+
+    Under the array core :attr:`schedule` is **lazy**: the constructor
+    receives the finished array state instead of a decoded schedule,
+    and the object :class:`SystemSchedule` is decoded on first access
+    (re-running the pass with trace columns when the state was produced
+    without them).  The decode is cached, so incumbents price the
+    conversion once; rejected candidates never do.
     """
 
-    design: "CandidateDesign"
-    schedule: SystemSchedule
-    metrics: "DesignMetrics"
-    trace: Optional["Union[ScheduleTrace, ArrayRunState]"] = None
-    memo: Optional["MetricsMemo"] = None
+    __slots__ = (
+        "design", "metrics", "trace", "memo",
+        "_schedule", "_state", "_arrays", "_timings",
+    )
+
+    def __init__(
+        self,
+        design: "CandidateDesign",
+        schedule: Optional[SystemSchedule],
+        metrics: "DesignMetrics",
+        trace: Optional["Union[ScheduleTrace, ArrayRunState]"] = None,
+        memo: Optional["Any"] = None,
+        *,
+        state: Optional[ArrayRunState] = None,
+        arrays: Optional[ArraySpec] = None,
+        timings: Optional[StageTimings] = None,
+    ) -> None:
+        if schedule is None and (state is None or arrays is None):
+            raise ValueError(
+                "EvaluatedDesign needs a schedule or an array state to "
+                "decode one from"
+            )
+        self.design = design
+        self.metrics = metrics
+        self.trace = trace
+        self.memo = memo
+        self._schedule = schedule
+        self._state = state
+        self._arrays = arrays
+        self._timings = timings
+
+    # ------------------------------------------------------------------
+    @property
+    def schedule(self) -> SystemSchedule:
+        """The object schedule, decoded from the array state on demand."""
+        schedule = self._schedule
+        if schedule is None:
+            state = self._state
+            arrays = self._arrays
+            if state is None or arrays is None:
+                raise ValueError(
+                    "EvaluatedDesign lost its decode substrate (array "
+                    "state shipped without re-attaching the ArraySpec)"
+                )
+            start = time.perf_counter_ns()
+            if not state.columns:
+                # The hot path runs without trace columns; re-run the
+                # (deterministic) pass with them to decode.
+                state = arrays.schedule_design(
+                    self.design, record=False, columns=True
+                )
+            schedule = arrays.decode_schedule(state)
+            self._schedule = schedule
+            timings = self._timings
+            if timings is not None:
+                timings.decode_ns += time.perf_counter_ns() - start
+        return schedule
 
     @property
     def objective(self) -> float:
@@ -66,6 +172,30 @@ class EvaluatedDesign:
     def priorities(self) -> "PriorityMap":
         return self.design.priorities
 
+    # ------------------------------------------------------------------
+    # pickling (process-pool wire format): the compiled ArraySpec and
+    # the timing sink stay process-local; BatchEvaluator re-attaches
+    # both when results return to the engine.
+    def __getstate__(self) -> dict:
+        return {
+            name: getattr(self, name)
+            for name in self.__slots__
+            if name not in ("_arrays", "_timings")
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+        self._arrays = None
+        self._timings = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        decoded = "decoded" if self._schedule is not None else "lazy"
+        return (
+            f"EvaluatedDesign(objective={self.metrics.objective:.4f}, "
+            f"schedule={decoded})"
+        )
+
 
 def evaluate_candidate(
     spec: "DesignSpec",
@@ -73,6 +203,7 @@ def evaluate_candidate(
     scheduler: "ListScheduler",
     design: "CandidateDesign",
     record_trace: bool = False,
+    timings: Optional[StageTimings] = None,
 ) -> Optional[EvaluatedDesign]:
     """Schedule and price one candidate; ``None`` when it is invalid.
 
@@ -81,24 +212,37 @@ def evaluate_candidate(
     rely on.  With ``record_trace`` the outcome additionally carries
     the pass trace and metric memo, making it usable as the parent of
     delta evaluations; the metric *values* are identical either way.
+    ``timings`` (when given) accumulates per-stage wall time.
     """
     from repro.core.metrics import evaluate_design_delta
 
     if compiled.use_arrays:
+        from repro.core.array_metrics import evaluate_state_delta
+
         arrays = compiled.arrays
+        start = time.perf_counter_ns()
         state = arrays.schedule_design(design, record=record_trace)
+        mid = time.perf_counter_ns()
+        if timings is not None:
+            timings.sched_ns += mid - start
         if not state.success:
             return None
-        schedule = arrays.decode_schedule(state)
-        metrics, memo = evaluate_design_delta(
-            schedule, spec.future, spec.weights
+        metrics, memo = evaluate_state_delta(
+            arrays, state, spec.future, spec.weights
         )
+        if timings is not None:
+            timings.metrics_ns += time.perf_counter_ns() - mid
         if not record_trace:
-            return EvaluatedDesign(design, schedule, metrics)
+            return EvaluatedDesign(
+                design, None, metrics,
+                state=state, arrays=arrays, timings=timings,
+            )
         return EvaluatedDesign(
-            design, schedule, metrics, trace=state, memo=memo
+            design, None, metrics, trace=state, memo=memo,
+            state=state, arrays=arrays, timings=timings,
         )
 
+    start = time.perf_counter_ns()
     result = scheduler.try_schedule(
         spec.current,
         design.mapping,
@@ -107,11 +251,16 @@ def evaluate_candidate(
         compiled=compiled,
         record_trace=record_trace,
     )
+    mid = time.perf_counter_ns()
+    if timings is not None:
+        timings.sched_ns += mid - start
     if not result.success:
         return None
     metrics, memo = evaluate_design_delta(
         result.schedule, spec.future, spec.weights
     )
+    if timings is not None:
+        timings.metrics_ns += time.perf_counter_ns() - mid
     if not record_trace:
         return EvaluatedDesign(design, result.schedule, metrics)
     return EvaluatedDesign(

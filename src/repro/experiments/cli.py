@@ -41,6 +41,7 @@ from repro.experiments.runner import (
     ExperimentConfig,
     cache_statistics,
     delta_statistics,
+    stage_statistics,
     design_identity,
     make_budget,
     run_comparison,
@@ -88,6 +89,10 @@ def render_cache_statistics(records) -> str:
         name: (hits, fallbacks, rate)
         for name, hits, fallbacks, rate in delta_statistics(records)
     }
+    stage_rows = {
+        name: (sched_ns, metrics_ns, decode_ns)
+        for name, sched_ns, metrics_ns, decode_ns in stage_statistics(records)
+    }
     rows = [
         (
             name,
@@ -98,6 +103,9 @@ def render_cache_statistics(records) -> str:
             delta_rows[name][0],
             delta_rows[name][1],
             f"{delta_rows[name][2] * 100.0:.1f}%",
+            f"{stage_rows[name][0] / 1e6:.1f}",
+            f"{stage_rows[name][1] / 1e6:.1f}",
+            f"{stage_rows[name][2] / 1e6:.1f}",
         )
         for name, evals, hits, misses, rate in cache_statistics(records)
     ]
@@ -105,6 +113,7 @@ def render_cache_statistics(records) -> str:
         [
             "strategy", "evaluations", "cache hits", "cache misses",
             "hit rate", "delta hits", "delta fallbacks", "delta rate",
+            "sched ms", "metrics ms", "decode ms",
         ],
         rows,
         title="Evaluation engine statistics (all runs)",
@@ -165,6 +174,7 @@ def _scenarios_run(args: argparse.Namespace) -> int:
     spec = scenario.spec()
     budget = make_budget(args.budget_evals, args.budget_seconds, args.patience)
     rows = []
+    stage_lines = []
     for name in args.strategies:
         strategy = strategy_for_family(
             name,
@@ -177,6 +187,11 @@ def _scenarios_run(args: argparse.Namespace) -> int:
             engine_core=args.engine_core,
         )
         result = strategy.design(spec)
+        stage_lines.append(
+            f"  {name}: sched {result.sched_ns / 1e6:.1f} ms, "
+            f"metrics {result.metrics_ns / 1e6:.1f} ms, "
+            f"decode {result.decode_ns / 1e6:.1f} ms"
+        )
         search = result.search
         rows.append(
             (
@@ -208,6 +223,9 @@ def _scenarios_run(args: argparse.Namespace) -> int:
             ),
         )
     )
+    print("engine stage times:")
+    for line in stage_lines:
+        print(line)
     return 0 if all(row[1] == "yes" for row in rows) else 1
 
 

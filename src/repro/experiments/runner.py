@@ -261,6 +261,38 @@ def delta_statistics(
     return rows
 
 
+def stage_statistics(
+    records: Sequence[ComparisonRecord],
+    strategies: Optional[Sequence[str]] = None,
+) -> List[Tuple[str, int, int, int]]:
+    """Per-strategy evaluation-pipeline stage times across all runs.
+
+    Returns ``(strategy, sched_ns, metrics_ns, decode_ns)`` rows, the
+    Amdahl split of engine time between scheduling passes, metric
+    pricing and object-schedule decode (lazy under the array core:
+    only incumbents and reporting paths pay it).
+    """
+    if strategies is None:
+        seen: List[str] = []
+        for record in records:
+            for name in record.results:
+                if name not in seen:
+                    seen.append(name)
+        strategies = seen
+    rows: List[Tuple[str, int, int, int]] = []
+    for name in strategies:
+        results = [r.results[name] for r in records if name in r.results]
+        rows.append(
+            (
+                name,
+                sum(r.sched_ns for r in results),
+                sum(r.metrics_ns for r in results),
+                sum(r.decode_ns for r in results),
+            )
+        )
+    return rows
+
+
 def mean(values: Sequence[float]) -> float:
     """Arithmetic mean; 0.0 for an empty sequence."""
     vals = list(values)

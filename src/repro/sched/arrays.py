@@ -122,10 +122,14 @@ class ArrayRunState:
     __slots__ = (
         # candidate lowering
         "node_of", "delays", "urg", "rank_of_job", "job_of_rank", "rank_np",
-        # mutable loop state
+        # mutable loop state (bus_used is one flat numpy vector over all
+        # slot occurrences, node-contiguous -- see ArraySpec.occ_base)
         "runs_s", "runs_e", "bus_used", "earliest", "preds", "ready",
         "scheduled", "total",
-        # column trace (always recorded; needed by decode)
+        # column trace (skipped when ``columns`` is False: the lazy
+        # metric path needs only the final occupancy, so non-delta
+        # passes -- including failing ones -- pay no trace bookkeeping)
+        "columns",
         "ev_job", "ev_node", "ev_start", "ev_end", "ev_mptr",
         "mv_edge", "mv_round", "mv_arrival",
         # checkpoint bookkeeping (recorded only in delta mode)
@@ -192,6 +196,86 @@ class _Candidate:
         self.rank_of_job = rank_of_job
         self.job_of_rank = job_of_rank
         self.rank_np = rank_np
+
+
+class ArrayMetricGeometry:
+    """Precompiled metric inputs of one ``(ArraySpec, T_min)`` pair.
+
+    Everything the array metric kernel needs that does not depend on
+    the candidate: the periodic-window partition, per-occurrence bus
+    capacities and window membership over the flat (node-contiguous)
+    occurrence layout, the *base* occupancy's residual histogram and
+    per-window free bytes (so a candidate is priced by patching the
+    base at its few touched occurrences), and the start-order
+    permutation that reproduces the object kernel's occurrence order
+    for the order-sensitive ablation packing policies.
+
+    Pure integers derived from the immutable lowering -- built once per
+    ``T_min`` (one per spec in practice) and shared by every candidate.
+    """
+
+    __slots__ = (
+        "horizon", "t_min", "n_windows", "window_width", "window_lengths",
+        "caps_flat", "win_flat", "base_used", "base_resid_hist",
+        "base_window_free", "start_order",
+    )
+
+    def __init__(self, spec: "ArraySpec", t_min: int) -> None:
+        horizon = spec.horizon
+        self.horizon = horizon
+        self.t_min = t_min
+        n_windows = -(-horizon // t_min)
+        self.n_windows = n_windows
+        # periodic_windows semantics: consecutive T_min windows, the
+        # last truncated at the horizon.  windows[0].length is the
+        # splitting width the node-slack pass uses.
+        self.window_lengths = [
+            min((w + 1) * t_min, horizon) - w * t_min
+            for w in range(n_windows)
+        ]
+        self.window_width = self.window_lengths[0]
+
+        n_occ = spec.n_occ
+        caps_flat = np.empty(n_occ, dtype=np.int64)
+        win_flat = np.full(n_occ, -1, dtype=np.int64)
+        starts: List[Tuple[int, int]] = []
+        round_length = spec.round_length
+        static_cap = [0] * n_windows
+        for n in range(len(spec.node_ids)):
+            base = spec.occ_base[n]
+            offset = spec.slot_offset[n]
+            length = spec.slot_length[n]
+            cap = spec.slot_capacity[n]
+            for r in range(spec.occ_count[n]):
+                i = base + r
+                caps_flat[i] = cap
+                start = r * round_length + offset
+                starts.append((start, i))
+                k = start // t_min
+                if start + length <= min((k + 1) * t_min, horizon):
+                    win_flat[i] = k
+                    static_cap[k] += cap
+        starts.sort()
+        self.caps_flat = caps_flat
+        self.win_flat = win_flat
+        self.start_order = np.array(
+            [i for _, i in starts], dtype=np.int64
+        )
+        base_used = spec.base_bus_used_flat
+        self.base_used = base_used
+        base_resid = caps_flat - base_used
+        values, counts = np.unique(base_resid, return_counts=True)
+        self.base_resid_hist: Dict[int, int] = {
+            int(v): int(c) for v, c in zip(values, counts)
+        }
+        window_used = [0] * n_windows
+        for i in np.nonzero(base_used)[0].tolist():
+            w = win_flat[i]
+            if w >= 0:
+                window_used[w] += int(base_used[i])
+        self.base_window_free = [
+            cap - used for cap, used in zip(static_cap, window_used)
+        ]
 
 
 def _insert_run(ss: List[int], ee: List[int], start: int, end: int) -> None:
@@ -397,13 +481,37 @@ class ArraySpec:
             self.base_bus_used_map = {}
             self.base_bus_entries = {}
             self.base_bus_by_message = {}
-        self.base_bus_used: List[List[int]] = []
-        for n, nid in enumerate(self.node_ids):
-            used = [0] * self.occ_count[n]
-            for (node_id, r), value in self.base_bus_used_map.items():
-                if node_id == nid:
-                    used[r] = value
-            self.base_bus_used.append(used)
+        # Flat (node-contiguous) used-byte vector over every usable slot
+        # occurrence: occurrence ``r`` of node ``n`` lives at index
+        # ``occ_base[n] + r``.  One numpy copy per candidate replaces
+        # the per-node list copies, and the metric layer diffs final
+        # states against ``base_bus_used_flat`` with one vector compare.
+        occ_base: List[int] = []
+        total_occ = 0
+        for n in range(len(self.node_ids)):
+            occ_base.append(total_occ)
+            total_occ += self.occ_count[n]
+        self.occ_base = occ_base
+        self.n_occ = total_occ
+        base_used_flat = np.zeros(total_occ, dtype=np.int64)
+        for (node_id, r), value in self.base_bus_used_map.items():
+            base_used_flat[occ_base[self.node_index[node_id]] + r] = value
+        self.base_bus_used_flat = base_used_flat
+
+        # Per-T_min metric geometry, built lazily by metric_geometry().
+        self._metric_geometry: Dict[int, "ArrayMetricGeometry"] = {}
+
+    def metric_geometry(self, t_min: int) -> ArrayMetricGeometry:
+        """Precompiled metric geometry for one ``T_min`` (cached).
+
+        Real runs use a single ``T_min`` per spec; the cache keys on it
+        so weight sweeps stay correct without rebuilding per candidate.
+        """
+        geom = self._metric_geometry.get(t_min)
+        if geom is None:
+            geom = ArrayMetricGeometry(self, t_min)
+            self._metric_geometry[t_min] = geom
+        return geom
 
     # ------------------------------------------------------------------
     # per-candidate lowering
@@ -446,8 +554,19 @@ class ArraySpec:
             rank_np,
         )
 
-    def fresh_state(self, cand: _Candidate, record: bool) -> ArrayRunState:
-        """Cold-pass loop state: base occupancy, sources ready."""
+    def fresh_state(
+        self, cand: _Candidate, record: bool, columns: Optional[bool] = None
+    ) -> ArrayRunState:
+        """Cold-pass loop state: base occupancy, sources ready.
+
+        ``columns`` controls whether the pass appends the ev_*/mv_*
+        trace columns; delta-capable (``record``) states always keep
+        them (the resume machinery reads them), while pure hot-path
+        states skip the bookkeeping -- the array metric kernel reads
+        only the final occupancy, and :meth:`decode_schedule` re-runs
+        the deterministic pass on demand when a columnless state must
+        be decoded after all.
+        """
         st = ArrayRunState()
         st.node_of = cand.node_of
         st.delays = cand.delays
@@ -457,7 +576,7 @@ class ArraySpec:
         st.rank_np = cand.rank_np
         st.runs_s = [list(runs) for runs in self.base_runs_s]
         st.runs_e = [list(runs) for runs in self.base_runs_e]
-        st.bus_used = [list(used) for used in self.base_bus_used]
+        st.bus_used = self.base_bus_used_flat.copy()
         st.earliest = list(self.job_release)
         st.preds = list(self.preds0)
         rank_of_job = cand.rank_of_job
@@ -466,6 +585,7 @@ class ArraySpec:
         st.ready = ready
         st.scheduled = 0
         st.total = self.n_jobs
+        st.columns = record if columns is None else (columns or record)
         st.ev_job = []
         st.ev_node = []
         st.ev_start = []
@@ -487,11 +607,14 @@ class ArraySpec:
         return st
 
     def schedule_design(
-        self, design: "CandidateDesign", record: bool = False
+        self,
+        design: "CandidateDesign",
+        record: bool = False,
+        columns: Optional[bool] = None,
     ) -> ArrayRunState:
         """Run one cold pass; the array analogue of ``try_schedule``."""
         design.mapping.validate_complete()
-        st = self.fresh_state(self.lower_candidate(design), record)
+        st = self.fresh_state(self.lower_candidate(design), record, columns)
         self.run_kernel(st)
         return st
 
@@ -524,6 +647,7 @@ class ArraySpec:
         slot_len = self.slot_length
         slot_cap = self.slot_capacity
         occ_count = self.occ_count
+        occ_base = self.occ_base
         round_length = self.round_length
         horizon = self.horizon
 
@@ -538,6 +662,7 @@ class ArraySpec:
         preds = st.preds
         ready = st.ready
         record = st.record
+        columns = st.columns
         ready_at = st.ready_at
         pop = st.pop
         ev_job = st.ev_job
@@ -627,7 +752,7 @@ class ArraySpec:
                     threshold = slot_cap[n] - size
                     offset = slot_off[n]
                     count = occ_count[n]
-                    used_n = bus_used[n]
+                    base = occ_base[n]
                     if threshold < 0:
                         r = count
                     else:
@@ -636,14 +761,14 @@ class ArraySpec:
                             r = 0
                         else:
                             r = -(-(end - offset) // round_length)
-                        while r < count and used_n[r] > threshold:
+                        while r < count and bus_used[base + r] > threshold:
                             r += 1
                         # Message delay: re-scan from window.start + 1,
                         # i.e. from the next occurrence index.
                         delay = delays[edge_msg[t]]
                         while delay > 0 and r < count:
                             r += 1
-                            while r < count and used_n[r] > threshold:
+                            while r < count and bus_used[base + r] > threshold:
                                 r += 1
                             delay -= 1
                     if r >= count:
@@ -654,7 +779,7 @@ class ArraySpec:
                             f"before the horizon"
                         )
                         return
-                    used_n[r] += size
+                    bus_used[base + r] += size
                     arrival = r * round_length + offset + slot_len[n]
                 if arrival > earliest[dj]:
                     earliest[dj] = arrival
@@ -664,15 +789,17 @@ class ArraySpec:
                     heappush(ready, rank_of_job[dj])
                     if record:
                         ready_at[dj] = i_ev + 1
-                mv_edge.append(t)
-                mv_round.append(r)
-                mv_arrival.append(arrival)
+                if columns:
+                    mv_edge.append(t)
+                    mv_round.append(r)
+                    mv_arrival.append(arrival)
 
-            ev_job.append(j)
-            ev_node.append(n)
-            ev_start.append(start)
-            ev_end.append(end)
-            ev_mptr.append(len(mv_edge))
+            if columns:
+                ev_job.append(j)
+                ev_node.append(n)
+                ev_start.append(start)
+                ev_end.append(end)
+                ev_mptr.append(len(mv_edge))
             if record:
                 pop[j] = i_ev
 
@@ -785,10 +912,11 @@ class ArraySpec:
         st.mv_arrival = arrays["mv_arrival"][:k].tolist()
         st.scheduled = d
 
-        # Replay the placement prefix into the run / used-byte lists.
+        # Replay the placement prefix into the run lists / used vector.
         runs_s = st.runs_s
         runs_e = st.runs_e
         bus_used = st.bus_used
+        occ_base = self.occ_base
         ev_node = st.ev_node
         ev_mptr = st.ev_mptr
         mv_round = st.mv_round
@@ -800,26 +928,34 @@ class ArraySpec:
             for t in range(ev_mptr[i], ev_mptr[i + 1]):
                 r = mv_round[t]
                 if r >= 0:
-                    bus_used[n][r] += edge_size[mv_edge[t]]
+                    bus_used[occ_base[n] + r] += edge_size[mv_edge[t]]
         return st
+
+    def clean_mask(
+        self, child: ArrayRunState, parent: ArrayRunState
+    ) -> Tuple[List[bool], bool]:
+        """Per-node clean flags (dense node order) plus the bus flag.
+
+        Run-list / used-vector equality is exactly the busy-set /
+        byte-occupancy equality the object core checks, so the metric
+        layer can reuse the parent's inputs for these resources.
+        """
+        mask = [
+            child.runs_s[n] == parent.runs_s[n]
+            and child.runs_e[n] == parent.runs_e[n]
+            for n in range(len(self.node_ids))
+        ]
+        return mask, bool(np.array_equal(child.bus_used, parent.bus_used))
 
     def clean_resources(
         self, child: ArrayRunState, parent: ArrayRunState
     ) -> Tuple[set, bool]:
-        """Nodes (and the bus) whose final occupancy equals the parent's.
-
-        Run-list / used-list equality is exactly the busy-set /
-        byte-occupancy equality the object core checks, so the metric
-        layer can reuse the parent's inputs for these resources.
-        """
-        clean_nodes = set()
-        for n, nid in enumerate(self.node_ids):
-            if (
-                child.runs_s[n] == parent.runs_s[n]
-                and child.runs_e[n] == parent.runs_e[n]
-            ):
-                clean_nodes.add(nid)
-        return clean_nodes, child.bus_used == parent.bus_used
+        """:meth:`clean_mask` with nodes as an id set (object-memo form)."""
+        mask, bus_clean = self.clean_mask(child, parent)
+        return (
+            {nid for n, nid in enumerate(self.node_ids) if mask[n]},
+            bus_clean,
+        )
 
     # ------------------------------------------------------------------
     # decode boundary
@@ -833,7 +969,17 @@ class ArraySpec:
         schedule is indistinguishable from an object-core one -- the
         metric, verify, serialize and proposer layers consume it
         unchanged.
+
+        Requires a state run with ``columns`` (the default metric path
+        runs without them); decoding a columnless state would silently
+        reproduce only the base template.
         """
+        if not st.columns:
+            raise ValueError(
+                "cannot decode a columnless ArrayRunState; re-run the "
+                "pass with columns=True (EvaluatedDesign.schedule does "
+                "this on demand)"
+            )
         out = SystemSchedule(self.architecture, self.horizon)
         node_ids = self.node_ids
         entry_lists: List[List[ScheduledProcess]] = []
