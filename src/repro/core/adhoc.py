@@ -31,16 +31,19 @@ from repro.search.budget import Budget
 class AdHocStrategy:
     """Validity-only design: Initial Mapping with no optimization.
 
-    ``use_cache``, ``jobs``, ``use_delta`` and ``budget`` exist so
-    every strategy shares one construction signature (the experiment
-    runner passes them uniformly); AH performs a single evaluation, so
-    none of them changes its behavior.
+    ``use_cache``, ``jobs``, ``use_delta``, ``cache_store``/
+    ``cache_path`` and ``budget`` exist so every strategy shares one
+    construction signature (the experiment runner passes them
+    uniformly); AH performs a single evaluation, so none of them
+    changes its behavior.
     """
 
     use_cache: bool = True
     jobs: int = 1
     use_delta: bool = True
     engine_core: str = "array"
+    cache_store: str = "memory"
+    cache_path: Optional[str] = None
     budget: Optional[Budget] = None
 
     name = "AH"

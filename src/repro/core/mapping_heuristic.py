@@ -92,6 +92,8 @@ class MappingHeuristic:
     max_cache_entries: Optional[int] = DEFAULT_MAX_ENTRIES
     use_delta: bool = True
     engine_core: str = "array"
+    cache_store: str = "memory"
+    cache_path: Optional[str] = None
     budget: Optional[Budget] = None
 
     name = "MH"
@@ -106,6 +108,8 @@ class MappingHeuristic:
             max_cache_entries=self.max_cache_entries,
             use_delta=self.use_delta,
             engine_core=self.engine_core,
+            cache_store=self.cache_store,
+            cache_path=self.cache_path,
         ) as evaluator:
             result = drive(
                 self.search_program(spec, evaluator.compiled), evaluator

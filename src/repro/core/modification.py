@@ -111,6 +111,8 @@ def design_with_modifications(
     jobs: int = 1,
     use_delta: bool = True,
     engine_core: str = "array",
+    cache_store: str = "memory",
+    cache_path: Optional[str] = None,
     budget: Optional[Budget] = None,
     attempt_budget: Optional[Budget] = None,
     **strategy_kwargs,
@@ -151,6 +153,11 @@ def design_with_modifications(
     engine_core:
         Scheduler core (``"array"`` or ``"object"``) of every subset
         attempt's evaluation engine; results are byte-identical.
+    cache_store / cache_path:
+        Result-store backend of every subset attempt's evaluation
+        engine (``"memory"`` or ``"sqlite"`` at ``cache_path``); the
+        attempts share one database, so a re-run of the scan is served
+        warm.
     budget:
         Per-strategy search budget, forwarded to every subset
         attempt's strategy run (see the strategies' ``budget`` field).
@@ -180,6 +187,8 @@ def design_with_modifications(
     strategy_kwargs.setdefault("jobs", jobs)
     strategy_kwargs.setdefault("use_delta", use_delta)
     strategy_kwargs.setdefault("engine_core", engine_core)
+    strategy_kwargs.setdefault("cache_store", cache_store)
+    strategy_kwargs.setdefault("cache_path", cache_path)
     if budget is not None:
         strategy_kwargs.setdefault("budget", budget)
 

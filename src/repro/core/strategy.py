@@ -35,6 +35,7 @@ from repro.engine.cache import DEFAULT_MAX_ENTRIES, CacheStats
 from repro.engine.delta import DeltaStats
 from repro.engine.engine import EngineCounters, EvaluationEngine
 from repro.engine.evaluation import EvaluatedDesign
+from repro.engine.store import StoreStats
 from repro.model.application import Application
 from repro.model.architecture import Architecture
 from repro.model.mapping import Mapping
@@ -109,6 +110,14 @@ class DesignResult:
     sched_ns: int = 0
     metrics_ns: int = 0
     decode_ns: int = 0
+    #: Persistent result-store accounting: probes past the resident
+    #: cache tier, rows flushed, and database open/commit wall time.
+    #: All zero on the in-memory backend.
+    store_hits: int = 0
+    store_misses: int = 0
+    store_writes: int = 0
+    store_open_ns: int = 0
+    store_commit_ns: int = 0
     #: Per-search accounting of the kernel loops behind this result
     #: (steps, proposals, evaluations-to-incumbent); ``None`` for
     #: strategies that do not search (AH).
@@ -131,6 +140,12 @@ class DesignResult:
         self.sched_ns = evaluator.sched_ns
         self.metrics_ns = evaluator.metrics_ns
         self.decode_ns = evaluator.decode_ns
+        store = evaluator.store_stats()
+        self.store_hits = store.hits
+        self.store_misses = store.misses
+        self.store_writes = store.writes
+        self.store_open_ns = store.open_ns
+        self.store_commit_ns = store.commit_ns
         return self
 
     def design_identity(self) -> tuple:
@@ -180,6 +195,14 @@ class DesignEvaluator:
         scheduler kernel; ``"object"`` the pinned object-graph
         reference.  Byte-identical results; the CLI's
         ``--engine-core`` switch.
+    cache_store:
+        ``"memory"`` (the default) keeps memoized outcomes in the
+        process-local LRU; ``"sqlite"`` backs that LRU with a
+        persistent database at ``cache_path`` that survives restarts
+        and is shared read-only with pool workers.
+    cache_path:
+        Filesystem path of the sqlite result store (required when
+        ``cache_store="sqlite"``).
     """
 
     def __init__(
@@ -191,6 +214,8 @@ class DesignEvaluator:
         parallel_threshold: Optional[int] = None,
         use_delta: bool = True,
         engine_core: str = "array",
+        cache_store: str = "memory",
+        cache_path: Optional[str] = None,
     ):
         self.spec = spec
         self.engine = EvaluationEngine(
@@ -201,6 +226,8 @@ class DesignEvaluator:
             parallel_threshold=parallel_threshold,
             use_delta=use_delta,
             engine_core=engine_core,
+            cache_store=cache_store,
+            cache_path=cache_path,
         )
 
     def evaluate(self, design: "CandidateDesign") -> Optional[EvaluatedDesign]:
@@ -259,6 +286,22 @@ class DesignEvaluator:
     @property
     def decode_ns(self) -> int:
         return self.engine.decode_ns
+
+    @property
+    def store_hits(self) -> int:
+        return self.engine.store_hits
+
+    @property
+    def store_misses(self) -> int:
+        return self.engine.store_misses
+
+    @property
+    def store_writes(self) -> int:
+        return self.engine.store_writes
+
+    def store_stats(self) -> StoreStats:
+        """Persistent-store accounting (all-zero on the memory backend)."""
+        return self.engine.store_stats()
 
     def cache_stats(self) -> CacheStats:
         return self.engine.cache_stats()

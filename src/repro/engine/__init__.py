@@ -9,7 +9,11 @@ This package separates problem *construction* from repeated *solving*:
 * :mod:`~repro.engine.evaluation` -- the pure per-candidate evaluation
   primitive and :class:`EvaluatedDesign`;
 * :mod:`~repro.engine.cache` -- :class:`EvaluationCache`, memoized
-  outcomes with hit/miss accounting;
+  outcomes with hit/miss accounting (a thin layer over a result
+  store);
+* :mod:`~repro.engine.store` -- :class:`ResultStore` backends: the
+  in-memory LRU and the persistent sqlite store that serves results
+  across processes and runs;
 * :mod:`~repro.engine.batch` -- :class:`BatchEvaluator`, process-pool
   scoring of candidate batches with deterministic ordering;
 * :mod:`~repro.engine.delta` -- :class:`DeltaEvaluator`, the move-aware
@@ -28,6 +32,13 @@ from repro.engine.compiled_spec import CompiledSpec
 from repro.engine.delta import DeltaEvaluator, DeltaStats
 from repro.engine.engine import EngineCounters, EvaluationEngine
 from repro.engine.evaluation import EvaluatedDesign, evaluate_candidate
+from repro.engine.store import (
+    MemoryResultStore,
+    ResultStore,
+    SqliteResultStore,
+    StoreStats,
+    make_store,
+)
 
 __all__ = [
     "BatchEvaluator",
@@ -39,5 +50,10 @@ __all__ = [
     "EvaluatedDesign",
     "EvaluationCache",
     "EvaluationEngine",
+    "MemoryResultStore",
+    "ResultStore",
+    "SqliteResultStore",
+    "StoreStats",
     "evaluate_candidate",
+    "make_store",
 ]

@@ -25,6 +25,7 @@ under ``--jobs N``.
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 from concurrent.futures import Executor, ProcessPoolExecutor
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
@@ -56,11 +57,17 @@ CHUNKS_PER_WORKER = 4
 WORKER_PARENT_CAPACITY = 8
 
 #: Per-worker state: ``(spec, compiled, scheduler, delta, parents,
-#: timings)``, built once by the pool initializer so each worker
-#: compiles the problem exactly once.  ``parents`` is the LRU of
-#: resident parents; ``timings`` the worker's stage-time sink, whose
-#: deltas ride back on every chunk result.
+#: timings, store)``, built once by the pool initializer so each
+#: worker compiles the problem exactly once.  ``parents`` is the LRU
+#: of resident parents; ``timings`` the worker's stage-time sink,
+#: whose deltas ride back on every chunk result; ``store`` the
+#: read-only view of the engine's persistent result store (``None``
+#: without one).
 _WORKER_STATE: Optional[Tuple] = None
+
+#: Sentinel distinguishing "parent not resident" from a resident
+#: parent whose evaluation verdict is invalid (``None``).
+_ABSENT = object()
 
 #: Wire form of one candidate: ``(assignment, priorities, delays)``.
 Payload = Tuple[dict, dict, dict]
@@ -88,8 +95,21 @@ def dispatch_chunksize(
     return max(1, min(fair_share, balanced))
 
 
-def _init_worker(spec: "DesignSpec", use_delta: bool, engine_core: str) -> None:
-    """Process-pool initializer: compile the spec once per worker."""
+def _init_worker(
+    spec: "DesignSpec",
+    use_delta: bool,
+    engine_core: str,
+    store_path: Optional[str] = None,
+    store_scenario: Optional[str] = None,
+) -> None:
+    """Process-pool initializer: compile the spec once per worker.
+
+    With a ``store_path`` the worker additionally opens a *read-only*
+    view of the engine's persistent result store and serves candidate
+    payloads from it before solving cold -- the single read-write
+    connection stays in the parent (single-writer rule), so worker
+    read-through cannot perturb what gets committed or in what order.
+    """
     global _WORKER_STATE
     compiled = CompiledSpec(spec, engine_core=engine_core)
     scheduler = ListScheduler(spec.architecture)
@@ -97,29 +117,49 @@ def _init_worker(spec: "DesignSpec", use_delta: bool, engine_core: str) -> None:
     delta = (
         DeltaEvaluator(compiled, scheduler, timings) if use_delta else None
     )
-    _WORKER_STATE = (spec, compiled, scheduler, delta, OrderedDict(), timings)
+    store = None
+    if store_path is not None and os.path.exists(store_path):
+        from repro.engine.store import SqliteResultStore
+
+        candidate = SqliteResultStore(
+            store_path,
+            compiled=compiled,
+            scenario=store_scenario,
+            read_only=True,
+        )
+        store = candidate if candidate.persistent else None
+    _WORKER_STATE = (
+        spec, compiled, scheduler, delta, OrderedDict(), timings, store
+    )
 
 
 def _evaluate_payload(
     payload: Payload,
-) -> Tuple[Optional[EvaluatedDesign], Tuple[int, int, int]]:
+) -> Tuple[Optional[EvaluatedDesign], Tuple[int, int, int], bool]:
     """Worker-side evaluation of one wire-form candidate.
 
-    Returns the outcome plus the stage-time deltas this evaluation
+    Returns the outcome, the stage-time deltas this evaluation
     accumulated in the worker (merged into the engine's sink by the
-    dispatching :class:`BatchEvaluator`).
+    dispatching :class:`BatchEvaluator`), and whether the persistent
+    result store served it (no solving happened).  Store probes count
+    hits only -- misses are attributed by the parent's own lookups, so
+    a cold evaluation is never counted twice.
     """
     from repro.core.transformations import CandidateDesign
     from repro.model.mapping import Mapping
 
     assert _WORKER_STATE is not None, "worker initializer did not run"
-    spec, compiled, scheduler, delta, _, timings = _WORKER_STATE
+    spec, compiled, scheduler, delta, _, timings, store = _WORKER_STATE
     assignment, priorities, delays = payload
     design = CandidateDesign(
         Mapping(spec.current, spec.architecture, assignment),
         dict(priorities),
         dict(delays),
     )
+    if store is not None:
+        found, outcome = store.get(compiled.signature(design))
+        if found:
+            return outcome, (0, 0, 0), True
     before = timings.snapshot()
     outcome = evaluate_candidate(
         spec,
@@ -129,19 +169,26 @@ def _evaluate_payload(
         record_trace=delta is not None,
         timings=timings,
     )
-    return outcome, timings.since(before)
+    return outcome, timings.since(before), False
 
 
 def _resident_parent(
     signature: Signature, payload: Payload
 ) -> Optional[EvaluatedDesign]:
-    """Fetch (or cold-build once) the chunk's parent in this worker."""
+    """Fetch (or cold-build once) the chunk's parent in this worker.
+
+    Residency is tested against the :data:`_ABSENT` sentinel, not the
+    parent's truthiness: an *invalid* parent is resident as ``None``
+    (strategies never send such parents; defensive), and conflating it
+    with "not resident yet" would silently re-evaluate the invalid
+    design on every chunk that names it.
+    """
     from repro.core.transformations import CandidateDesign
     from repro.model.mapping import Mapping
 
-    spec, compiled, scheduler, delta, parents, timings = _WORKER_STATE
-    parent = parents.get(signature)
-    if parent is not None:
+    spec, compiled, scheduler, delta, parents, timings, _ = _WORKER_STATE
+    parent = parents.get(signature, _ABSENT)
+    if parent is not _ABSENT:
         parents.move_to_end(signature)
         return parent
     assignment, priorities, delays = payload
@@ -170,7 +217,7 @@ def _evaluate_move_chunk(
     hit/fallback counts and stage-time deltas for this chunk.
     """
     assert _WORKER_STATE is not None, "worker initializer did not run"
-    spec, compiled, scheduler, delta, _, timings = _WORKER_STATE
+    spec, compiled, scheduler, delta, _, timings, _store = _WORKER_STATE
     signature, payload, moves = chunk
     before = timings.snapshot()
     parent = _resident_parent(signature, payload)
@@ -243,6 +290,14 @@ class BatchEvaluator:
         Enable the incremental (move-aware) evaluation path and trace
         recording on cold evaluations.  Off, every evaluation is a full
         rescheduling and the move APIs degrade to candidate batches.
+    store_path:
+        Database file of the engine's persistent result store; workers
+        open it read-only and serve dispatched payloads from it before
+        solving cold.  ``None`` (no store, or a memory backend)
+        disables worker read-through.
+    store_scenario:
+        Scenario key the store rows are filed under (forwarded to the
+        workers' read-only store views).
     """
 
     def __init__(
@@ -251,6 +306,8 @@ class BatchEvaluator:
         jobs: int = 1,
         parallel_threshold: Optional[int] = None,
         use_delta: bool = True,
+        store_path: Optional[str] = None,
+        store_scenario: Optional[str] = None,
     ):
         self.compiled = compiled
         self.jobs = max(1, int(jobs))
@@ -268,6 +325,10 @@ class BatchEvaluator:
         )
         self.delta_hits = 0
         self.delta_fallbacks = 0
+        #: Candidates pool workers served from the persistent store.
+        self.store_hits = 0
+        self.store_path = store_path
+        self.store_scenario = store_scenario
         self._executor: Optional[Executor] = None
         self._closed = False
 
@@ -348,11 +409,17 @@ class BatchEvaluator:
         payloads = [_to_payload(design) for design in designs]
         chunksize = dispatch_chunksize(len(payloads), self.jobs)
         outcomes: List[Optional[EvaluatedDesign]] = []
-        for outcome, stage_delta in executor.map(
-            _evaluate_payload, payloads, chunksize=chunksize
-        ):
-            outcomes.append(outcome)
-            self.timings.add(stage_delta)
+        try:
+            for outcome, stage_delta, from_store in executor.map(
+                _evaluate_payload, payloads, chunksize=chunksize
+            ):
+                outcomes.append(outcome)
+                self.timings.add(stage_delta)
+                if from_store:
+                    self.store_hits += 1
+        except BaseException:
+            self._abort_pool()
+            raise
         self._reattach(designs, outcomes)
         return outcomes
 
@@ -396,13 +463,17 @@ class BatchEvaluator:
             for i in range(0, len(moves), chunksize)
         ]
         outcomes: List[Optional[EvaluatedDesign]] = []
-        for chunk_outcomes, hits, fallbacks, stage_delta in executor.map(
-            _evaluate_move_chunk, chunks
-        ):
-            outcomes.extend(chunk_outcomes)
-            self.delta_hits += hits
-            self.delta_fallbacks += fallbacks
-            self.timings.add(stage_delta)
+        try:
+            for chunk_outcomes, hits, fallbacks, stage_delta in executor.map(
+                _evaluate_move_chunk, chunks
+            ):
+                outcomes.extend(chunk_outcomes)
+                self.delta_hits += hits
+                self.delta_fallbacks += fallbacks
+                self.timings.add(stage_delta)
+        except BaseException:
+            self._abort_pool()
+            raise
         self._reattach(children, outcomes)
         return outcomes
 
@@ -418,6 +489,33 @@ class BatchEvaluator:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+
+    def _abort_pool(self) -> None:
+        """Emergency pool teardown after an in-flight failure.
+
+        Used when consuming chunk results raises -- a worker died
+        mid-chunk (``BrokenProcessPool``), a move's evaluation raised,
+        or the driving process got a ``KeyboardInterrupt``.  The pool
+        is *terminated*, never joined: a worker stuck or dead mid-chunk
+        must not block the raising thread, pending futures are
+        cancelled, and surviving processes are killed outright.  Chunk
+        results not yet consumed are dropped with their
+        :class:`StageTimings` deltas -- deltas merge only on clean
+        receipt, so a dead worker's partial chunk can never be counted
+        (or double-counted) in the engine's sink.  Closing stays
+        sticky: the evaluator refuses further work exactly like after
+        :meth:`close`.
+        """
+        self._closed = True
+        executor = self._executor
+        self._executor = None
+        if executor is None:
+            return
+        processes = list((getattr(executor, "_processes", None) or {}).values())
+        executor.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
 
     def __enter__(self) -> "BatchEvaluator":
         return self
@@ -447,8 +545,13 @@ class BatchEvaluator:
             if outcome is None:
                 continue
             outcome.design = design
-            if outcome._schedule is None and outcome._arrays is None:
-                outcome._arrays = arrays
+            if outcome._schedule is None and outcome._state is not None:
+                if outcome._arrays is None:
+                    outcome._arrays = arrays
+            elif outcome._schedule is None and outcome._compiled is None:
+                # Store-served outcome: metrics only; the schedule is
+                # re-derived against the compiled spec on first access.
+                outcome._compiled = self.compiled
             if outcome._timings is None:
                 outcome._timings = self.timings
 
@@ -470,6 +573,8 @@ class BatchEvaluator:
                     self.compiled.spec,
                     self.delta is not None,
                     self.compiled.engine_core,
+                    self.store_path,
+                    self.store_scenario,
                 ),
             )
         return self._executor

@@ -14,27 +14,34 @@ recompute -- keyed by :meth:`CompiledSpec.signature`.  Hit/miss
 counters feed the per-run statistics surfaced in
 :class:`repro.core.strategy.DesignResult` and the experiment reports.
 
+Since the result-store refactor the cache is a thin *accounting* layer
+over a :class:`~repro.engine.store.ResultStore` backend -- the
+in-memory LRU by default, or the persistent sqlite store, which serves
+results solved by earlier runs and other processes.  The backend owns
+storage, recency and eviction; the cache owns the counters, so the
+counter contract is identical over every backend.
+
 Accounting and LRU recency are atomic by construction: every hit goes
-through :meth:`lookup`, which counts it and moves the entry to the
-recent end in one step (``in`` is the accounting-free peek for callers
-that only plan work).
+through :meth:`lookup`, which counts it and refreshes recency in one
+step (``in`` is the accounting-free peek for callers that only plan
+work).
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro.engine.compiled_spec import Signature
+from repro.engine.store import (
+    DEFAULT_MAX_ENTRIES,
+    MemoryResultStore,
+    ResultStore,
+    StoreStats,
+)
 
-#: Sentinel distinguishing "not cached" from a cached invalid verdict.
-_MISSING = object()
-
-#: Default LRU bound.  Far above the reproduction's iteration budgets
-#: (so no behavior change), but it keeps a long-running search from
-#: retaining one full schedule per distinct candidate forever.
-DEFAULT_MAX_ENTRIES = 65536
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections import OrderedDict
 
 
 @dataclass(frozen=True)
@@ -58,28 +65,40 @@ class CacheStats:
 
 
 class EvaluationCache:
-    """LRU-bounded memo of signature -> evaluation outcome.
+    """Memo of signature -> evaluation outcome over a result store.
 
     Parameters
     ----------
     max_entries:
-        Upper bound on stored outcomes; the least recently used entry
-        is evicted beyond it.  Defaults to :data:`DEFAULT_MAX_ENTRIES`;
-        ``None`` means unbounded.
+        Upper bound on resident outcomes; the least recently used
+        entry is evicted beyond it.  Defaults to
+        :data:`DEFAULT_MAX_ENTRIES`; ``None`` means unbounded.  Only
+        used when ``store`` is not given.
+    store:
+        The storage backend.  Defaults to a fresh
+        :class:`~repro.engine.store.MemoryResultStore` bounded by
+        ``max_entries`` -- the historical in-memory cache, verbatim.
     """
 
-    def __init__(self, max_entries: Optional[int] = DEFAULT_MAX_ENTRIES):
-        if max_entries is not None and max_entries <= 0:
-            raise ValueError(
-                f"max_entries must be positive or None, got {max_entries}"
-            )
-        self.max_entries = max_entries
-        self._store: "OrderedDict[Signature, object]" = OrderedDict()
+    def __init__(
+        self,
+        max_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
+        store: Optional[ResultStore] = None,
+    ):
+        if store is None:
+            store = MemoryResultStore(max_entries)
+        self.backend: ResultStore = store
+        self.max_entries = store.max_entries
         self.hits = 0
         self.misses = 0
 
+    @property
+    def _store(self) -> "OrderedDict[Signature, object]":
+        """The resident tier's ordered entries (tests, diagnostics)."""
+        return self.backend.entries
+
     def __len__(self) -> int:
-        return len(self._store)
+        return len(self.backend)
 
     def __contains__(self, signature: Signature) -> bool:
         """Pure membership peek: no counters, no recency update.
@@ -87,34 +106,44 @@ class EvaluationCache:
         Lets the engine plan a batch (which signatures need solving)
         without perturbing the accounting that :meth:`lookup` owns.
         """
-        return signature in self._store
+        return signature in self.backend
 
     def lookup(self, signature: Signature) -> Tuple[bool, Optional[object]]:
         """Return ``(found, outcome)``; counts the hit or miss.
 
         ``outcome`` is the memoized evaluation result -- possibly
         ``None`` for a cached invalid verdict -- and only meaningful
-        when ``found`` is True.
+        when ``found`` is True.  Callers must branch on ``found``, not
+        on the outcome's truthiness: treating a cached invalid as "not
+        found" silently re-evaluates it every time.
         """
-        value = self._store.get(signature, _MISSING)
-        if value is _MISSING:
+        found, outcome = self.backend.get(signature)
+        if not found:
             self.misses += 1
             return False, None
         self.hits += 1
-        self._store.move_to_end(signature)
-        return True, value
+        return True, outcome
 
     def store(self, signature: Signature, outcome: Optional[object]) -> None:
         """Memoize one outcome (``None`` records an invalid candidate)."""
-        self._store[signature] = outcome
-        self._store.move_to_end(signature)
-        if self.max_entries is not None and len(self._store) > self.max_entries:
-            self._store.popitem(last=False)
+        self.backend.put(signature, outcome)
 
     def clear(self) -> None:
         """Drop every entry; counters keep accumulating."""
-        self._store.clear()
+        self.backend.clear()
+
+    def commit(self) -> None:
+        """Flush backend write buffers (the store commit boundary)."""
+        self.backend.commit()
+
+    def close(self) -> None:
+        """Flush and release the backend (idempotent)."""
+        self.backend.close()
 
     def stats(self) -> CacheStats:
         """A snapshot of the accounting counters."""
-        return CacheStats(self.hits, self.misses, len(self._store))
+        return CacheStats(self.hits, self.misses, len(self.backend))
+
+    def store_stats(self) -> StoreStats:
+        """The backend's persistent-tier accounting."""
+        return self.backend.stats()

@@ -24,6 +24,7 @@ from repro.engine.cache import DEFAULT_MAX_ENTRIES, CacheStats, EvaluationCache
 from repro.engine.compiled_spec import CompiledSpec, Signature
 from repro.engine.delta import DeltaStats
 from repro.engine.evaluation import EvaluatedDesign
+from repro.engine.store import SqliteResultStore, StoreStats, make_store
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.metrics import DesignMetrics
@@ -45,6 +46,11 @@ class EngineCounters(NamedTuple):
     pipeline (scheduling pass, metric pricing, schedule decode),
     summed across the engine process and every pool worker.  They
     feed reporting only, never a decision.
+
+    The ``store_*`` fields are the persistent result store's
+    accounting: probes past the resident tier (hits/misses), rows
+    flushed, and the wall time spent opening the database and
+    committing write batches.  All zero on the memory backend.
     """
 
     evaluations: int
@@ -55,6 +61,11 @@ class EngineCounters(NamedTuple):
     sched_ns: int = 0
     metrics_ns: int = 0
     decode_ns: int = 0
+    store_hits: int = 0
+    store_misses: int = 0
+    store_writes: int = 0
+    store_open_ns: int = 0
+    store_commit_ns: int = 0
 
     def __sub__(self, other: "EngineCounters") -> "EngineCounters":
         return EngineCounters(*(a - b for a, b in zip(self, other)))
@@ -90,6 +101,14 @@ class EvaluationEngine:
         object-graph reference.  Results are byte-identical; this is
         the CLI's ``--engine-core`` switch.  Defaults to ``"object"``
         here (the strategy layer opts into ``"array"``).
+    cache_store:
+        Cache storage backend: ``"memory"`` (the historical in-process
+        LRU) or ``"sqlite"`` (persistent across processes and runs;
+        see :mod:`repro.engine.store`).  Results are byte-identical
+        either way; this is the CLI's ``--cache-store`` switch.
+    cache_path:
+        Database file of the sqlite backend (required with
+        ``cache_store="sqlite"``, ignored otherwise).
     """
 
     def __init__(
@@ -101,17 +120,31 @@ class EvaluationEngine:
         parallel_threshold: Optional[int] = None,
         use_delta: bool = True,
         engine_core: str = "object",
+        cache_store: str = "memory",
+        cache_path: Optional[str] = None,
     ):
         self.spec = spec
         self.compiled = CompiledSpec(spec, engine_core=engine_core)
-        self.cache: Optional[EvaluationCache] = (
-            EvaluationCache(max_cache_entries) if use_cache else None
-        )
+        self.cache: Optional[EvaluationCache] = None
+        store_path: Optional[str] = None
+        store_scenario: Optional[str] = None
+        if use_cache:
+            backend = make_store(
+                cache_store, cache_path, self.compiled, max_cache_entries
+            )
+            self.cache = EvaluationCache(max_cache_entries, store=backend)
+            if isinstance(backend, SqliteResultStore) and backend.persistent:
+                # Workers read through the same database (read-only);
+                # the single read-write connection stays here.
+                store_path = backend.path
+                store_scenario = backend.scenario
         self.batch = BatchEvaluator(
             self.compiled,
             jobs=jobs,
             parallel_threshold=parallel_threshold,
             use_delta=use_delta,
+            store_path=store_path,
+            store_scenario=store_scenario,
         )
         self.use_delta = use_delta
         self.evaluations = 0
@@ -138,6 +171,7 @@ class EvaluationEngine:
             return outcome
         outcome = self.batch.evaluate_one(design)
         self.cache.store(signature, outcome)
+        self.cache.commit()
         return outcome
 
     def evaluate_many(
@@ -180,7 +214,9 @@ class EvaluationEngine:
         miss + store, every later use = hit + move-to-end.  An entry
         evicted between its store and a later use (cache bound smaller
         than the batch's working set) is re-solved serially via
-        ``solve_one(i)``, exactly as single calls would.
+        ``solve_one(i)``, exactly as single calls would.  The batch
+        ends at the store commit boundary: buffered backend writes are
+        flushed as one batch.
         """
         fresh_indices: List[int] = []
         fresh_signatures: set = set()
@@ -208,6 +244,7 @@ class EvaluationEngine:
                 outcome = solve_one(i)
             self.cache.store(signature, outcome)
             results[i] = outcome
+        self.cache.commit()
         return results
 
     def evaluate_move(
@@ -238,6 +275,7 @@ class EvaluationEngine:
             return outcome
         outcome = self.batch.evaluate_move_one(parent, move, child)
         self.cache.store(signature, outcome)
+        self.cache.commit()
         return outcome
 
     def evaluate_moves(
@@ -301,6 +339,48 @@ class EvaluationEngine:
             return CacheStats(0, 0, 0)
         return self.cache.stats()
 
+    def store_stats(self) -> StoreStats:
+        """Persistent-store accounting (all zeros on the memory backend).
+
+        Worker read-through hits (pool workers probing the store for
+        payloads the parent dispatched) are folded into ``hits``;
+        misses are attributed by the parent's own lookups only, so one
+        cold evaluation never counts twice.
+        """
+        if self.cache is None:
+            base = StoreStats()
+        else:
+            base = self.cache.store_stats()
+        if self.batch.store_hits:
+            base = StoreStats(
+                hits=base.hits + self.batch.store_hits,
+                misses=base.misses,
+                writes=base.writes,
+                open_ns=base.open_ns,
+                commit_ns=base.commit_ns,
+            )
+        return base
+
+    @property
+    def store_hits(self) -> int:
+        return self.store_stats().hits
+
+    @property
+    def store_misses(self) -> int:
+        return self.store_stats().misses
+
+    @property
+    def store_writes(self) -> int:
+        return self.store_stats().writes
+
+    @property
+    def store_open_ns(self) -> int:
+        return self.store_stats().open_ns
+
+    @property
+    def store_commit_ns(self) -> int:
+        return self.store_stats().commit_ns
+
     @property
     def delta_hits(self) -> int:
         return self.batch.delta_hits
@@ -330,6 +410,7 @@ class EvaluationEngine:
 
     def counters(self) -> EngineCounters:
         """Snapshot of all counters (readable even after close)."""
+        store = self.store_stats()
         return EngineCounters(
             evaluations=self.evaluations,
             cache_hits=self.cache_hits,
@@ -339,6 +420,11 @@ class EvaluationEngine:
             sched_ns=self.sched_ns,
             metrics_ns=self.metrics_ns,
             decode_ns=self.decode_ns,
+            store_hits=store.hits,
+            store_misses=store.misses,
+            store_writes=store.writes,
+            store_open_ns=store.open_ns,
+            store_commit_ns=store.commit_ns,
         )
 
     # ------------------------------------------------------------------
@@ -362,9 +448,13 @@ class EvaluationEngine:
         A closed engine refuses further ``evaluate``/``evaluate_many``
         calls (``RuntimeError``) instead of silently recreating worker
         processes; accounting accessors stay readable so strategies can
-        record statistics after the search finished or failed.
+        record statistics after the search finished or failed.  The
+        cache backend is flushed and released with the pool, so every
+        memoized outcome of a completed run is durable.
         """
         self.batch.close()
+        if self.cache is not None:
+            self.cache.close()
 
     def __enter__(self) -> "EvaluationEngine":
         return self

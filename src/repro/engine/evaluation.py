@@ -104,7 +104,7 @@ class EvaluatedDesign:
 
     __slots__ = (
         "design", "metrics", "trace", "memo",
-        "_schedule", "_state", "_arrays", "_timings",
+        "_schedule", "_state", "_arrays", "_timings", "_compiled",
     )
 
     def __init__(
@@ -118,11 +118,17 @@ class EvaluatedDesign:
         state: Optional[ArrayRunState] = None,
         arrays: Optional[ArraySpec] = None,
         timings: Optional[StageTimings] = None,
+        compiled: Optional["CompiledSpec"] = None,
     ) -> None:
-        if schedule is None and (state is None or arrays is None):
+        if (
+            schedule is None
+            and (state is None or arrays is None)
+            and compiled is None
+        ):
             raise ValueError(
                 "EvaluatedDesign needs a schedule or an array state to "
-                "decode one from"
+                "decode one from (or a compiled spec to re-derive one "
+                "against)"
             )
         self.design = design
         self.metrics = metrics
@@ -132,33 +138,73 @@ class EvaluatedDesign:
         self._state = state
         self._arrays = arrays
         self._timings = timings
+        self._compiled = compiled
 
     # ------------------------------------------------------------------
     @property
     def schedule(self) -> SystemSchedule:
-        """The object schedule, decoded from the array state on demand."""
+        """The object schedule, decoded (or re-derived) on demand.
+
+        Three sources, in order: the eagerly built schedule (object
+        core), the finished array state (array core's lazy decode), or
+        -- for store-served outcomes, which persist metrics only -- a
+        full deterministic re-run of the scheduling pass against the
+        attached compiled spec.
+        """
         schedule = self._schedule
         if schedule is None:
             state = self._state
             arrays = self._arrays
-            if state is None or arrays is None:
+            start = time.perf_counter_ns()
+            if state is not None and arrays is not None:
+                if not state.columns:
+                    # The hot path runs without trace columns; re-run
+                    # the (deterministic) pass with them to decode.
+                    state = arrays.schedule_design(
+                        self.design, record=False, columns=True
+                    )
+                schedule = arrays.decode_schedule(state)
+            elif self._compiled is not None:
+                schedule = self._rederive(self._compiled)
+            else:
                 raise ValueError(
                     "EvaluatedDesign lost its decode substrate (array "
                     "state shipped without re-attaching the ArraySpec)"
                 )
-            start = time.perf_counter_ns()
-            if not state.columns:
-                # The hot path runs without trace columns; re-run the
-                # (deterministic) pass with them to decode.
-                state = arrays.schedule_design(
-                    self.design, record=False, columns=True
-                )
-            schedule = arrays.decode_schedule(state)
             self._schedule = schedule
             timings = self._timings
             if timings is not None:
                 timings.decode_ns += time.perf_counter_ns() - start
         return schedule
+
+    def _rederive(self, compiled: "CompiledSpec") -> SystemSchedule:
+        """Re-run the (deterministic) pass to rebuild the schedule."""
+        if compiled.use_arrays:
+            arrays = compiled.arrays
+            state = arrays.schedule_design(
+                self.design, record=False, columns=True
+            )
+            if not state.success:
+                raise ValueError(
+                    "stored design no longer schedules; the result "
+                    "store and the compiled spec disagree"
+                )
+            return arrays.decode_schedule(state)
+        from repro.sched.list_scheduler import ListScheduler
+
+        result = ListScheduler(compiled.architecture).try_schedule(
+            compiled.spec.current,
+            self.design.mapping,
+            priorities=self.design.priorities,
+            message_delays=self.design.message_delays,
+            compiled=compiled,
+        )
+        if not result.success:
+            raise ValueError(
+                "stored design no longer schedules; the result store "
+                "and the compiled spec disagree"
+            )
+        return result.schedule
 
     @property
     def objective(self) -> float:
@@ -173,14 +219,14 @@ class EvaluatedDesign:
         return self.design.priorities
 
     # ------------------------------------------------------------------
-    # pickling (process-pool wire format): the compiled ArraySpec and
-    # the timing sink stay process-local; BatchEvaluator re-attaches
-    # both when results return to the engine.
+    # pickling (process-pool wire format): the compiled ArraySpec, the
+    # compiled spec and the timing sink stay process-local;
+    # BatchEvaluator re-attaches them when results return to the engine.
     def __getstate__(self) -> dict:
         return {
             name: getattr(self, name)
             for name in self.__slots__
-            if name not in ("_arrays", "_timings")
+            if name not in ("_arrays", "_timings", "_compiled")
         }
 
     def __setstate__(self, state: dict) -> None:
@@ -188,6 +234,7 @@ class EvaluatedDesign:
             setattr(self, name, value)
         self._arrays = None
         self._timings = None
+        self._compiled = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         decoded = "decoded" if self._schedule is not None else "lazy"

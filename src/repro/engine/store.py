@@ -1,0 +1,621 @@
+"""Result stores: the persistence tier behind the evaluation cache.
+
+At service scale the dominant waste is re-solving scenarios some other
+process (or an earlier run) already solved.  This module lifts the
+cache's storage out of :class:`~repro.engine.cache.EvaluationCache`
+into a :class:`ResultStore` protocol with two backends:
+
+* :class:`MemoryResultStore` -- the original in-memory LRU, verbatim.
+  ``get`` refreshes recency, ``put`` evicts the least recently used
+  entry beyond ``max_entries``; nothing survives the process.
+* :class:`SqliteResultStore` -- a two-tier store: the same resident
+  LRU in front of a persistent sqlite database (WAL mode) keyed by
+  ``(scenario, signature)``.  Misses in the resident tier probe the
+  database and promote hits; writes are buffered and flushed as one
+  ``executemany`` batch per :meth:`~SqliteResultStore.commit` (the
+  engine commits at the end of every public evaluation call).
+
+Within one run the two backends behave identically -- the resident
+tier is authoritative, and LRU evictions / ``clear()`` are mirrored to
+the database -- so the cache's counter/LRU contract holds byte-for-byte
+over both.  Across runs the sqlite backend turns cold evaluations into
+store hits: a warm restart of the same scenario re-prices nothing.
+
+**Single-writer rule.**  Exactly one read-write store may own a
+database path at a time (the engine in the parent process); pool
+workers and concurrent readers open ``read_only`` instances.  All
+writes funnel through the parent's commit boundary, so determinism
+across ``--jobs`` is untouched.
+
+**Degradation.**  Corruption, permission and schema-version problems
+never take the run down: the store warns (``RuntimeWarning``) and
+continues memory-only, i.e. with exactly the semantics of
+:class:`MemoryResultStore`.  Loud, not fatal.
+
+Layering: this module sits in ``engine`` and therefore imports the
+``serialize`` codecs (a later layer) lazily, inside functions -- the
+same sanctioned pattern :mod:`repro.engine.evaluation` uses for core
+imports.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import sqlite3
+import time
+import warnings
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Protocol, Tuple, Union
+
+from repro.engine.compiled_spec import Signature
+from repro.engine.evaluation import EvaluatedDesign
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.compiled_spec import CompiledSpec
+
+#: Layout/encoding version of the sqlite schema.  A database written by
+#: a different version degrades loudly to memory-only instead of being
+#: misread.
+SCHEMA_VERSION = 1
+
+#: Sentinel distinguishing "not stored" from a stored invalid verdict
+#: (``None`` is a first-class stored value).
+_MISSING = object()
+
+#: Default LRU bound of the resident tier.  Far above the
+#: reproduction's iteration budgets (so no behavior change), but it
+#: keeps a long-running search from retaining one full schedule per
+#: distinct candidate forever.
+DEFAULT_MAX_ENTRIES = 65536
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Accounting of one store's *persistent* tier.
+
+    ``hits``/``misses`` count probes that went past the resident tier
+    (a memory-only store never probes, so both stay 0); ``writes``
+    counts rows flushed to the database; ``open_ns``/``commit_ns`` are
+    the wall time spent opening the database and committing batches --
+    reporting only, never a decision.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    open_ns: int = 0
+    commit_ns: int = 0
+
+    @property
+    def probes(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of persistent-tier probes served (0.0 when unused)."""
+        if self.probes == 0:
+            return 0.0
+        return self.hits / self.probes
+
+
+class ResultStore(Protocol):
+    """Storage contract behind :class:`~repro.engine.cache.EvaluationCache`.
+
+    The cache owns hit/miss *accounting*; a store owns *storage*:
+    recency, eviction, persistence.  ``get`` refreshes recency (the
+    cache's ``lookup`` path), ``__contains__`` is the accounting-free
+    peek (the cache's batch-planning path), and ``None`` is a
+    first-class stored outcome (a memoized invalid verdict).
+    """
+
+    max_entries: Optional[int]
+
+    def __len__(self) -> int: ...
+
+    def __contains__(self, signature: object) -> bool: ...
+
+    @property
+    def entries(self) -> "OrderedDict[Signature, object]": ...
+
+    def get(self, signature: Signature) -> Tuple[bool, Optional[object]]: ...
+
+    def put(
+        self, signature: Signature, outcome: Optional[object]
+    ) -> Optional[Signature]: ...
+
+    def clear(self) -> None: ...
+
+    def commit(self) -> None: ...
+
+    def close(self) -> None: ...
+
+    def stats(self) -> StoreStats: ...
+
+
+class MemoryResultStore:
+    """The in-memory LRU store (the original cache storage, verbatim).
+
+    Parameters
+    ----------
+    max_entries:
+        Upper bound on stored outcomes; the least recently used entry
+        is evicted beyond it.  Defaults to :data:`DEFAULT_MAX_ENTRIES`;
+        ``None`` means unbounded.
+    """
+
+    def __init__(self, max_entries: Optional[int] = DEFAULT_MAX_ENTRIES):
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError(
+                f"max_entries must be positive or None, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        #: Insertion-ordered storage; the front is the eviction end.
+        self.entries: "OrderedDict[Signature, object]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, signature: object) -> bool:
+        """Pure membership peek: no recency update."""
+        return signature in self.entries
+
+    def get(self, signature: Signature) -> Tuple[bool, Optional[object]]:
+        """Return ``(found, outcome)``; a find refreshes LRU recency."""
+        value = self.entries.get(signature, _MISSING)
+        if value is _MISSING:
+            return False, None
+        self.entries.move_to_end(signature)
+        return True, value
+
+    def put(
+        self, signature: Signature, outcome: Optional[object]
+    ) -> Optional[Signature]:
+        """Store one outcome; returns the evicted signature, if any.
+
+        The eviction report is what lets a layered store (sqlite) keep
+        its persistent tier in lockstep with the resident LRU.
+        """
+        self.entries[signature] = outcome
+        self.entries.move_to_end(signature)
+        if self.max_entries is not None and len(self.entries) > self.max_entries:
+            evicted, _ = self.entries.popitem(last=False)
+            return evicted
+        return None
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        self.entries.clear()
+
+    def commit(self) -> None:
+        """Nothing buffered; memory writes are immediate."""
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+    def stats(self) -> StoreStats:
+        """All zeros: a memory store has no persistent tier."""
+        return StoreStats()
+
+
+class SqliteResultStore:
+    """Persistent two-tier result store over sqlite3.
+
+    Layout (``SCHEMA_VERSION`` rows what follows):
+
+    * ``meta(key TEXT PRIMARY KEY, value TEXT)`` -- holds
+      ``schema_version``;
+    * ``results(scenario TEXT, signature TEXT, payload BLOB,
+      PRIMARY KEY (scenario, signature))`` -- one row per evaluated
+      candidate, scenario-scoped so unrelated problems share a file.
+
+    Payload encoding, by prefix byte: ``b"I"`` = memoized invalid
+    verdict (``None``); ``b"E"`` + canonical JSON = a valid design's
+    :class:`~repro.core.metrics.DesignMetrics` (the design itself is
+    rebuilt from the signature, the schedule re-derived lazily on first
+    access -- storing full schedules would force the decode the lazy
+    array path exists to avoid); ``b"P"`` + pickle = anything else
+    (diagnostic/test payloads).
+
+    Parameters
+    ----------
+    path:
+        Database file.  Created (with schema) when missing, unless
+        ``read_only``.
+    compiled:
+        The compiled problem store rows belong to; required to decode
+        ``b"E"`` rows back into :class:`EvaluatedDesign` objects and to
+        derive the scenario key.  ``None`` restricts the store to
+        pickle/invalid payloads.
+    max_entries:
+        Resident-tier LRU bound (same meaning as the memory store's).
+    scenario:
+        Explicit scenario key; defaults to
+        :func:`repro.serialize.store_key.spec_store_key` of the
+        compiled spec (empty string without one).
+    read_only:
+        Open the database read-only (pool workers).  Writes then stay
+        in the resident tier and :meth:`commit` is a no-op.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        compiled: Optional["CompiledSpec"] = None,
+        max_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
+        scenario: Optional[str] = None,
+        read_only: bool = False,
+    ):
+        self.memory = MemoryResultStore(max_entries)
+        self.max_entries = self.memory.max_entries
+        self.path = str(path)
+        self.compiled = compiled
+        self.read_only = read_only
+        self.scenario = (
+            scenario if scenario is not None else self._derive_scenario(compiled)
+        )
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.open_ns = 0
+        self.commit_ns = 0
+        #: Encoded rows awaiting the next commit, in insertion order.
+        self._pending: "OrderedDict[str, bytes]" = OrderedDict()
+        #: Uncommitted (but already executed) deletes exist.
+        self._dirty = False
+        # Set before _connect(): a failed first open degrades through
+        # _degrade(), which swaps this attribute.
+        self._conn: Optional[sqlite3.Connection] = None
+        self._conn = self._connect()
+
+    # ------------------------------------------------------------------
+    # connection / schema
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _derive_scenario(compiled: Optional["CompiledSpec"]) -> str:
+        if compiled is None:
+            return ""
+        from repro.serialize.store_key import spec_store_key
+
+        return spec_store_key(compiled.spec)
+
+    @property
+    def persistent(self) -> bool:
+        """Whether the database tier is (still) attached."""
+        return self._conn is not None
+
+    def _degrade(self, reason: str) -> None:
+        """Drop the database tier, loudly; keep serving from memory."""
+        warnings.warn(
+            f"result store {self.path!r} unusable ({reason}); continuing "
+            "memory-only -- results from this run will not persist",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        conn, self._conn = self._conn, None
+        if conn is not None:
+            try:
+                conn.close()
+            except sqlite3.Error:
+                pass
+
+    def _connect(self) -> Optional[sqlite3.Connection]:
+        start = time.perf_counter_ns()
+        try:
+            if self.read_only:
+                uri = f"file:{self.path}?mode=ro"
+                conn = sqlite3.connect(uri, uri=True)
+            else:
+                conn = sqlite3.connect(self.path)
+            try:
+                conn.execute("PRAGMA journal_mode=WAL")
+                conn.execute("PRAGMA synchronous=NORMAL")
+                version = self._schema_version(conn)
+                if version is None and not self.read_only:
+                    conn.execute(
+                        "CREATE TABLE IF NOT EXISTS meta ("
+                        "key TEXT PRIMARY KEY, value TEXT NOT NULL)"
+                    )
+                    conn.execute(
+                        "CREATE TABLE IF NOT EXISTS results ("
+                        "scenario TEXT NOT NULL, signature TEXT NOT NULL, "
+                        "payload BLOB NOT NULL, "
+                        "PRIMARY KEY (scenario, signature))"
+                    )
+                    conn.execute(
+                        "INSERT OR REPLACE INTO meta (key, value) "
+                        "VALUES ('schema_version', ?)",
+                        (str(SCHEMA_VERSION),),
+                    )
+                    conn.commit()
+                    version = SCHEMA_VERSION
+                if version != SCHEMA_VERSION:
+                    conn.close()
+                    self._degrade(
+                        f"schema version {version!r}, supported "
+                        f"{SCHEMA_VERSION}"
+                    )
+                    return None
+            except sqlite3.Error:
+                conn.close()
+                raise
+            return conn
+        except (sqlite3.Error, OSError, ValueError) as exc:
+            self._degrade(f"{type(exc).__name__}: {exc}")
+            return None
+        finally:
+            self.open_ns += time.perf_counter_ns() - start
+
+    @staticmethod
+    def _schema_version(conn: sqlite3.Connection) -> Optional[int]:
+        try:
+            row = conn.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+        except sqlite3.Error:
+            return None
+        if row is None:
+            return None
+        try:
+            return int(row[0])
+        except (TypeError, ValueError):
+            return -1
+
+    # ------------------------------------------------------------------
+    # ResultStore surface
+    # ------------------------------------------------------------------
+    @property
+    def entries(self) -> "OrderedDict[Signature, object]":
+        """The resident tier's ordered entries (diagnostic access)."""
+        return self.memory.entries
+
+    def __len__(self) -> int:
+        """Resident entries only (the cache-visible working set)."""
+        return len(self.memory)
+
+    def __contains__(self, signature: object) -> bool:
+        """Accounting-free peek across both tiers."""
+        if signature in self.memory:
+            return True
+        key = self._signature_key(signature)
+        if key in self._pending:
+            return True
+        if self._conn is None:
+            return False
+        try:
+            row = self._conn.execute(
+                "SELECT 1 FROM results WHERE scenario = ? AND signature = ?",
+                (self.scenario, key),
+            ).fetchone()
+        except sqlite3.Error as exc:
+            self._degrade(f"{type(exc).__name__}: {exc}")
+            return False
+        return row is not None
+
+    def get(self, signature: Signature) -> Tuple[bool, Optional[object]]:
+        """Two-tier lookup; database finds are decoded and promoted."""
+        found, outcome = self.memory.get(signature)
+        if found:
+            return True, outcome
+        if self._conn is None and not self._pending:
+            return False, None
+        key = self._signature_key(signature)
+        blob = self._pending.get(key)
+        if blob is None and self._conn is not None:
+            try:
+                row = self._conn.execute(
+                    "SELECT payload FROM results "
+                    "WHERE scenario = ? AND signature = ?",
+                    (self.scenario, key),
+                ).fetchone()
+            except sqlite3.Error as exc:
+                self._degrade(f"{type(exc).__name__}: {exc}")
+                row = None
+            if row is not None:
+                blob = bytes(row[0])
+        if blob is None:
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        outcome = self._decode(signature, blob)
+        self._mirror_evict(self.memory.put(signature, outcome))
+        return True, outcome
+
+    def put(
+        self, signature: Signature, outcome: Optional[object]
+    ) -> Optional[Signature]:
+        """Store in the resident tier and buffer the database row."""
+        evicted = self.memory.put(signature, outcome)
+        if not self.read_only and (self._conn is not None or self._pending):
+            key = self._signature_key(signature)
+            self._pending[key] = self._encode(outcome)
+            self._pending.move_to_end(key)
+        self._mirror_evict(evicted)
+        return evicted
+
+    def _mirror_evict(self, evicted: Optional[Signature]) -> None:
+        """Keep the database in lockstep with resident LRU evictions.
+
+        An entry the resident LRU dropped must *miss* on its next
+        lookup -- exactly as it does on the memory backend -- so the
+        cache contract stays byte-identical across backends.  The
+        delete executes immediately (visible to this connection's own
+        probes) and is made durable by the next :meth:`commit`.
+        """
+        if evicted is None or self.read_only:
+            return
+        key = self._signature_key(evicted)
+        self._pending.pop(key, None)
+        if self._conn is None:
+            return
+        try:
+            self._conn.execute(
+                "DELETE FROM results WHERE scenario = ? AND signature = ?",
+                (self.scenario, key),
+            )
+            self._dirty = True
+        except sqlite3.Error as exc:
+            self._degrade(f"{type(exc).__name__}: {exc}")
+
+    def clear(self) -> None:
+        """Drop every entry of this scenario, in both tiers."""
+        self.memory.clear()
+        self._pending.clear()
+        if self._conn is None or self.read_only:
+            return
+        try:
+            self._conn.execute(
+                "DELETE FROM results WHERE scenario = ?", (self.scenario,)
+            )
+            self._dirty = True
+        except sqlite3.Error as exc:
+            self._degrade(f"{type(exc).__name__}: {exc}")
+
+    def commit(self) -> None:
+        """Flush buffered rows in one ``executemany`` batch.
+
+        The engine calls this at the end of every public evaluation
+        API -- the store commit boundary -- so readers (workers, other
+        runs) only ever observe batch-consistent state.
+        """
+        if self._conn is None or self.read_only:
+            self._pending.clear()
+            return
+        if not self._pending and not self._dirty:
+            return
+        start = time.perf_counter_ns()
+        try:
+            if self._pending:
+                self._conn.executemany(
+                    "INSERT OR REPLACE INTO results "
+                    "(scenario, signature, payload) VALUES (?, ?, ?)",
+                    [
+                        (self.scenario, key, blob)
+                        for key, blob in self._pending.items()
+                    ],
+                )
+                self.writes += len(self._pending)
+            self._conn.commit()
+            self._pending.clear()
+            self._dirty = False
+        except sqlite3.Error as exc:
+            self._pending.clear()
+            self._degrade(f"{type(exc).__name__}: {exc}")
+        finally:
+            self.commit_ns += time.perf_counter_ns() - start
+
+    def close(self) -> None:
+        """Flush and detach the database tier (idempotent)."""
+        self.commit()
+        conn, self._conn = self._conn, None
+        if conn is not None:
+            try:
+                conn.close()
+            except sqlite3.Error:
+                pass
+
+    def stats(self) -> StoreStats:
+        return StoreStats(
+            hits=self.hits,
+            misses=self.misses,
+            writes=self.writes,
+            open_ns=self.open_ns,
+            commit_ns=self.commit_ns,
+        )
+
+    # ------------------------------------------------------------------
+    # encoding
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _signature_key(signature: Signature) -> str:
+        from repro.serialize.store_key import signature_key
+
+        try:
+            return signature_key(signature)
+        except TypeError:
+            # Non-JSON key (diagnostic/test payloads): keep it usable
+            # within the process; such keys are not meant to persist.
+            return repr(signature)
+
+    @staticmethod
+    def _encode(outcome: Optional[object]) -> bytes:
+        if outcome is None:
+            return b"I"
+        if isinstance(outcome, EvaluatedDesign):
+            from repro.serialize.codec import metrics_to_dict
+
+            payload = json.dumps(
+                metrics_to_dict(outcome.metrics),
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+            return b"E" + payload.encode("utf-8")
+        return b"P" + pickle.dumps(outcome, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def _decode(self, signature: Signature, blob: bytes) -> Optional[object]:
+        kind, body = blob[:1], blob[1:]
+        if kind == b"I":
+            return None
+        if kind == b"P":
+            return pickle.loads(body)
+        if kind != b"E":
+            raise ValueError(
+                f"result store {self.path!r} holds a payload of unknown "
+                f"kind {kind!r}"
+            )
+        if self.compiled is None:
+            raise ValueError(
+                "result store row holds an evaluated design, but this "
+                "store was opened without a compiled spec to rebuild it "
+                "against"
+            )
+        from repro.core.transformations import CandidateDesign
+        from repro.model.mapping import Mapping
+        from repro.serialize.codec import metrics_from_dict
+
+        spec = self.compiled.spec
+        design = CandidateDesign(
+            Mapping(spec.current, spec.architecture, dict(signature[0])),
+            dict(signature[1]),
+            dict(signature[2]),
+        )
+        metrics = metrics_from_dict(json.loads(body.decode("utf-8")))
+        return EvaluatedDesign(
+            design, None, metrics, compiled=self.compiled
+        )
+
+
+def make_store(
+    cache_store: str,
+    cache_path: Optional[Union[str, Path]],
+    compiled: Optional["CompiledSpec"],
+    max_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
+) -> "ResultStore":
+    """Build the backend named by the ``--cache-store`` switch."""
+    if cache_store == "memory":
+        return MemoryResultStore(max_entries)
+    if cache_store == "sqlite":
+        if cache_path is None:
+            raise ValueError(
+                "cache_store='sqlite' requires a cache_path (the "
+                "database file the results persist to)"
+            )
+        return SqliteResultStore(
+            cache_path, compiled=compiled, max_entries=max_entries
+        )
+    raise ValueError(
+        f"unknown cache_store {cache_store!r}; choose 'memory' or 'sqlite'"
+    )
+
+
+__all__ = [
+    "DEFAULT_MAX_ENTRIES",
+    "SCHEMA_VERSION",
+    "MemoryResultStore",
+    "ResultStore",
+    "SqliteResultStore",
+    "StoreStats",
+    "make_store",
+]

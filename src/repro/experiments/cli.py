@@ -42,6 +42,7 @@ from repro.experiments.runner import (
     cache_statistics,
     delta_statistics,
     stage_statistics,
+    store_statistics,
     design_identity,
     make_budget,
     run_comparison,
@@ -72,6 +73,10 @@ def _build_config(args: argparse.Namespace) -> ExperimentConfig:
         overrides["use_delta"] = False
     if getattr(args, "engine_core", None):
         overrides["engine_core"] = args.engine_core
+    if getattr(args, "cache_store", None):
+        overrides["cache_store"] = args.cache_store
+    if getattr(args, "cache_path", None):
+        overrides["cache_path"] = args.cache_path
     if args.budget_evals is not None:
         overrides["budget_evaluations"] = args.budget_evals
     if args.budget_seconds is not None:
@@ -83,11 +88,27 @@ def _build_config(args: argparse.Namespace) -> ExperimentConfig:
     return config
 
 
+def _rate_cell(numerator: int, denominator: int) -> str:
+    """A percentage cell; ``-`` when nothing was counted.
+
+    Derived columns must never divide by a zero candidate count -- a
+    run cut by ``--budget-evals 0`` (or an all-store-served warm run)
+    legitimately reports zero probes on an axis.
+    """
+    if denominator <= 0:
+        return "-"
+    return f"{numerator / denominator * 100.0:.1f}%"
+
+
 def render_cache_statistics(records) -> str:
     """The per-run evaluation-engine statistics table."""
     delta_rows = {
-        name: (hits, fallbacks, rate)
-        for name, hits, fallbacks, rate in delta_statistics(records)
+        name: (hits, fallbacks)
+        for name, hits, fallbacks, _rate in delta_statistics(records)
+    }
+    store_rows = {
+        name: (hits, misses, writes)
+        for name, hits, misses, writes, _rate in store_statistics(records)
     }
     stage_rows = {
         name: (sched_ns, metrics_ns, decode_ns)
@@ -99,20 +120,26 @@ def render_cache_statistics(records) -> str:
             evals,
             hits,
             misses,
-            f"{rate * 100.0:.1f}%",
+            _rate_cell(hits, hits + misses),
             delta_rows[name][0],
             delta_rows[name][1],
-            f"{delta_rows[name][2] * 100.0:.1f}%",
+            _rate_cell(delta_rows[name][0], sum(delta_rows[name])),
+            store_rows[name][0],
+            store_rows[name][2],
+            _rate_cell(
+                store_rows[name][0], store_rows[name][0] + store_rows[name][1]
+            ),
             f"{stage_rows[name][0] / 1e6:.1f}",
             f"{stage_rows[name][1] / 1e6:.1f}",
             f"{stage_rows[name][2] / 1e6:.1f}",
         )
-        for name, evals, hits, misses, rate in cache_statistics(records)
+        for name, evals, hits, misses, _rate in cache_statistics(records)
     ]
     return format_table(
         [
             "strategy", "evaluations", "cache hits", "cache misses",
             "hit rate", "delta hits", "delta fallbacks", "delta rate",
+            "store hits", "store writes", "store rate",
             "sched ms", "metrics ms", "decode ms",
         ],
         rows,
@@ -127,6 +154,31 @@ def _positive_int(value: str) -> int:
             f"expected a positive integer, got {value!r}"
         )
     return parsed
+
+
+def _nonnegative_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {value!r}"
+        )
+    return parsed
+
+
+def _add_store_options(parser: argparse.ArgumentParser) -> None:
+    """The result-store switches, shared by every run-like subcommand."""
+    parser.add_argument(
+        "--cache-store", choices=["memory", "sqlite"], default="memory",
+        help=(
+            "evaluation result-store backend: the process-local LRU "
+            "(default) or a persistent sqlite database at --cache-path "
+            "that serves repeated runs warm (results are identical)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-path",
+        help="sqlite store path (required with --cache-store sqlite)",
+    )
 
 
 # ----------------------------------------------------------------------
@@ -185,6 +237,8 @@ def _scenarios_run(args: argparse.Namespace) -> int:
             not args.no_delta,
             budget=budget,
             engine_core=args.engine_core,
+            cache_store=args.cache_store,
+            cache_path=args.cache_path,
         )
         result = strategy.design(spec)
         stage_lines.append(
@@ -192,6 +246,14 @@ def _scenarios_run(args: argparse.Namespace) -> int:
             f"metrics {result.metrics_ns / 1e6:.1f} ms, "
             f"decode {result.decode_ns / 1e6:.1f} ms"
         )
+        if args.cache_store != "memory":
+            stage_lines.append(
+                f"  {name}: store {result.store_hits} hits / "
+                f"{result.store_misses} misses / "
+                f"{result.store_writes} writes, "
+                f"open {result.store_open_ns / 1e6:.1f} ms, "
+                f"commit {result.store_commit_ns / 1e6:.1f} ms"
+            )
         search = result.search
         rows.append(
             (
@@ -204,6 +266,11 @@ def _scenarios_run(args: argparse.Namespace) -> int:
                 result.cache_misses,
                 result.delta_hits,
                 result.delta_fallbacks,
+                result.store_hits,
+                _rate_cell(
+                    result.store_hits,
+                    result.store_hits + result.store_misses,
+                ),
                 search.steps if search is not None else 0,
                 search.evaluations_to_incumbent if search is not None else 0,
             )
@@ -214,7 +281,8 @@ def _scenarios_run(args: argparse.Namespace) -> int:
             [
                 "strategy", "valid", "objective", "runtime s",
                 "evaluations", "cache hits", "cache misses",
-                "delta hits", "delta fallbacks", "steps", "evals to best",
+                "delta hits", "delta fallbacks", "store hits", "store rate",
+                "steps", "evals to best",
             ],
             rows,
             title=(
@@ -256,6 +324,8 @@ def _scenarios_portfolio(args: argparse.Namespace) -> int:
             jobs=jobs,
             use_delta=use_delta,
             engine_core=engine_core or args.engine_core,
+            cache_store=args.cache_store,
+            cache_path=args.cache_path,
         )
 
     result = race(args.jobs, not args.no_delta)
@@ -296,6 +366,12 @@ def _scenarios_portfolio(args: argparse.Namespace) -> int:
         f"{result.delta_hits} delta hits, {result.delta_fallbacks} "
         f"fallbacks, {result.runtime_seconds:.2f}s wall"
     )
+    if args.cache_store != "memory":
+        print(
+            f"store: {result.store_hits} hits, {result.store_misses} "
+            f"misses, {result.store_writes} writes "
+            f"(rate {_rate_cell(result.store_hits, result.store_hits + result.store_misses)})"
+        )
     if not result.valid:
         print("no member found a valid design")
         return 1
@@ -357,6 +433,8 @@ def _scenarios_sweep(args: argparse.Namespace) -> int:
         sa_iterations=args.sa_iterations,
         use_delta=not args.no_delta,
         engine_core=args.engine_core,
+        cache_store=args.cache_store,
+        cache_path=args.cache_path,
         budget=make_budget(
             args.budget_evals, args.budget_seconds, args.patience
         ),
@@ -398,6 +476,8 @@ def _scenarios_smoke(args: argparse.Namespace) -> int:
         family_names=args.families,
         seed=args.seed,
         sa_iterations=args.sa_iterations,
+        cache_store=args.cache_store,
+        cache_path=args.cache_path,
         verbose=args.verbose,
     )
     rows = []
@@ -422,6 +502,27 @@ def _scenarios_smoke(args: argparse.Namespace) -> int:
             title="Scenario-family smoke sweep (smallest preset per family)",
         )
     )
+    if args.cache_store != "memory":
+        # Stable per-(family, strategy) design fingerprints: the CI
+        # warm-restart gate diffs this block across two runs against
+        # the same store path to assert byte-identical designs.
+        print("\ndesign fingerprints:")
+        for smoke in results:
+            for name, digest in sorted(smoke.fingerprints.items()):
+                print(f"  {smoke.family}/{name}: {digest}")
+        hits = sum(smoke.store_hits for smoke in results)
+        misses = sum(smoke.store_misses for smoke in results)
+        rate = hits / (hits + misses) if hits + misses else 0.0
+        print(
+            f"store totals: {hits} hits, {misses} misses "
+            f"(rate {_rate_cell(hits, hits + misses)})"
+        )
+        if args.min_store_hit_rate is not None and rate < args.min_store_hit_rate:
+            print(
+                f"STORE HIT RATE {rate:.3f} below required "
+                f"{args.min_store_hit_rate:.3f}"
+            )
+            return 1
     failed = [smoke.family for smoke in results if not smoke.ok]
     if failed:
         print(f"\nFAILED families: {', '.join(failed)}")
@@ -430,6 +531,15 @@ def _scenarios_smoke(args: argparse.Namespace) -> int:
 
 
 def _handle_scenarios(args: argparse.Namespace) -> int:
+    if (
+        getattr(args, "cache_store", "memory") == "sqlite"
+        and not getattr(args, "cache_path", None)
+    ):
+        print(
+            "error: --cache-store sqlite requires --cache-path",
+            file=sys.stderr,
+        )
+        return 2
     if args.action == "list":
         print(_scenarios_list())
         return 0
@@ -496,7 +606,7 @@ def _add_scenarios_parser(subparsers) -> None:
         ),
     )
     run.add_argument(
-        "--budget-evals", type=_positive_int,
+        "--budget-evals", type=_nonnegative_int,
         help=(
             "evaluation cap per search phase (MH: the descent; SA: "
             "probe, walk and each polish descent individually)"
@@ -511,6 +621,7 @@ def _add_scenarios_parser(subparsers) -> None:
         help="stop a search after this many steps without improvement",
     )
     run.add_argument("--save", help="also save the scenario JSON to this path")
+    _add_store_options(run)
 
     portfolio = actions.add_parser(
         "portfolio",
@@ -535,7 +646,7 @@ def _add_scenarios_parser(subparsers) -> None:
         help="simulated-annealing iterations",
     )
     portfolio.add_argument(
-        "--budget-evals", type=_positive_int,
+        "--budget-evals", type=_nonnegative_int,
         help="shared racing budget in engine evaluations (all members)",
     )
     portfolio.add_argument(
@@ -572,6 +683,7 @@ def _add_scenarios_parser(subparsers) -> None:
             "gate)"
         ),
     )
+    _add_store_options(portfolio)
 
     sweep = actions.add_parser(
         "sweep",
@@ -610,7 +722,7 @@ def _add_scenarios_parser(subparsers) -> None:
         ),
     )
     sweep.add_argument(
-        "--budget-evals", type=_positive_int,
+        "--budget-evals", type=_nonnegative_int,
         help=(
             "evaluation cap per search phase (MH: the descent; SA: "
             "probe, walk and each polish descent individually)"
@@ -627,6 +739,7 @@ def _add_scenarios_parser(subparsers) -> None:
     sweep.add_argument(
         "-v", "--verbose", action="store_true", help="per-run progress"
     )
+    _add_store_options(sweep)
 
     smoke = actions.add_parser(
         "smoke",
@@ -645,6 +758,14 @@ def _add_scenarios_parser(subparsers) -> None:
     )
     smoke.add_argument(
         "-v", "--verbose", action="store_true", help="per-family progress"
+    )
+    _add_store_options(smoke)
+    smoke.add_argument(
+        "--min-store-hit-rate", type=float,
+        help=(
+            "fail unless the sweep's aggregate store hit rate reaches "
+            "this fraction (the CI warm-restart gate's second run)"
+        ),
     )
 
 
@@ -702,8 +823,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             "the pinned object-graph reference (results are identical)"
         ),
     )
+    _add_store_options(figure_options)
     figure_options.add_argument(
-        "--budget-evals", type=_positive_int,
+        "--budget-evals", type=_nonnegative_int,
         help=(
             "evaluation cap per search phase (MH: the descent; SA: "
             "probe, walk and each polish descent individually)"

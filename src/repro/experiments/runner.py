@@ -55,6 +55,13 @@ class ExperimentConfig:
     #: default) or ``"object"`` (the pinned object-graph reference).
     #: The CLI's ``--engine-core`` switch.  Results are byte-identical.
     engine_core: str = "array"
+    #: Result-store backend of every strategy's evaluation engine:
+    #: ``"memory"`` (process-local LRU) or ``"sqlite"`` (persistent
+    #: database at ``cache_path``, warm across runs).  The CLI's
+    #: ``--cache-store`` / ``--cache-path`` switches.  Results are
+    #: byte-identical either way.
+    cache_store: str = "memory"
+    cache_path: Optional[str] = None
     #: Per-strategy search budget (``None`` on every axis = the
     #: strategies' own caps only).  Evaluation/step/patience budgets
     #: cut seeded runs at exact reproducible points; wall-clock budgets
@@ -194,6 +201,8 @@ def _build(name: str, config: ExperimentConfig, seed: int):
             jobs=config.jobs,
             use_delta=config.use_delta,
             engine_core=config.engine_core,
+            cache_store=config.cache_store,
+            cache_path=config.cache_path,
             budget=budget,
         )
     return make_strategy(
@@ -201,6 +210,8 @@ def _build(name: str, config: ExperimentConfig, seed: int):
         jobs=config.jobs,
         use_delta=config.use_delta,
         engine_core=config.engine_core,
+        cache_store=config.cache_store,
+        cache_path=config.cache_path,
         budget=budget,
     )
 
@@ -293,6 +304,36 @@ def stage_statistics(
     return rows
 
 
+def store_statistics(
+    records: Sequence[ComparisonRecord],
+    strategies: Optional[Sequence[str]] = None,
+) -> List[Tuple[str, int, int, int, float]]:
+    """Per-strategy persistent-store totals across all runs.
+
+    Returns ``(strategy, store_hits, store_misses, store_writes,
+    hit_rate)`` rows, the result-store counterpart of
+    :func:`cache_statistics`; all zeros for a strategy when the runs
+    used the in-memory backend.
+    """
+    if strategies is None:
+        seen: List[str] = []
+        for record in records:
+            for name in record.results:
+                if name not in seen:
+                    seen.append(name)
+        strategies = seen
+    rows: List[Tuple[str, int, int, int, float]] = []
+    for name in strategies:
+        results = [r.results[name] for r in records if name in r.results]
+        hits = sum(r.store_hits for r in results)
+        misses = sum(r.store_misses for r in results)
+        writes = sum(r.store_writes for r in results)
+        probes = hits + misses
+        rate = hits / probes if probes else 0.0
+        rows.append((name, hits, misses, writes, rate))
+    return rows
+
+
 def mean(values: Sequence[float]) -> float:
     """Arithmetic mean; 0.0 for an empty sequence."""
     vals = list(values)
@@ -337,17 +378,44 @@ class FamilySmokeResult:
     seed: int
     failures: List[str] = field(default_factory=list)
     objectives: Dict[str, float] = field(default_factory=dict)
+    #: Per-strategy canonical design fingerprint (sha256 prefix of the
+    #: baseline run's :meth:`DesignResult.design_identity`); the value
+    #: the CI warm-restart gate compares across runs.
+    fingerprints: Dict[str, str] = field(default_factory=dict)
+    #: Persistent-store totals over the baseline runs (zero on the
+    #: memory backend).
+    store_hits: int = 0
+    store_misses: int = 0
     runtime_seconds: float = 0.0
 
     @property
     def ok(self) -> bool:
         return not self.failures
 
+    @property
+    def store_hit_rate(self) -> float:
+        probes = self.store_hits + self.store_misses
+        return self.store_hits / probes if probes else 0.0
+
 
 def design_identity(result: DesignResult):
     """Canonical identity of a design (see
     :meth:`DesignResult.design_identity`, the single definition)."""
     return result.design_identity()
+
+
+def design_fingerprint(result: DesignResult) -> str:
+    """Short stable digest of the canonical design identity.
+
+    A sha256 prefix over ``repr(design_identity())`` -- compact enough
+    to print per run, and equal exactly when the designs are
+    byte-identical.  The CI warm-restart gate compares these across
+    cold and warm store runs.
+    """
+    import hashlib
+
+    identity = repr(design_identity(result)).encode("utf-8")
+    return hashlib.sha256(identity).hexdigest()[:16]
 
 
 def strategy_for_family(
@@ -359,6 +427,8 @@ def strategy_for_family(
     use_delta: bool = True,
     budget: Optional[Budget] = None,
     engine_core: str = "array",
+    cache_store: str = "memory",
+    cache_path: Optional[str] = None,
 ):
     """Instantiate a strategy for a family run (shared with the CLI)."""
     if name.upper() == "SA":
@@ -370,6 +440,8 @@ def strategy_for_family(
             jobs=jobs,
             use_delta=use_delta,
             engine_core=engine_core,
+            cache_store=cache_store,
+            cache_path=cache_path,
             budget=budget,
         )
     return make_strategy(
@@ -378,6 +450,8 @@ def strategy_for_family(
         jobs=jobs,
         use_delta=use_delta,
         engine_core=engine_core,
+        cache_store=cache_store,
+        cache_path=cache_path,
         budget=budget,
     )
 
@@ -421,6 +495,8 @@ def run_portfolio(
     jobs: int = 1,
     use_delta: bool = True,
     engine_core: str = "array",
+    cache_store: str = "memory",
+    cache_path: Optional[str] = None,
 ) -> PortfolioResult:
     """Race ``strategies`` on ``spec`` over one shared engine.
 
@@ -428,6 +504,8 @@ def run_portfolio(
     :class:`repro.search.PortfolioRunner`: member order is the racing
     and tie-breaking order, ``shared_budget`` is contended for by all
     members, and the winner is byte-identical for any ``jobs`` value.
+    With ``cache_store="sqlite"`` the race shares one persistent store
+    at ``cache_path`` (and is served warm by earlier races against it).
     """
     runner = PortfolioRunner(
         portfolio_members(
@@ -438,6 +516,8 @@ def run_portfolio(
         jobs=jobs,
         use_delta=use_delta,
         engine_core=engine_core,
+        cache_store=cache_store,
+        cache_path=cache_path,
     )
     return runner.run(spec)
 
@@ -452,6 +532,8 @@ def run_family_matrix(
     sa_iterations: int = DEFAULT_FAMILY_SA_ITERATIONS,
     use_delta: bool = True,
     engine_core: str = "array",
+    cache_store: str = "memory",
+    cache_path: Optional[str] = None,
     budget: Optional[Budget] = None,
     verbose: bool = False,
 ) -> List[FamilyMatrixRecord]:
@@ -500,6 +582,8 @@ def run_family_matrix(
                         use_delta,
                         budget=budget,
                         engine_core=engine_core,
+                        cache_store=cache_store if use_cache else "memory",
+                        cache_path=cache_path,
                     )
                     result = strategy.design(spec)
                     records.append(
@@ -527,6 +611,8 @@ def run_family_smoke(
     seed: int = 1,
     strategies: Sequence[str] = ("AH", "MH", "SA"),
     sa_iterations: int = DEFAULT_FAMILY_SA_ITERATIONS,
+    cache_store: str = "memory",
+    cache_path: Optional[str] = None,
     verbose: bool = False,
 ) -> List[FamilySmokeResult]:
     """CI smoke sweep: smallest preset per family, all checks.
@@ -538,6 +624,15 @@ def run_family_smoke(
     (``--no-delta``) and with the pinned object scheduler core
     (``--engine-core object``) -- the determinism contract new families
     must not break.
+
+    ``cache_store``/``cache_path`` apply to the *baseline* run of each
+    strategy only (the comparison variants stay memory-backed: they
+    exist to check determinism, and routing them through the same
+    database would let the store serve results between variants).  Each
+    smoke result reports the baseline designs' fingerprints and the
+    store totals, so a second sweep against the same path can assert
+    warm-hit rate and byte-identical designs (the CI warm-restart
+    gate).
     """
     if family_names is None:
         family_names = families_module.family_names()
@@ -565,12 +660,16 @@ def run_family_smoke(
         spec = scenario.spec()
         for strategy_name in strategies:
             baseline = strategy_for_family(
-                strategy_name, seed, True, 1, sa_iterations
+                strategy_name, seed, True, 1, sa_iterations,
+                cache_store=cache_store, cache_path=cache_path,
             ).design(spec)
+            smoke.store_hits += baseline.store_hits
+            smoke.store_misses += baseline.store_misses
             if not baseline.valid:
                 smoke.failures.append(f"{strategy_name}: no valid design")
                 continue
             smoke.objectives[strategy_name] = baseline.objective
+            smoke.fingerprints[strategy_name] = design_fingerprint(baseline)
             reference = design_identity(baseline)
             for label, use_cache, jobs, use_delta, engine_core in (
                 ("cache off", False, 1, True, "array"),

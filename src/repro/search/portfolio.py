@@ -79,6 +79,9 @@ class PortfolioResult:
     cache_misses: int = 0
     delta_hits: int = 0
     delta_fallbacks: int = 0
+    store_hits: int = 0
+    store_misses: int = 0
+    store_writes: int = 0
     runtime_seconds: float = 0.0
     budget_cut: bool = False
 
@@ -117,9 +120,13 @@ class PortfolioRunner:
         wall-clock axes; per-member step caps belong to the members'
         own budgets).  ``None`` lets every member run to its own
         completion.
-    use_cache, jobs, max_cache_entries, use_delta, engine_core:
+    use_cache, jobs, max_cache_entries, use_delta, engine_core,
+    cache_store, cache_path:
         Shared-engine knobs, exactly as on
-        :class:`~repro.core.strategy.DesignEvaluator`.
+        :class:`~repro.core.strategy.DesignEvaluator`.  With
+        ``cache_store="sqlite"`` the whole race shares one persistent
+        result store: any member's priced design is served warm to the
+        others, and to future races against the same path.
     """
 
     def __init__(
@@ -131,6 +138,8 @@ class PortfolioRunner:
         max_cache_entries: Optional[int] = -1,
         use_delta: bool = True,
         engine_core: str = "array",
+        cache_store: str = "memory",
+        cache_path: Optional[str] = None,
     ):
         if not members:
             raise ValueError("a portfolio needs at least one member")
@@ -141,6 +150,8 @@ class PortfolioRunner:
         self.max_cache_entries = max_cache_entries
         self.use_delta = use_delta
         self.engine_core = engine_core
+        self.cache_store = cache_store
+        self.cache_path = cache_path
 
     # ------------------------------------------------------------------
     def run(self, spec: "DesignSpec") -> PortfolioResult:
@@ -161,6 +172,8 @@ class PortfolioRunner:
             max_cache_entries=max_entries,
             use_delta=self.use_delta,
             engine_core=self.engine_core,
+            cache_store=self.cache_store,
+            cache_path=self.cache_path,
         ) as evaluator:
             outcomes, budget_cut = self._race(spec, evaluator)
             counters = evaluator.counters()
@@ -171,6 +184,9 @@ class PortfolioRunner:
                 cache_misses=counters.cache_misses,
                 delta_hits=counters.delta_hits,
                 delta_fallbacks=counters.delta_fallbacks,
+                store_hits=counters.store_hits,
+                store_misses=counters.store_misses,
+                store_writes=counters.store_writes,
                 budget_cut=budget_cut,
             )
         result.winner_index = _pick_winner(result.members)

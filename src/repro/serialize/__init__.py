@@ -29,11 +29,14 @@ from repro.serialize.codec import (
     load_json,
     mapping_from_dict,
     mapping_to_dict,
+    metrics_from_dict,
+    metrics_to_dict,
     save_json,
     schedule_from_dict,
     schedule_to_dict,
     to_dict,
 )
+from repro.serialize.store_key import signature_key, spec_store_key
 
 __all__ = [
     "application_to_dict",
@@ -44,8 +47,12 @@ __all__ = [
     "mapping_from_dict",
     "future_to_dict",
     "future_from_dict",
+    "metrics_to_dict",
+    "metrics_from_dict",
     "schedule_to_dict",
     "schedule_from_dict",
+    "signature_key",
+    "spec_store_key",
     "to_dict",
     "from_dict",
     "save_json",

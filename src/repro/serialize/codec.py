@@ -13,6 +13,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, Union
 
 from repro.core.future import DiscreteDistribution, FutureCharacterization
+from repro.core.metrics import DesignMetrics
 from repro.model.application import Application
 from repro.model.architecture import Architecture, Node
 from repro.model.mapping import Mapping
@@ -211,6 +212,43 @@ def future_from_dict(payload: Dict[str, Any]) -> FutureCharacterization:
 
 
 # ----------------------------------------------------------------------
+# design metrics
+# ----------------------------------------------------------------------
+def metrics_to_dict(metrics: DesignMetrics) -> Dict[str, Any]:
+    """Serialize the four metric values plus the combined objective.
+
+    The payload is the persistent result store's value format: seven
+    plain numbers, round-tripping exactly (JSON floats serialize via
+    ``repr``, which is lossless for IEEE doubles), so a design priced
+    from a store row is byte-identical to one priced fresh.
+    """
+    return {
+        "kind": "metrics",
+        "c1p": metrics.c1p,
+        "c1m": metrics.c1m,
+        "c2p": metrics.c2p,
+        "c2m": metrics.c2m,
+        "penalty_2p": metrics.penalty_2p,
+        "penalty_2m": metrics.penalty_2m,
+        "objective": metrics.objective,
+    }
+
+
+def metrics_from_dict(payload: Dict[str, Any]) -> DesignMetrics:
+    """Rebuild design metrics from their serialized form."""
+    _expect_kind(payload, "metrics")
+    return DesignMetrics(
+        c1p=float(payload["c1p"]),
+        c1m=float(payload["c1m"]),
+        c2p=int(payload["c2p"]),
+        c2m=int(payload["c2m"]),
+        penalty_2p=float(payload["penalty_2p"]),
+        penalty_2m=float(payload["penalty_2m"]),
+        objective=float(payload["objective"]),
+    )
+
+
+# ----------------------------------------------------------------------
 # schedules
 # ----------------------------------------------------------------------
 def schedule_to_dict(schedule: SystemSchedule) -> Dict[str, Any]:
@@ -280,6 +318,7 @@ _TO_DICT: Dict[type, Callable[[Any], Dict[str, Any]]] = {
     Mapping: mapping_to_dict,
     FutureCharacterization: future_to_dict,
     SystemSchedule: schedule_to_dict,
+    DesignMetrics: metrics_to_dict,
 }
 
 _FROM_DICT: Dict[str, Callable[[Dict[str, Any]], Any]] = {
@@ -287,6 +326,7 @@ _FROM_DICT: Dict[str, Callable[[Dict[str, Any]], Any]] = {
     "architecture": architecture_from_dict,
     "future": future_from_dict,
     "schedule": schedule_from_dict,
+    "metrics": metrics_from_dict,
 }
 
 

@@ -1,5 +1,7 @@
 """Tests for parallel batch evaluation and its determinism contract."""
 
+import os
+
 import pytest
 
 from repro.core.initial_mapping import InitialMapper
@@ -183,6 +185,81 @@ class TestSeededRunDeterminism:
         assert serial.mapping.as_dict() == parallel.mapping.as_dict()
         assert serial.priorities == parallel.priorities
         assert serial.objective == parallel.objective
+
+
+class _ExplodingMove:
+    """Module-level (hence picklable) move that raises in the worker."""
+
+    def apply(self, design):
+        raise RuntimeError("exploding move")
+
+
+class _WorkerKillingMove:
+    """Module-level move that kills its worker process outright."""
+
+    def apply(self, design):
+        os._exit(1)
+
+
+class TestAbortPool:
+    """Regression: in-flight failures must terminate the pool, not
+    join it, and leave the evaluator sticky-closed."""
+
+    def _pooled_parent(self, spec):
+        evaluator = BatchEvaluator(
+            CompiledSpec(spec), jobs=2, parallel_threshold=0
+        )
+        parent = evaluator.evaluate_one(
+            _start_design(spec)
+        )
+        assert parent is not None and parent.trace is not None
+        return evaluator, parent
+
+    def test_worker_exception_mid_chunk_aborts_pool(self, spec):
+        evaluator, parent = self._pooled_parent(spec)
+        moves = [_ExplodingMove() for _ in range(4)]
+        children = [parent.design.copy() for _ in moves]
+        before = evaluator.timings.snapshot()
+        with pytest.raises(RuntimeError, match="exploding move"):
+            evaluator.evaluate_moves(parent, moves, children)
+        # Dropped chunks must not leak their workers' stage timings
+        # into the engine sink (deltas merge only on clean receipt).
+        assert evaluator.timings.snapshot() == before
+        assert evaluator.closed
+        assert evaluator._executor is None
+        with pytest.raises(RuntimeError, match="closed"):
+            evaluator.evaluate_batch([parent.design])
+
+    def test_worker_death_mid_chunk_aborts_pool(self, spec):
+        from concurrent.futures.process import BrokenProcessPool
+
+        evaluator, parent = self._pooled_parent(spec)
+        moves = [_WorkerKillingMove() for _ in range(4)]
+        children = [parent.design.copy() for _ in moves]
+        with pytest.raises(BrokenProcessPool):
+            evaluator.evaluate_moves(parent, moves, children)
+        assert evaluator.closed
+        assert evaluator._executor is None
+        with pytest.raises(RuntimeError, match="closed"):
+            evaluator.evaluate_one(parent.design)
+
+    def test_abort_without_executor_is_safe(self, spec):
+        evaluator = BatchEvaluator(
+            CompiledSpec(spec), jobs=2, parallel_threshold=0
+        )
+        evaluator._abort_pool()
+        assert evaluator.closed
+        assert evaluator._executor is None
+
+
+def _start_design(spec):
+    mapper = InitialMapper(spec.architecture)
+    mapping, _ = mapper.try_map_and_schedule(
+        spec.current, base=spec.base_schedule
+    )
+    return CandidateDesign(
+        mapping, hcp_priorities(spec.current, spec.architecture.bus)
+    )
 
 
 class TestDispatchChunksize:

@@ -1,4 +1,10 @@
-"""Tests for evaluation memoization: accounting, verdicts, equivalence."""
+"""Tests for evaluation memoization: accounting, verdicts, equivalence.
+
+The unit suite runs over *both* result-store backends (memory and
+sqlite): the PR's counter/LRU contract -- every hit through ``lookup``,
+``__contains__`` accounting-free, batch commits in order -- must hold
+byte-for-byte whichever store sits underneath the cache.
+"""
 
 import pytest
 
@@ -6,6 +12,7 @@ from repro.core.initial_mapping import InitialMapper
 from repro.core.strategy import DesignEvaluator, make_strategy
 from repro.core.transformations import CandidateDesign, RemapProcess
 from repro.engine.cache import EvaluationCache
+from repro.engine.store import DEFAULT_MAX_ENTRIES, SqliteResultStore
 from repro.sched.priorities import hcp_priorities
 
 
@@ -20,9 +27,26 @@ def im_design(spec):
     )
 
 
+@pytest.fixture(params=["memory", "sqlite"])
+def make_cache(request, tmp_path):
+    """EvaluationCache factory parameterized over both store backends."""
+    counter = {"n": 0}
+
+    def factory(max_entries=DEFAULT_MAX_ENTRIES):
+        if request.param == "memory":
+            return EvaluationCache(max_entries=max_entries)
+        counter["n"] += 1
+        store = SqliteResultStore(
+            tmp_path / f"store{counter['n']}.sqlite", max_entries=max_entries
+        )
+        return EvaluationCache(store=store)
+
+    return factory
+
+
 class TestEvaluationCache:
-    def test_miss_then_hit(self):
-        cache = EvaluationCache()
+    def test_miss_then_hit(self, make_cache):
+        cache = make_cache()
         found, _ = cache.lookup(("a",))
         assert not found
         cache.store(("a",), "outcome")
@@ -32,14 +56,14 @@ class TestEvaluationCache:
         assert (stats.hits, stats.misses, stats.entries) == (1, 1, 1)
         assert stats.hit_rate == 0.5
 
-    def test_invalid_verdict_is_cached(self):
-        cache = EvaluationCache()
+    def test_invalid_verdict_is_cached(self, make_cache):
+        cache = make_cache()
         cache.store(("bad",), None)
         found, outcome = cache.lookup(("bad",))
         assert found and outcome is None
 
-    def test_lru_eviction(self):
-        cache = EvaluationCache(max_entries=2)
+    def test_lru_eviction(self, make_cache):
+        cache = make_cache(max_entries=2)
         cache.store(("a",), 1)
         cache.store(("b",), 2)
         cache.lookup(("a",))  # refresh "a"; "b" becomes LRU
@@ -49,13 +73,13 @@ class TestEvaluationCache:
         assert cache.lookup(("c",))[0]
         assert len(cache) == 2
 
-    def test_bad_max_entries_rejected(self):
+    def test_bad_max_entries_rejected(self, make_cache):
         with pytest.raises(ValueError):
-            EvaluationCache(max_entries=0)
+            make_cache(max_entries=0)
 
-    def test_contains_is_accounting_free(self):
+    def test_contains_is_accounting_free(self, make_cache):
         """The membership peek must not perturb counters or recency."""
-        cache = EvaluationCache(max_entries=2)
+        cache = make_cache(max_entries=2)
         cache.store(("a",), 1)
         cache.store(("b",), 2)
         assert ("a",) in cache
@@ -68,9 +92,20 @@ class TestEvaluationCache:
         assert cache.lookup(("b",))[0]
 
 
+@pytest.fixture(params=["memory", "sqlite"])
+def store_kwargs(request, tmp_path):
+    """Engine-level backend selection (the --cache-store switch)."""
+    if request.param == "memory":
+        return {"cache_store": "memory"}
+    return {
+        "cache_store": "sqlite",
+        "cache_path": str(tmp_path / "engine.sqlite"),
+    }
+
+
 class TestEngineCaching:
-    def test_repeat_evaluation_hits(self, spec, im_design):
-        with DesignEvaluator(spec) as evaluator:
+    def test_repeat_evaluation_hits(self, spec, im_design, store_kwargs):
+        with DesignEvaluator(spec, **store_kwargs) as evaluator:
             first = evaluator.evaluate(im_design)
             second = evaluator.evaluate(im_design)
             assert first is second
@@ -78,17 +113,17 @@ class TestEngineCaching:
             assert evaluator.cache_hits == 1
             assert evaluator.cache_misses == 1
 
-    def test_copies_share_cache_entry(self, spec, im_design):
-        with DesignEvaluator(spec) as evaluator:
+    def test_copies_share_cache_entry(self, spec, im_design, store_kwargs):
+        with DesignEvaluator(spec, **store_kwargs) as evaluator:
             first = evaluator.evaluate(im_design)
             second = evaluator.evaluate(im_design.copy())
             assert first is second
             assert evaluator.cache_hits == 1
 
-    def test_invalid_candidates_cached(self, spec, im_design):
+    def test_invalid_candidates_cached(self, spec, im_design, store_kwargs):
         # An overloaded single-node mapping that cannot meet deadlines
         # still gets its (None) verdict memoized.
-        with DesignEvaluator(spec) as evaluator:
+        with DesignEvaluator(spec, **store_kwargs) as evaluator:
             evaluator.evaluate(im_design)
             move = None
             for proc in spec.current.processes:
@@ -106,7 +141,9 @@ class TestEngineCaching:
             b = evaluator.evaluate(mutated)
             assert a is b  # cached, whatever the verdict
 
-    def test_batch_duplicate_hits_keep_lru_order(self, spec, im_design):
+    def test_batch_duplicate_hits_keep_lru_order(
+        self, spec, im_design, store_kwargs
+    ):
         """Regression: in-batch duplicates must refresh recency, so the
         duplicated entry survives eviction over an older distinct one."""
         move = None
@@ -121,7 +158,9 @@ class TestEngineCaching:
                 break
         assert move is not None
         other = move.apply(im_design)
-        with DesignEvaluator(spec, max_cache_entries=2) as evaluator:
+        with DesignEvaluator(
+            spec, max_cache_entries=2, **store_kwargs
+        ) as evaluator:
             # Batch: [A, B, A] -> stores A then B, then the duplicate
             # hit on A makes B the least recently used entry.
             evaluator.evaluate_many([im_design, other, im_design])
@@ -132,7 +171,9 @@ class TestEngineCaching:
             sig_b = evaluator.compiled.signature(other)
             assert list(cache._store) == [sig_b, sig_a]
 
-    def test_batch_accounting_matches_serial_lru_order(self, spec, im_design):
+    def test_batch_accounting_matches_serial_lru_order(
+        self, spec, im_design, store_kwargs, tmp_path
+    ):
         """[A, A, B] must leave LRU order [A, B] -- exactly what three
         single evaluate() calls produce (A last used before B's store)."""
         move = None
@@ -147,11 +188,20 @@ class TestEngineCaching:
                 break
         assert move is not None
         other = move.apply(im_design)
-        with DesignEvaluator(spec, max_cache_entries=2) as batched:
+        with DesignEvaluator(
+            spec, max_cache_entries=2, **store_kwargs
+        ) as batched:
             batched.evaluate_many([im_design, im_design.copy(), other])
             batch_order = list(batched.engine.cache._store)
             batch_stats = (batched.cache_hits, batched.cache_misses)
-        with DesignEvaluator(spec, max_cache_entries=2) as serial:
+        serial_kwargs = dict(store_kwargs)
+        if serial_kwargs.get("cache_path"):
+            # A fresh database: the serial run must replay cold, not be
+            # served by the batched run's rows.
+            serial_kwargs["cache_path"] = str(tmp_path / "serial.sqlite")
+        with DesignEvaluator(
+            spec, max_cache_entries=2, **serial_kwargs
+        ) as serial:
             for design in (im_design, im_design.copy(), other):
                 serial.evaluate(design)
             serial_order = list(serial.engine.cache._store)

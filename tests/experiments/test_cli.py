@@ -2,7 +2,31 @@
 
 import pytest
 
-from repro.experiments.cli import main
+from repro.experiments.cli import _nonnegative_int, _rate_cell, main
+
+
+class TestRateCell:
+    """Regression: zero-candidate runs must render '-', not divide."""
+
+    def test_normal_ratio(self):
+        assert _rate_cell(1, 4) == "25.0%"
+
+    def test_zero_denominator_renders_dash(self):
+        assert _rate_cell(0, 0) == "-"
+        assert _rate_cell(5, 0) == "-"
+
+    def test_negative_denominator_renders_dash(self):
+        assert _rate_cell(1, -3) == "-"
+
+    def test_nonnegative_int_accepts_zero(self):
+        assert _nonnegative_int("0") == 0
+        assert _nonnegative_int("7") == 7
+
+    def test_nonnegative_int_rejects_negative(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _nonnegative_int("-1")
 
 
 class TestCli:
@@ -145,3 +169,103 @@ class TestScenariosCli:
     def test_scenarios_requires_action(self):
         with pytest.raises(SystemExit):
             main(["scenarios"])
+
+    def test_run_with_zero_budget_renders_dashes(self, capsys):
+        """Regression: a run cut by ``--budget-evals 0`` reports zero
+        probes and must print '-' rate cells instead of dividing."""
+        code = main(
+            [
+                "scenarios", "run", "uniform-baseline",
+                "--strategies", "MH",
+                "--budget-evals", "0",
+            ]
+        )
+        assert code == 0
+        assert "-" in capsys.readouterr().out
+
+    def test_budget_evals_rejects_negative(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "scenarios", "run", "uniform-baseline",
+                    "--strategies", "MH",
+                    "--budget-evals", "-1",
+                ]
+            )
+
+
+class TestStoreCli:
+    def test_run_with_sqlite_store_prints_store_stats(
+        self, capsys, tmp_path
+    ):
+        args = [
+            "scenarios", "run", "uniform-baseline",
+            "--strategies", "MH",
+            "--cache-store", "sqlite",
+            "--cache-path", str(tmp_path / "store.sqlite"),
+        ]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "store hits" in cold
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "store hits" in warm
+
+    def test_smoke_warm_store_gate(self, capsys, tmp_path):
+        """The CI determinism gate: a second smoke run against a warm
+        store must clear --min-store-hit-rate and reproduce the same
+        design fingerprints byte-for-byte."""
+        path = str(tmp_path / "smoke.sqlite")
+        base = [
+            "scenarios", "smoke",
+            "--families", "forkjoin",
+            "--sa-iterations", "30",
+            "--cache-store", "sqlite",
+            "--cache-path", path,
+        ]
+        assert main(base) == 0
+        cold = capsys.readouterr().out
+        assert main(base + ["--min-store-hit-rate", "0.9"]) == 0
+        warm = capsys.readouterr().out
+
+        def fingerprints(out):
+            lines = iter(out.splitlines())
+            block = []
+            for line in lines:
+                if line.strip() == "design fingerprints:":
+                    for entry in lines:
+                        if not entry.startswith(" "):
+                            break
+                        block.append(entry.strip())
+                    break
+            return block
+
+        cold_prints = fingerprints(cold)
+        assert cold_prints, "no fingerprint block in smoke output"
+        assert fingerprints(warm) == cold_prints
+
+    def test_smoke_cold_store_fails_hit_rate_gate(self, capsys, tmp_path):
+        """A cold store cannot clear the warm-restart gate -- the CLI
+        must exit non-zero, loudly."""
+        code = main(
+            [
+                "scenarios", "smoke",
+                "--families", "forkjoin",
+                "--sa-iterations", "30",
+                "--cache-store", "sqlite",
+                "--cache-path", str(tmp_path / "cold.sqlite"),
+                "--min-store-hit-rate", "0.9",
+            ]
+        )
+        assert code == 1
+
+    def test_sqlite_store_requires_path(self, capsys):
+        code = main(
+            [
+                "scenarios", "run", "uniform-baseline",
+                "--strategies", "MH",
+                "--cache-store", "sqlite",
+            ]
+        )
+        assert code == 2
+        assert "requires --cache-path" in capsys.readouterr().err

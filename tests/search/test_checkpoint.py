@@ -110,6 +110,45 @@ class TestResume:
         assert resumed.stats.stop_reason == "local-optimum"
         assert identity(resumed.incumbent) == identity(full.incumbent)
 
+    def test_cut_and_resume_through_sqlite_store(self, spec, tmp_path):
+        """A fresh-process resume against a warm sqlite store replays
+        the cut prefix from the database and lands byte-identical to an
+        uninterrupted run."""
+        path = str(tmp_path / "resume.sqlite")
+        with DesignEvaluator(spec) as evaluator:
+            start = start_of(spec, evaluator)
+            straight = walk_loop(100).run(
+                spec, evaluator, start=start, rng=np.random.default_rng(42)
+            )
+        with DesignEvaluator(
+            spec, cache_store="sqlite", cache_path=path
+        ) as evaluator:
+            start = start_of(spec, evaluator)
+            cut = walk_loop(40).run(
+                spec, evaluator, start=start, rng=np.random.default_rng(42)
+            )
+            assert cut.stats.stop_reason == "budget:steps"
+            wire = cut.checkpoint.to_json()
+        # The resuming evaluator is brand new -- only the database file
+        # survives, exactly like a process restart.
+        with DesignEvaluator(
+            spec, cache_store="sqlite", cache_path=path
+        ) as fresh:
+            resumed = walk_loop(100).resume(
+                spec, fresh, SearchCheckpoint.from_json(wire)
+            )
+            assert fresh.store_hits > 0
+        assert resumed.stats.steps == 100
+        assert identity(resumed.incumbent) == identity(straight.incumbent)
+        assert identity(resumed.current) == identity(straight.current)
+        assert (
+            resumed.checkpoint.rng_state == straight.checkpoint.rng_state
+        )
+        assert (
+            resumed.checkpoint.acceptor_state
+            == straight.checkpoint.acceptor_state
+        )
+
     def test_resume_rejects_mismatched_spec(self, spec, evaluator, start):
         import pytest
 
