@@ -203,6 +203,11 @@ class DesignEvaluator:
     cache_path:
         Filesystem path of the sqlite result store (required when
         ``cache_store="sqlite"``).
+    store_read_only:
+        Open the sqlite store as a read-only shard view (the
+        distributed race's per-shard engines): warm reads, no rw lock;
+        new rows are buffered for the coordinating parent to drain and
+        persist.  Ignored by the memory backend.
     """
 
     def __init__(
@@ -216,6 +221,7 @@ class DesignEvaluator:
         engine_core: str = "array",
         cache_store: str = "memory",
         cache_path: Optional[str] = None,
+        store_read_only: bool = False,
     ):
         self.spec = spec
         self.engine = EvaluationEngine(
@@ -228,6 +234,7 @@ class DesignEvaluator:
             engine_core=engine_core,
             cache_store=cache_store,
             cache_path=cache_path,
+            store_read_only=store_read_only,
         )
 
     def evaluate(self, design: "CandidateDesign") -> Optional[EvaluatedDesign]:
@@ -302,6 +309,14 @@ class DesignEvaluator:
     def store_stats(self) -> StoreStats:
         """Persistent-store accounting (all-zero on the memory backend)."""
         return self.engine.store_stats()
+
+    def drain_store_rows(self) -> List[tuple]:
+        """Encoded rows a read-only shard view buffered (else empty)."""
+        return self.engine.drain_store_rows()
+
+    def absorb_store_rows(self, rows: Sequence[tuple]) -> None:
+        """Persist rows drained from shard engines (parent side)."""
+        self.engine.absorb_store_rows(rows)
 
     def cache_stats(self) -> CacheStats:
         return self.engine.cache_stats()

@@ -70,6 +70,10 @@ class EngineCounters(NamedTuple):
     def __sub__(self, other: "EngineCounters") -> "EngineCounters":
         return EngineCounters(*(a - b for a, b in zip(self, other)))
 
+    def __add__(self, other: "EngineCounters") -> "EngineCounters":  # type: ignore[override]
+        """Field-wise merge -- fleet totals across shard engines."""
+        return EngineCounters(*(a + b for a, b in zip(self, other)))
+
 
 class EvaluationEngine:
     """Fast, cached, parallelizable evaluation of candidate designs.
@@ -109,6 +113,12 @@ class EvaluationEngine:
     cache_path:
         Database file of the sqlite backend (required with
         ``cache_store="sqlite"``, ignored otherwise).
+    store_read_only:
+        Open the sqlite backend as a read-only shard view (distributed
+        racing): warm rows are served from the database, new rows stay
+        resident and are buffered for :meth:`drain_store_rows`, and
+        the single read-write connection remains with the coordinating
+        parent.  Ignored by the memory backend.
     """
 
     def __init__(
@@ -122,6 +132,7 @@ class EvaluationEngine:
         engine_core: str = "object",
         cache_store: str = "memory",
         cache_path: Optional[str] = None,
+        store_read_only: bool = False,
     ):
         self.spec = spec
         self.compiled = CompiledSpec(spec, engine_core=engine_core)
@@ -130,7 +141,11 @@ class EvaluationEngine:
         store_scenario: Optional[str] = None
         if use_cache:
             backend = make_store(
-                cache_store, cache_path, self.compiled, max_cache_entries
+                cache_store,
+                cache_path,
+                self.compiled,
+                max_cache_entries,
+                read_only=store_read_only,
             )
             self.cache = EvaluationCache(max_cache_entries, store=backend)
             if isinstance(backend, SqliteResultStore) and backend.persistent:
@@ -407,6 +422,30 @@ class EvaluationEngine:
     def decode_ns(self) -> int:
         """Wall nanoseconds spent decoding object schedules."""
         return self.batch.timings.decode_ns
+
+    def drain_store_rows(self) -> List[tuple]:
+        """Hand over encoded result rows a read-only shard view buffered.
+
+        Empty on the memory backend and on read-write stores (which
+        persist their own rows at every commit boundary); see
+        :meth:`SqliteResultStore.drain_rows`.
+        """
+        backend = self.cache.backend if self.cache is not None else None
+        if isinstance(backend, SqliteResultStore) and backend.export_rows:
+            return backend.drain_rows()
+        return []
+
+    def absorb_store_rows(self, rows: Sequence[tuple]) -> None:
+        """Persist rows drained from shard engines (parent side only).
+
+        A no-op on the memory backend; see
+        :meth:`SqliteResultStore.absorb_rows`.
+        """
+        if not rows:
+            return
+        backend = self.cache.backend if self.cache is not None else None
+        if isinstance(backend, SqliteResultStore):
+            backend.absorb_rows(rows)
 
     def counters(self) -> EngineCounters:
         """Snapshot of all counters (readable even after close)."""

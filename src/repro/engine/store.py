@@ -48,7 +48,15 @@ import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Optional, Protocol, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Tuple,
+    Union,
+)
 
 from repro.engine.compiled_spec import Signature
 from repro.engine.evaluation import EvaluatedDesign
@@ -238,6 +246,13 @@ class SqliteResultStore:
     read_only:
         Open the database read-only (pool workers).  Writes then stay
         in the resident tier and :meth:`commit` is a no-op.
+    export_rows:
+        Read-only variant for shard engines in a distributed race:
+        new results are additionally buffered in their encoded wire
+        form and survive :meth:`commit`, so the parent process (the
+        single writer) can :meth:`drain_rows` them over IPC and
+        persist them through its own read-write connection.  Requires
+        ``read_only``.
     """
 
     def __init__(
@@ -247,12 +262,19 @@ class SqliteResultStore:
         max_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
         scenario: Optional[str] = None,
         read_only: bool = False,
+        export_rows: bool = False,
     ):
+        if export_rows and not read_only:
+            raise ValueError(
+                "export_rows is the read-only shard view's contract; "
+                "a read-write store persists its own rows"
+            )
         self.memory = MemoryResultStore(max_entries)
         self.max_entries = self.memory.max_entries
         self.path = str(path)
         self.compiled = compiled
         self.read_only = read_only
+        self.export_rows = export_rows
         self.scenario = (
             scenario if scenario is not None else self._derive_scenario(compiled)
         )
@@ -428,7 +450,12 @@ class SqliteResultStore:
     ) -> Optional[Signature]:
         """Store in the resident tier and buffer the database row."""
         evicted = self.memory.put(signature, outcome)
-        if not self.read_only and (self._conn is not None or self._pending):
+        buffer_row = (
+            self.export_rows
+            if self.read_only
+            else (self._conn is not None or self._pending)
+        )
+        if buffer_row:
             key = self._signature_key(signature)
             self._pending[key] = self._encode(outcome)
             self._pending.move_to_end(key)
@@ -481,7 +508,10 @@ class SqliteResultStore:
         runs) only ever observe batch-consistent state.
         """
         if self._conn is None or self.read_only:
-            self._pending.clear()
+            if not self.export_rows:
+                self._pending.clear()
+            # Export buffers survive commits: they are drained
+            # explicitly (drain_rows) at the shard's final report.
             return
         if not self._pending and not self._dirty:
             return
@@ -505,6 +535,36 @@ class SqliteResultStore:
             self._degrade(f"{type(exc).__name__}: {exc}")
         finally:
             self.commit_ns += time.perf_counter_ns() - start
+
+    def drain_rows(self) -> List[Tuple[str, bytes]]:
+        """Hand over the buffered export rows (and forget them).
+
+        The shard side of the distributed race's single-writer rule:
+        a read-only ``export_rows`` view accumulates its newly priced
+        results here, and the parent ships them home with
+        :meth:`absorb_rows` through its one read-write connection.
+        Rows are ``(signature_key, payload)`` pairs in first-write
+        order; draining is destructive so repeated finals do not
+        double-ship.
+        """
+        rows = list(self._pending.items())
+        self._pending.clear()
+        return rows
+
+    def absorb_rows(self, rows: Iterable[Tuple[str, bytes]]) -> None:
+        """Persist rows drained from a shard's read-only view.
+
+        Only meaningful on the read-write store (the parent); encoded
+        payloads are buffered as if priced locally and flushed in the
+        next :meth:`commit` batch (``INSERT OR REPLACE``, so shards
+        racing over overlapping designs stay idempotent).
+        """
+        if self.read_only:
+            raise ValueError("absorb_rows requires the read-write store")
+        for key, blob in rows:
+            self._pending[key] = blob
+            self._pending.move_to_end(key)
+        self.commit()
 
     def close(self) -> None:
         """Flush and detach the database tier (idempotent)."""
@@ -592,8 +652,15 @@ def make_store(
     cache_path: Optional[Union[str, Path]],
     compiled: Optional["CompiledSpec"],
     max_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
+    read_only: bool = False,
 ) -> "ResultStore":
-    """Build the backend named by the ``--cache-store`` switch."""
+    """Build the backend named by the ``--cache-store`` switch.
+
+    ``read_only`` builds the shard-engine view of a sqlite store: a
+    read-only connection (never competing for the single rw lock) that
+    buffers its new rows for the parent to drain and persist.  The
+    memory backend has no file to protect and ignores the flag.
+    """
     if cache_store == "memory":
         return MemoryResultStore(max_entries)
     if cache_store == "sqlite":
@@ -603,7 +670,11 @@ def make_store(
                 "database file the results persist to)"
             )
         return SqliteResultStore(
-            cache_path, compiled=compiled, max_entries=max_entries
+            cache_path,
+            compiled=compiled,
+            max_entries=max_entries,
+            read_only=read_only,
+            export_rows=read_only,
         )
     raise ValueError(
         f"unknown cache_store {cache_store!r}; choose 'memory' or 'sqlite'"

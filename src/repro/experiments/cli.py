@@ -312,8 +312,20 @@ def _scenarios_portfolio(args: argparse.Namespace) -> int:
         args.member_budget_evals, None, args.patience
     )
     shared_budget = make_budget(args.budget_evals, args.budget_seconds, None)
+    if args.shards and not args.elastic and args.budget_seconds is not None:
+        print(
+            "--budget-seconds needs --elastic when sharded: replay mode "
+            "cannot meter wall-clock deterministically"
+        )
+        return 2
 
-    def race(jobs: int, use_delta: bool, engine_core: Optional[str] = None):
+    def race(
+        jobs: int,
+        use_delta: bool,
+        engine_core: Optional[str] = None,
+        shards: Optional[int] = None,
+        elastic: Optional[bool] = None,
+    ):
         return run_portfolio(
             spec,
             args.strategies,
@@ -326,6 +338,8 @@ def _scenarios_portfolio(args: argparse.Namespace) -> int:
             engine_core=engine_core or args.engine_core,
             cache_store=args.cache_store,
             cache_path=args.cache_path,
+            shards=args.shards if shards is None else shards,
+            elastic=args.elastic if elastic is None else elastic,
         )
 
     result = race(args.jobs, not args.no_delta)
@@ -360,12 +374,35 @@ def _scenarios_portfolio(args: argparse.Namespace) -> int:
             ),
         )
     )
+    fleet = "engine"
+    if getattr(result, "shards", 0):
+        fleet = (
+            f"fleet ({result.shards} shards, {result.mode} mode, "
+            f"{result.respawns} respawns)"
+        )
     print(
-        f"engine: {result.evaluations} evaluations, "
+        f"{fleet}: {result.evaluations} evaluations, "
         f"{result.cache_hits} cache hits, {result.cache_misses} misses, "
         f"{result.delta_hits} delta hits, {result.delta_fallbacks} "
         f"fallbacks, {result.runtime_seconds:.2f}s wall"
     )
+    if getattr(result, "shards", 0) and args.verbose:
+        for sid, counters, busy in zip(
+            result.shard_ids, result.shard_counters, result.shard_busy_seconds
+        ):
+            print(
+                f"  shard {sid}: {counters.evaluations} evaluations, "
+                f"{counters.cache_hits} cache hits, "
+                f"{counters.cache_misses} misses, "
+                f"{counters.delta_hits} delta hits, "
+                f"{counters.delta_fallbacks} fallbacks, {busy:.2f}s busy"
+            )
+        steals = sum(1 for e in result.events if e.kind == "steal")
+        checkpoints = sum(1 for e in result.events if e.kind == "checkpoint")
+        print(
+            f"  events: {steals} steals, {checkpoints} checkpoints, "
+            f"{result.respawns} respawns"
+        )
     if args.cache_store != "memory":
         print(
             f"store: {result.store_hits} hits, {result.store_misses} "
@@ -388,6 +425,18 @@ def _scenarios_portfolio(args: argparse.Namespace) -> int:
                 lambda: race(args.jobs, not args.no_delta, other_core),
             ),
         ]
+        shard_axis = args.budget_seconds is None
+        if shard_axis:
+            # The distributed race (replay mode) must produce the same
+            # winner as the in-process lockstep reference; wall-clock
+            # budgets are rejected by replay mode, so this axis only
+            # runs for deterministic budgets.
+            checks.append((
+                "shards=2",
+                lambda: race(
+                    args.jobs, not args.no_delta, shards=2, elastic=False
+                ),
+            ))
         failures = []
         for label, runner in checks:
             if _portfolio_identity(runner()) != reference:
@@ -415,11 +464,12 @@ def _scenarios_portfolio(args: argparse.Namespace) -> int:
         if failures:
             print(f"DETERMINISM FAILURES: {', '.join(failures)}")
             return 1
-        print(
-            f"determinism checks passed (repeat, jobs=2, delta off, "
-            f"{other_core} core"
-            + (", reversed order)" if shared_budget is None else ")")
-        )
+        passed = f"repeat, jobs=2, delta off, {other_core} core"
+        if shard_axis:
+            passed += ", shards=2"
+        if shared_budget is None:
+            passed += ", reversed order"
+        print(f"determinism checks passed ({passed})")
     return 0
 
 
@@ -674,13 +724,35 @@ def _add_scenarios_parser(subparsers) -> None:
         ),
     )
     portfolio.add_argument(
+        "--shards", type=_nonnegative_int, default=0,
+        help=(
+            "race the portfolio across this many worker processes "
+            "(0 = in-process lockstep reference; replay mode keeps the "
+            "winner byte-identical to the lockstep race)"
+        ),
+    )
+    portfolio.add_argument(
+        "--elastic",
+        action="store_true",
+        help=(
+            "with --shards: elastic mode -- arrival-order budget "
+            "grants, wall-clock budgets and dynamic work-stealing "
+            "(reproducible in aggregate, not byte-for-byte)"
+        ),
+    )
+    portfolio.add_argument(
+        "-v", "--verbose",
+        action="store_true",
+        help="with --shards: per-shard engine breakdown and race events",
+    )
+    portfolio.add_argument(
         "--check-determinism",
         action="store_true",
         help=(
             "re-race with jobs=2, delta off, the other scheduler core, "
-            "and (without a shared budget) reversed member order; fail "
-            "unless the winning design is byte-identical (the CI smoke "
-            "gate)"
+            "shards=2, and (without a shared budget) reversed member "
+            "order; fail unless the winning design is byte-identical "
+            "(the CI smoke gate)"
         ),
     )
     _add_store_options(portfolio)

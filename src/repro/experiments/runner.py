@@ -430,12 +430,27 @@ def strategy_for_family(
     cache_store: str = "memory",
     cache_path: Optional[str] = None,
 ):
-    """Instantiate a strategy for a family run (shared with the CLI)."""
-    if name.upper() == "SA":
-        return make_strategy(
+    """Instantiate a strategy for a family run (shared with the CLI).
+
+    ``SA@k`` (k >= 1) names a portfolio variant of SA: the same
+    configuration on a distinct seeded RNG stream (seed offset
+    ``k * 101``), so portfolio races can field several independent
+    SA members.  Only SA has variants -- the other strategies are
+    deterministic, so extra copies would race identical walks.
+    """
+    base, _, suffix = name.partition("@")
+    variant = 0
+    if suffix:
+        variant = int(suffix)
+        if base.upper() != "SA" or variant < 1:
+            raise ValueError(
+                f"only SA@k (k >= 1) variants exist, got {name!r}"
+            )
+    if base.upper() == "SA":
+        strategy = make_strategy(
             "SA",
             iterations=sa_iterations,
-            seed=seed * 7919 + 13,
+            seed=seed * 7919 + 13 + variant * 101,
             use_cache=use_cache,
             jobs=jobs,
             use_delta=use_delta,
@@ -444,6 +459,9 @@ def strategy_for_family(
             cache_path=cache_path,
             budget=budget,
         )
+        if variant:
+            strategy.name = f"SA@{variant}"
+        return strategy
     return make_strategy(
         name,
         use_cache=use_cache,
@@ -497,6 +515,8 @@ def run_portfolio(
     engine_core: str = "array",
     cache_store: str = "memory",
     cache_path: Optional[str] = None,
+    shards: int = 0,
+    elastic: bool = False,
 ) -> PortfolioResult:
     """Race ``strategies`` on ``spec`` over one shared engine.
 
@@ -506,11 +526,34 @@ def run_portfolio(
     members, and the winner is byte-identical for any ``jobs`` value.
     With ``cache_store="sqlite"`` the race shares one persistent store
     at ``cache_path`` (and is served warm by earlier races against it).
+
+    ``shards >= 1`` runs the same race distributed across that many
+    worker processes (:class:`repro.search.DistributedPortfolioRunner`)
+    -- replay mode by default (deterministic, winner byte-identical to
+    the lockstep race), elastic mode with ``elastic=True`` (wall-clock
+    budgets and dynamic work-stealing allowed).  ``shards=0`` (the
+    default) stays on the in-process lockstep reference.
     """
+    members = portfolio_members(
+        strategies, seed, sa_iterations, member_budget, engine_core
+    )
+    if shards >= 1:
+        from repro.search.distributed import DistributedPortfolioRunner
+
+        return DistributedPortfolioRunner(
+            members,
+            budget=shared_budget,
+            shards=shards,
+            mode="elastic" if elastic else "replay",
+            use_cache=use_cache,
+            jobs=jobs,
+            use_delta=use_delta,
+            engine_core=engine_core,
+            cache_store=cache_store,
+            cache_path=cache_path,
+        ).run(spec)
     runner = PortfolioRunner(
-        portfolio_members(
-            strategies, seed, sa_iterations, member_budget, engine_core
-        ),
+        members,
         budget=shared_budget,
         use_cache=use_cache,
         jobs=jobs,

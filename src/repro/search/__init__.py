@@ -22,11 +22,19 @@ from repro.search.budget import (
     Budget,
     BudgetProgress,
     SharedBudgetExhausted,
+    StealRequested,
 )
 from repro.search.checkpoint import (
+    MemberCheckpoint,
+    MemberPaused,
     SearchCheckpoint,
     design_from_dict,
     design_to_dict,
+)
+from repro.search.distributed import (
+    DistributedPortfolioResult,
+    DistributedPortfolioRunner,
+    ShardEvent,
 )
 from repro.search.loop import (
     EvalRequest,
@@ -58,8 +66,12 @@ __all__ = [
     "Acceptor",
     "Budget",
     "BudgetProgress",
+    "DistributedPortfolioResult",
+    "DistributedPortfolioRunner",
     "EvalRequest",
     "GreedyAcceptor",
+    "MemberCheckpoint",
+    "MemberPaused",
     "MetropolisAcceptor",
     "NeighbourhoodProposer",
     "PortfolioMemberOutcome",
@@ -72,7 +84,9 @@ __all__ = [
     "SearchLoop",
     "SearchOutcome",
     "SearchStats",
+    "ShardEvent",
     "SharedBudgetExhausted",
+    "StealRequested",
     "ThresholdAcceptor",
     "design_from_dict",
     "design_to_dict",

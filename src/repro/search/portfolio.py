@@ -246,8 +246,14 @@ class PortfolioRunner:
                         budget_cut = True
                         pending[index] = program.throw(SharedBudgetExhausted())
                     else:
-                        served_evaluations += request.size
-                        outcome.evaluations_served += request.size
+                        if not request.bookkeeping:
+                            # Checkpoint-resume re-evaluations replay
+                            # work already charged before a cut; serving
+                            # them free keeps a resumed member's budget
+                            # trajectory identical to the uninterrupted
+                            # run's (the distributed race relies on it).
+                            served_evaluations += request.size
+                            outcome.evaluations_served += request.size
                         pending[index] = program.send(
                             execute_request(evaluator, request)
                         )
